@@ -1,0 +1,48 @@
+#include "common.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+namespace pgf::bench {
+
+Options::Options(int argc, const char* const* argv) {
+    Cli cli(argc, argv);
+    csv_dir = cli.get_string("csv-dir", "");
+    queries = static_cast<std::size_t>(cli.get_int("queries", 1000));
+    seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const char* env = std::getenv("PGF_FULL_SCALE");
+    full_scale = cli.get_bool("full", env != nullptr &&
+                                          std::string(env) == "1");
+}
+
+void print_banner(const Options& opt, const std::string& experiment,
+                  const std::string& note) {
+    std::cout << "==============================================================\n"
+              << experiment << "\n"
+              << note << "\n"
+              << "queries/config=" << opt.queries << " seed=" << opt.seed
+              << (opt.full_scale ? " [full scale]" : "") << "\n"
+              << "==============================================================\n";
+}
+
+void emit(const Options& opt, const TextTable& table, const std::string& name) {
+    std::cout << "\n-- " << name << "\n";
+    table.print(std::cout);
+    if (!opt.csv_dir.empty()) {
+        std::string path = opt.csv_dir + "/" + name + ".csv";
+        if (table.write_csv(path)) {
+            std::cout << "[csv] " << path << "\n";
+        } else {
+            std::cout << "[csv] FAILED to write " << path << "\n";
+        }
+    }
+    std::cout.flush();
+}
+
+std::vector<std::uint32_t> disk_sweep() {
+    std::vector<std::uint32_t> disks;
+    for (std::uint32_t m = 4; m <= 32; m += 2) disks.push_back(m);
+    return disks;
+}
+
+}  // namespace pgf::bench

@@ -1,0 +1,75 @@
+// Shared plumbing for the experiment harness: option parsing, dataset
+// workbenches, the disk-count sweep the paper uses, and CSV emission.
+//
+// Every bench binary runs with no arguments and prints the paper's
+// rows/series. Optional flags:
+//   --csv-dir <dir>   also write each table as CSV into <dir>
+//   --queries <n>     queries per configuration (default 1000, the paper's)
+//   --seed <s>        dataset/workload base seed
+//   --full            full paper scale for the SP-2 experiment
+//                     (also enabled by PGF_FULL_SCALE=1 in the environment)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgf/core/declusterer.hpp"
+#include "pgf/disksim/simulator.hpp"
+#include "pgf/util/cli.hpp"
+#include "pgf/util/table.hpp"
+#include "pgf/workload/datasets.hpp"
+#include "pgf/workload/query_gen.hpp"
+
+namespace pgf::bench {
+
+struct Options {
+    std::string csv_dir;
+    std::size_t queries = 1000;
+    std::uint64_t seed = 1;
+    bool full_scale = false;
+
+    Options(int argc, const char* const* argv);
+};
+
+/// Prints the experiment banner: which paper table/figure is being
+/// regenerated and with what workload.
+void print_banner(const Options& opt, const std::string& experiment,
+                  const std::string& note);
+
+/// Prints a table and, when --csv-dir is set, writes `<csv_dir>/<name>.csv`.
+void emit(const Options& opt, const TextTable& table, const std::string& name);
+
+/// The paper's disk sweep: M = 4, 6, ..., 32.
+std::vector<std::uint32_t> disk_sweep();
+
+/// A dataset loaded into a grid file with its structural snapshot — the
+/// starting state of every simulation experiment.
+template <std::size_t D>
+struct Workbench {
+    Dataset<D> dataset;
+    GridFile<D> gf;
+    GridStructure gs;
+
+    explicit Workbench(Dataset<D> ds)
+        : dataset(std::move(ds)), gf(dataset.build()), gs(gf.structure()) {}
+
+    /// Precollects the bucket sets of a fresh random square-query workload
+    /// (reused across every method/M configuration).
+    std::vector<std::vector<std::uint32_t>> workload(double ratio,
+                                                     std::size_t count,
+                                                     std::uint64_t seed) const {
+        Rng rng(seed);
+        return collect_query_buckets(
+            gf, square_queries(dataset.domain, ratio, count, rng));
+    }
+
+    std::string summary() const {
+        return dataset.name + ": " + std::to_string(gf.record_count()) +
+               " records, " + std::to_string(gf.bucket_count()) +
+               " buckets (" + std::to_string(gf.merged_bucket_count()) +
+               " merged)";
+    }
+};
+
+}  // namespace pgf::bench

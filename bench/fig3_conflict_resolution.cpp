@@ -1,0 +1,57 @@
+// Figure 3 — conflict-resolution heuristics on hot.2d, r = 0.05.
+//
+// Left panel of the paper: HCAM under all four heuristics (response nearly
+// insensitive to the choice). Right panel: FX under all four (most
+// sensitive; data balance best). This bench prints both panels as
+// method-major tables over M = 4..32, plus DM for completeness, and the
+// optimal reference in every row.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace pgf::bench {
+namespace {
+
+int run(int argc, char** argv) {
+    Options opt(argc, argv);
+    print_banner(opt, "Figure 3 — conflict resolution heuristics (hot.2d)",
+                 "avg response time (buckets) of 1000 square queries, "
+                 "r = 0.05; data balance should win, HCAM should be "
+                 "insensitive, FX most sensitive");
+    Rng rng(opt.seed);
+    Workbench<2> bench(make_hotspot2d(rng));
+    std::cout << bench.summary() << "\n";
+    auto qb = bench.workload(0.05, opt.queries, opt.seed + 1000);
+
+    const std::vector<ConflictHeuristic> heuristics{
+        ConflictHeuristic::kRandom, ConflictHeuristic::kMostFrequent,
+        ConflictHeuristic::kDataBalance, ConflictHeuristic::kAreaBalance};
+
+    for (Method method : {Method::kHilbert, Method::kFieldwiseXor,
+                          Method::kDiskModulo}) {
+        TextTable table({"disks", "random", "most-freq", "data-bal",
+                         "area-bal", "optimal"});
+        for (std::uint32_t m : disk_sweep()) {
+            std::vector<std::string> row{std::to_string(m)};
+            double optimal = 0.0;
+            for (ConflictHeuristic h : heuristics) {
+                DeclusterOptions dopt;
+                dopt.heuristic = h;
+                dopt.seed = opt.seed + 7;
+                Assignment a = decluster(bench.gs, method, m, dopt);
+                WorkloadStats s = evaluate_workload(qb, a);
+                row.push_back(format_double(s.avg_response));
+                optimal = s.optimal;
+            }
+            row.push_back(format_double(optimal));
+            table.add_row(std::move(row));
+        }
+        emit(opt, table, "fig3_" + to_string(method) + "_hot2d");
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace pgf::bench
+
+int main(int argc, char** argv) { return pgf::bench::run(argc, argv); }

@@ -1,0 +1,64 @@
+// Figure 6 — the five-way comparison: DM/D, FX/D, HCAM/D, SSP and MiniMax
+// on hot.2d, DSMC.3d and stock.3d, r = 0.01.
+//
+// Expected shape (paper Sec. 3.3): minimax consistently smallest response
+// (few exceptions at small M); SSP second; HCAM/D close behind, closing in
+// as M grows; DM and FX distant fourth/fifth with early flattening —
+// DSMC.3d flattens earlier than hot.2d because more of it is uniform.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace pgf::bench {
+namespace {
+
+template <std::size_t D>
+void panel(const Options& opt, const Workbench<D>& bench) {
+    std::cout << "\n" << bench.summary() << "\n";
+    auto qb = bench.workload(0.01, opt.queries, opt.seed + 3000);
+    TextTable table({"disks", "DM/D", "FX/D", "HCAM/D", "SSP", "MiniMax",
+                     "optimal"});
+    for (std::uint32_t m : disk_sweep()) {
+        std::vector<std::string> row{std::to_string(m)};
+        double optimal = 0.0;
+        for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
+                              Method::kHilbert, Method::kSsp,
+                              Method::kMinimax}) {
+            DeclusterOptions dopt;
+            dopt.seed = opt.seed + 13;
+            Assignment a = decluster(bench.gs, method, m, dopt);
+            WorkloadStats s = evaluate_workload(qb, a);
+            row.push_back(format_double(s.avg_response));
+            optimal = s.optimal;
+        }
+        row.push_back(format_double(optimal));
+        table.add_row(std::move(row));
+    }
+    emit(opt, table, "fig6_" + bench.dataset.name);
+}
+
+int run(int argc, char** argv) {
+    Options opt(argc, argv);
+    print_banner(opt, "Figure 6 — five-algorithm comparison, r = 0.01",
+                 "avg response time (buckets); expected order at large M: "
+                 "MiniMax < SSP <= HCAM/D << DM/D, FX/D");
+    Rng rng(opt.seed);
+    {
+        Workbench<2> bench(make_hotspot2d(rng));
+        panel(opt, bench);
+    }
+    {
+        Workbench<3> bench(make_dsmc3d(rng));
+        panel(opt, bench);
+    }
+    {
+        Workbench<3> bench(make_stock3d(rng));
+        panel(opt, bench);
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace pgf::bench
+
+int main(int argc, char** argv) { return pgf::bench::run(argc, argv); }

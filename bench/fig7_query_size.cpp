@@ -1,0 +1,62 @@
+// Figure 7 — effect of query size on stock.3d: response time (left) and
+// speedup over the 4-disk configuration (right), HCAM/D vs MiniMax for
+// r = 0.01, 0.05, 0.10.
+//
+// Expected shape: minimax below HCAM in both metrics at every query size,
+// with the relative benefit growing as queries get smaller.
+#include <iostream>
+
+#include "common.hpp"
+
+namespace pgf::bench {
+namespace {
+
+int run(int argc, char** argv) {
+    Options opt(argc, argv);
+    print_banner(opt, "Figure 7 — query-size effect (stock.3d)",
+                 "HCAM/D vs MiniMax across r = 0.01 / 0.05 / 0.10; speedup "
+                 "= response(4 disks) / response(M disks)");
+    Rng rng(opt.seed);
+    Workbench<3> bench(make_stock3d(rng));
+    std::cout << bench.summary() << "\n";
+
+    const std::vector<double> ratios{0.01, 0.05, 0.10};
+    std::vector<std::vector<std::vector<std::uint32_t>>> workloads;
+    workloads.reserve(ratios.size());
+    for (double r : ratios) {
+        workloads.push_back(bench.workload(r, opt.queries, opt.seed + 4000));
+    }
+
+    TextTable response({"disks", "HCAM r=.01", "MiniMax r=.01", "HCAM r=.05",
+                        "MiniMax r=.05", "HCAM r=.10", "MiniMax r=.10"});
+    TextTable speedup = response;
+    std::vector<double> base;  // response at M = 4 per (ratio, method)
+
+    for (std::uint32_t m : disk_sweep()) {
+        std::vector<std::string> r_row{std::to_string(m)};
+        std::vector<std::string> s_row{std::to_string(m)};
+        std::size_t slot = 0;
+        for (std::size_t ri = 0; ri < ratios.size(); ++ri) {
+            for (Method method : {Method::kHilbert, Method::kMinimax}) {
+                DeclusterOptions dopt;
+                dopt.seed = opt.seed + 19;
+                Assignment a = decluster(bench.gs, method, m, dopt);
+                WorkloadStats s = evaluate_workload(workloads[ri], a);
+                r_row.push_back(format_double(s.avg_response));
+                if (m == 4) base.push_back(s.avg_response);
+                s_row.push_back(format_double(base[slot] / s.avg_response));
+                ++slot;
+            }
+        }
+        response.add_row(std::move(r_row));
+        speedup.add_row(std::move(s_row));
+    }
+    emit(opt, response, "fig7_response_stock3d");
+    emit(opt, speedup, "fig7_speedup_stock3d");
+    return 0;
+}
+
+}  // namespace
+}  // namespace pgf::bench
+
+int main(int argc, char** argv) { return pgf::bench::run(argc, argv); }

@@ -1,0 +1,135 @@
+// Micro benchmarks (google-benchmark): throughput of the primitives the
+// experiment pipeline leans on — Hilbert mapping, proximity evaluation,
+// grid-file insertion and range queries, and each declustering algorithm.
+#include <benchmark/benchmark.h>
+
+#include "pgf/decluster/registry.hpp"
+#include "pgf/decluster/weights.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/sfc/hilbert.hpp"
+#include "pgf/util/rng.hpp"
+#include "pgf/workload/datasets.hpp"
+#include "pgf/workload/query_gen.hpp"
+
+namespace pgf {
+namespace {
+
+void BM_HilbertIndex2d(benchmark::State& state) {
+    const auto bits = static_cast<unsigned>(state.range(0));
+    Rng rng(1);
+    std::vector<std::uint32_t> coords(2);
+    const std::uint32_t mask = bits == 32 ? ~0u : (1u << bits) - 1;
+    for (auto _ : state) {
+        coords[0] = rng.next_u32() & mask;
+        coords[1] = rng.next_u32() & mask;
+        benchmark::DoNotOptimize(sfc::hilbert_index(coords, bits));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HilbertIndex2d)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_HilbertIndex4d(benchmark::State& state) {
+    Rng rng(1);
+    std::vector<std::uint32_t> coords(4);
+    for (auto _ : state) {
+        for (auto& c : coords) c = rng.next_u32() & 0xff;
+        benchmark::DoNotOptimize(sfc::hilbert_index(coords, 8));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HilbertIndex4d);
+
+void BM_ProximityIndex(benchmark::State& state) {
+    Rng rng(2);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridStructure gs = ds.build().structure();
+    BucketWeights w(gs);
+    std::size_t i = 0, j = 1;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(w(i, j));
+        if (++j >= w.size()) {
+            j = 0;
+            if (++i >= w.size()) i = 0;
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ProximityIndex);
+
+void BM_GridFileInsert(benchmark::State& state) {
+    Rng rng(3);
+    const auto n = static_cast<std::size_t>(state.range(0));
+    std::vector<Point<2>> pts;
+    pts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        pts.push_back({{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)}});
+    }
+    for (auto _ : state) {
+        GridFile<2> gf(Rect<2>{{{0.0, 0.0}}, {{2000.0, 2000.0}}},
+                       {.bucket_capacity = 56});
+        gf.bulk_load(pts);
+        benchmark::DoNotOptimize(gf.bucket_count());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_GridFileInsert)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_GridFileRangeQuery(benchmark::State& state) {
+    Rng rng(4);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridFile<2> gf = ds.build();
+    Rng qrng(5);
+    auto queries = square_queries(ds.domain, 0.05, 512, qrng);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gf.query_buckets(queries[q]));
+        q = (q + 1) % queries.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridFileRangeQuery);
+
+void BM_Decluster(benchmark::State& state) {
+    const Method method = static_cast<Method>(state.range(0));
+    const auto disks = static_cast<std::uint32_t>(state.range(1));
+    Rng rng(6);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridStructure gs = ds.build().structure();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decluster(gs, method, disks, {.seed = 7}));
+    }
+    state.SetLabel(to_string(method) + " M=" + std::to_string(disks) + " N=" +
+                   std::to_string(gs.bucket_count()));
+}
+BENCHMARK(BM_Decluster)
+    ->Args({static_cast<int>(Method::kDiskModulo), 16})
+    ->Args({static_cast<int>(Method::kFieldwiseXor), 16})
+    ->Args({static_cast<int>(Method::kHilbert), 16})
+    ->Args({static_cast<int>(Method::kSsp), 16})
+    ->Args({static_cast<int>(Method::kMinimax), 16})
+    ->Args({static_cast<int>(Method::kMinimax), 32});
+
+void BM_MinimaxScalesQuadratically(benchmark::State& state) {
+    // O(N^2) scaling of Algorithm 2 in the number of buckets.
+    const auto points = static_cast<std::size_t>(state.range(0));
+    Rng rng(8);
+    auto ds = make_hotspot2d(rng, points);
+    GridStructure gs = ds.build().structure();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            decluster(gs, Method::kMinimax, 16, {.seed = 9}));
+    }
+    state.SetComplexityN(static_cast<std::int64_t>(gs.bucket_count()));
+}
+BENCHMARK(BM_MinimaxScalesQuadratically)
+    ->Arg(2500)
+    ->Arg(5000)
+    ->Arg(10000)
+    ->Arg(20000)
+    ->Arg(40000)
+    ->Complexity(benchmark::oNSquared);
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,55 @@
+// Table 1 — degree of data balance (B_max * M / B_sum) achieved by DM/D,
+// FX/D and HCAM/D on hot.2d, for even disk counts 4..32.
+//
+// Expected shape: values at or near 1.00 everywhere, HCAM best, then DM,
+// FX worst (paper: FX reaches 1.89 at M = 26).
+#include <iostream>
+
+#include "common.hpp"
+
+#include "pgf/disksim/metrics.hpp"
+
+namespace pgf::bench {
+namespace {
+
+int run(int argc, char** argv) {
+    Options opt(argc, argv);
+    print_banner(opt, "Table 1 — degree of data balance (hot.2d)",
+                 "B_max * M / B_sum per declustering method with the data "
+                 "balance heuristic; 1.00 = perfect");
+    Rng rng(opt.seed);
+    Workbench<2> bench(make_hotspot2d(rng));
+    std::cout << bench.summary() << "\n";
+
+    TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",
+                     "20", "22", "24", "26", "28", "30", "32"});
+    for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
+                          Method::kHilbert}) {
+        std::vector<std::string> row{to_string(method) + "/D"};
+        for (std::uint32_t m = 4; m <= 32; m += 2) {
+            DeclusterOptions dopt;
+            dopt.seed = opt.seed + 11;
+            Assignment a = decluster(bench.gs, method, m, dopt);
+            row.push_back(format_double(degree_of_data_balance(a)));
+        }
+        table.add_row(std::move(row));
+    }
+    // The paper's text also reports minimax achieving perfect balance; add
+    // it as a reference row.
+    {
+        std::vector<std::string> row{"MiniMax"};
+        for (std::uint32_t m = 4; m <= 32; m += 2) {
+            Assignment a = decluster(bench.gs, Method::kMinimax, m,
+                                     {.seed = opt.seed + 11});
+            row.push_back(format_double(degree_of_data_balance(a)));
+        }
+        table.add_row(std::move(row));
+    }
+    emit(opt, table, "table1_data_balance_hot2d");
+    return 0;
+}
+
+}  // namespace
+}  // namespace pgf::bench
+
+int main(int argc, char** argv) { return pgf::bench::run(argc, argv); }

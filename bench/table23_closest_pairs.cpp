@@ -1,0 +1,59 @@
+// Tables 2 & 3 — number of closest bucket pairs assigned to the same disk,
+// DSMC.3d (Table 2) and stock.3d (Table 3), M = 4..32.
+//
+// Expected shape: DM/D and FX/D consistently high; HCAM/D declining with M;
+// SSP second lowest, rarely zero; MiniMax rarely above zero (paper Table 2:
+// 10, 2, 1, 1, 3, 1, then zeros).
+#include <iostream>
+
+#include "common.hpp"
+
+#include "pgf/disksim/metrics.hpp"
+
+namespace pgf::bench {
+namespace {
+
+template <std::size_t D>
+void table_for(const Options& opt, const Workbench<D>& bench,
+               const std::string& label) {
+    std::cout << "\n" << bench.summary() << "\n";
+    TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",
+                     "20", "22", "24", "26", "28", "30", "32"});
+    for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
+                          Method::kHilbert, Method::kSsp, Method::kMinimax}) {
+        std::vector<std::string> row{
+            is_index_based(method) ? to_string(method) + "/D"
+                                   : to_string(method)};
+        for (std::uint32_t m = 4; m <= 32; m += 2) {
+            DeclusterOptions dopt;
+            dopt.seed = opt.seed + 17;
+            Assignment a = decluster(bench.gs, method, m, dopt);
+            row.push_back(
+                std::to_string(closest_pairs_same_disk(bench.gs, a)));
+        }
+        table.add_row(std::move(row));
+    }
+    emit(opt, table, label);
+}
+
+int run(int argc, char** argv) {
+    Options opt(argc, argv);
+    print_banner(opt, "Tables 2-3 — closest pairs mapped to the same disk",
+                 "count of nearest-neighbor bucket pairs sharing a disk; "
+                 "MiniMax should be at or near zero, DM/FX high");
+    Rng rng(opt.seed);
+    {
+        Workbench<3> bench(make_dsmc3d(rng));
+        table_for(opt, bench, "table2_closest_pairs_dsmc3d");
+    }
+    {
+        Workbench<3> bench(make_stock3d(rng));
+        table_for(opt, bench, "table3_closest_pairs_stock3d");
+    }
+    return 0;
+}
+
+}  // namespace
+}  // namespace pgf::bench
+
+int main(int argc, char** argv) { return pgf::bench::run(argc, argv); }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Rebuilds the repository, runs the full test suite, and regenerates every
+# paper table/figure (plus ablations and extensions) into results/.
+#
+#   scripts/reproduce.sh            # reduced SP-2 scale (laptop friendly)
+#   PGF_FULL_SCALE=1 scripts/reproduce.sh   # the paper's 59x~51k records
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+
+mkdir -p results
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  case "$name" in
+    lib*) continue ;;
+    micro_benchmarks) "$b" | tee "results/$name.txt" ;;
+    *) "$b" --csv-dir results | tee "results/$name.txt" ;;
+  esac
+done
+
+echo
+echo "Done. Text outputs and CSV series are in results/;"
+echo "EXPERIMENTS.md maps every file to its paper table or figure."

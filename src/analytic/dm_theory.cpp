@@ -1,0 +1,109 @@
+#include "pgf/analytic/dm_theory.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "pgf/analytic/optimal.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+DmPrediction dm_theorem1(std::uint32_t l, std::uint32_t num_disks) {
+    PGF_CHECK(l >= 1 && num_disks >= 1, "need l >= 1 and M >= 1");
+    const std::uint32_t m = num_disks;
+    DmPrediction p;
+    if (m > l) {
+        p.response = l;
+        // Optimal would be ceil(l^2/M) < l whenever M > l (and l > 1).
+        p.strictly_optimal = (p.response == optimal_square_response(l, m));
+        return p;
+    }
+    const std::uint64_t beta = l % m;
+    const std::uint64_t opt = optimal_square_response(l, m);
+    if (beta == 0 ||
+        static_cast<double>(beta) > m * (1.0 - 1.0 / static_cast<double>(beta))) {
+        p.response = opt;
+        p.strictly_optimal = true;
+        return p;
+    }
+    p.response = opt + beta - (beta * beta + m - 1) / m;  // ceil(beta^2/M)
+    p.strictly_optimal = (p.response == opt);
+    return p;
+}
+
+std::uint64_t dm_response_at(std::uint32_t x0, std::uint32_t y0,
+                             std::uint32_t l, std::uint32_t num_disks) {
+    PGF_CHECK(l >= 1 && num_disks >= 1, "need l >= 1 and M >= 1");
+    std::vector<std::uint64_t> per_disk(num_disks, 0);
+    for (std::uint32_t i = 0; i < l; ++i) {
+        for (std::uint32_t j = 0; j < l; ++j) {
+            ++per_disk[(static_cast<std::uint64_t>(x0) + i + y0 + j) %
+                       num_disks];
+        }
+    }
+    return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+std::uint64_t dm_response_exact(std::uint32_t l, std::uint32_t num_disks) {
+    return dm_response_at(0, 0, l, num_disks);
+}
+
+namespace {
+
+/// Walks every cell of the box described by `extents`, calling
+/// fn(coordinates). Shared by the partial-match enumerators.
+template <typename Fn>
+void for_each_box_cell(const std::vector<std::uint32_t>& extents, Fn&& fn) {
+    std::vector<std::uint32_t> cell(extents.size(), 0);
+    for (;;) {
+        fn(cell);
+        std::size_t axis = extents.size();
+        for (;;) {
+            if (axis == 0) return;
+            --axis;
+            if (++cell[axis] < extents[axis]) break;
+            cell[axis] = 0;
+        }
+    }
+}
+
+}  // namespace
+
+std::uint64_t dm_partial_match_exact(
+    const std::vector<std::uint32_t>& free_extents, std::uint32_t num_disks) {
+    PGF_CHECK(!free_extents.empty(),
+              "a partial match query needs at least one unspecified attribute");
+    PGF_CHECK(num_disks >= 1, "need at least one disk");
+    for (std::uint32_t e : free_extents) {
+        PGF_CHECK(e >= 1, "axis extents must be positive");
+    }
+    std::vector<std::uint64_t> per_disk(num_disks, 0);
+    for_each_box_cell(free_extents, [&](const std::vector<std::uint32_t>& c) {
+        std::uint64_t sum = 0;
+        for (std::uint32_t v : c) sum += v;
+        ++per_disk[sum % num_disks];
+    });
+    return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+std::uint64_t fx_partial_match_at(std::uint32_t pinned_xor,
+                                  const std::vector<std::uint32_t>& free_anchor,
+                                  const std::vector<std::uint32_t>& free_extents,
+                                  std::uint32_t num_disks) {
+    PGF_CHECK(free_anchor.size() == free_extents.size(),
+              "anchor/extents dimensionality mismatch");
+    PGF_CHECK(!free_extents.empty(),
+              "a partial match query needs at least one unspecified attribute");
+    PGF_CHECK(num_disks >= 1, "need at least one disk");
+    std::vector<std::uint64_t> per_disk(num_disks, 0);
+    for_each_box_cell(free_extents, [&](const std::vector<std::uint32_t>& c) {
+        std::uint32_t x = pinned_xor;
+        for (std::size_t i = 0; i < c.size(); ++i) {
+            x ^= free_anchor[i] + c[i];
+        }
+        ++per_disk[x % num_disks];
+    });
+    return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+}  // namespace pgf

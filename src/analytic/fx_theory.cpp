@@ -1,0 +1,60 @@
+#include "pgf/analytic/fx_theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+FxBounds fx_theorem2(unsigned m, unsigned n) {
+    PGF_CHECK(m < 32 && n < 32, "fx_theorem2: exponents out of range");
+    FxBounds b;
+    if (n <= m) {
+        double value = std::ldexp(1.0, static_cast<int>(2 * m) -
+                                           static_cast<int>(n));  // 4^m / 2^n
+        b.lower = b.upper = value;
+        b.exact = true;
+        return b;
+    }
+    b.lower = std::ldexp(1.0, 2 * static_cast<int>(m) - static_cast<int>(n));
+    b.upper = std::ldexp(1.0, static_cast<int>(m));
+    b.exact = false;
+    return b;
+}
+
+std::uint64_t fx_response_at(std::uint32_t x0, std::uint32_t y0,
+                             std::uint32_t l, std::uint32_t num_disks) {
+    PGF_CHECK(l >= 1 && num_disks >= 1, "need l >= 1 and M >= 1");
+    std::vector<std::uint64_t> per_disk(num_disks, 0);
+    for (std::uint32_t i = 0; i < l; ++i) {
+        for (std::uint32_t j = 0; j < l; ++j) {
+            ++per_disk[((x0 + i) ^ (y0 + j)) % num_disks];
+        }
+    }
+    return *std::max_element(per_disk.begin(), per_disk.end());
+}
+
+FxMeasurement fx_response_measure(std::uint32_t l, std::uint32_t num_disks,
+                                  std::uint32_t grid) {
+    PGF_CHECK(grid >= l, "grid must be at least the query side");
+    FxMeasurement m;
+    m.best = ~std::uint64_t{0};
+    double sum = 0.0;
+    std::uint64_t count = 0;
+    for (std::uint32_t x0 = 0; x0 + l <= grid; ++x0) {
+        for (std::uint32_t y0 = 0; y0 + l <= grid; ++y0) {
+            std::uint64_t r = fx_response_at(x0, y0, l, num_disks);
+            sum += static_cast<double>(r);
+            ++count;
+            m.worst = std::max(m.worst, r);
+            m.best = std::min(m.best, r);
+        }
+    }
+    PGF_CHECK(count > 0, "no anchor positions");
+    m.expected = sum / static_cast<double>(count);
+    return m;
+}
+
+}  // namespace pgf

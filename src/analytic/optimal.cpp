@@ -1,0 +1,18 @@
+#include "pgf/analytic/optimal.hpp"
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+std::uint64_t optimal_square_response(std::uint32_t l, std::uint32_t num_disks) {
+    PGF_CHECK(l >= 1 && num_disks >= 1, "need l >= 1 and M >= 1");
+    std::uint64_t cells = static_cast<std::uint64_t>(l) * l;
+    return (cells + num_disks - 1) / num_disks;
+}
+
+double optimal_square_response_real(std::uint32_t l, std::uint32_t num_disks) {
+    PGF_CHECK(l >= 1 && num_disks >= 1, "need l >= 1 and M >= 1");
+    return static_cast<double>(static_cast<std::uint64_t>(l) * l) / num_disks;
+}
+
+}  // namespace pgf

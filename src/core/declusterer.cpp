@@ -1,0 +1,23 @@
+#include "pgf/core/declusterer.hpp"
+
+#include "pgf/disksim/metrics.hpp"
+
+namespace pgf {
+
+Declusterer::Declusterer(GridStructure structure)
+    : structure_(std::move(structure)) {
+    structure_.validate();
+}
+
+DeclusterReport Declusterer::run(Method method, std::uint32_t num_disks,
+                                 const DeclusterOptions& options) const {
+    DeclusterReport report;
+    report.assignment = decluster(structure_, method, num_disks, options);
+    report.data_balance = degree_of_data_balance(report.assignment);
+    report.area_balance = degree_of_area_balance(structure_, report.assignment);
+    report.closest_pairs =
+        closest_pairs_same_disk(structure_, report.assignment, options.weight);
+    return report;
+}
+
+}  // namespace pgf

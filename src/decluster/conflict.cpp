@@ -1,0 +1,118 @@
+#include "pgf/decluster/conflict.hpp"
+
+#include <algorithm>
+
+namespace pgf {
+
+namespace {
+
+/// Picks the candidate index minimizing `load[disk]`; ties go to the
+/// lower-numbered disk (deterministic, like Algorithm 1's "such that B is
+/// minimum").
+std::size_t argmin_load(const CandidateSet& cs, const std::vector<double>& load) {
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < cs.disks.size(); ++k) {
+        if (load[cs.disks[k]] < load[cs.disks[best]]) best = k;
+    }
+    return best;
+}
+
+Assignment resolve_balanced(const GridStructure& gs,
+                            const std::vector<CandidateSet>& candidates,
+                            std::uint32_t num_disks, bool by_area) {
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(candidates.size(), 0);
+    std::vector<double> load(num_disks, 0.0);
+
+    auto weight = [&](std::size_t bucket) {
+        return by_area ? gs.buckets[bucket].volume() : 1.0;
+    };
+
+    // Step 2 (Algorithm 1): unambiguous buckets first.
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+        if (candidates[b].disks.size() == 1) {
+            a.disk_of[b] = candidates[b].disks[0];
+            load[candidates[b].disks[0]] += weight(b);
+        }
+    }
+    // Step 3: conflicting buckets to their least-loaded candidate.
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+        if (candidates[b].disks.size() > 1) {
+            std::size_t k = argmin_load(candidates[b], load);
+            a.disk_of[b] = candidates[b].disks[k];
+            load[candidates[b].disks[k]] += weight(b);
+        }
+    }
+    return a;
+}
+
+Assignment resolve_random(const std::vector<CandidateSet>& candidates,
+                          std::uint32_t num_disks, Rng& rng) {
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(candidates.size(), 0);
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+        const auto& cs = candidates[b];
+        a.disk_of[b] = cs.disks[rng.below(
+            static_cast<std::uint32_t>(cs.disks.size()))];
+    }
+    return a;
+}
+
+Assignment resolve_most_frequent(const std::vector<CandidateSet>& candidates,
+                                 std::uint32_t num_disks, Rng& rng) {
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(candidates.size(), 0);
+    for (std::size_t b = 0; b < candidates.size(); ++b) {
+        const auto& cs = candidates[b];
+        std::uint32_t best_count = *std::max_element(cs.counts.begin(),
+                                                     cs.counts.end());
+        // Collect the disks achieving the maximum multiplicity, then break
+        // remaining ties randomly (paper: "if this fails to break ties, it
+        // uses random selection").
+        std::vector<std::uint32_t> tied;
+        for (std::size_t k = 0; k < cs.disks.size(); ++k) {
+            if (cs.counts[k] == best_count) tied.push_back(cs.disks[k]);
+        }
+        a.disk_of[b] =
+            tied[rng.below(static_cast<std::uint32_t>(tied.size()))];
+    }
+    return a;
+}
+
+}  // namespace
+
+Assignment resolve_conflicts(const GridStructure& gs,
+                             const std::vector<CandidateSet>& candidates,
+                             std::uint32_t num_disks, ConflictHeuristic h,
+                             Rng& rng) {
+    PGF_CHECK(candidates.size() == gs.bucket_count(),
+              "one candidate set per bucket required");
+    PGF_CHECK(num_disks >= 1, "need at least one disk");
+    for (const auto& cs : candidates) {
+        PGF_CHECK(!cs.disks.empty(), "empty candidate set");
+    }
+    switch (h) {
+        case ConflictHeuristic::kRandom:
+            return resolve_random(candidates, num_disks, rng);
+        case ConflictHeuristic::kMostFrequent:
+            return resolve_most_frequent(candidates, num_disks, rng);
+        case ConflictHeuristic::kDataBalance:
+            return resolve_balanced(gs, candidates, num_disks, /*by_area=*/false);
+        case ConflictHeuristic::kAreaBalance:
+            return resolve_balanced(gs, candidates, num_disks, /*by_area=*/true);
+    }
+    PGF_CHECK(false, "unknown conflict heuristic");
+    return {};
+}
+
+Assignment decluster_index_based(const GridStructure& gs, Method method,
+                                 std::uint32_t num_disks, ConflictHeuristic h,
+                                 Rng& rng) {
+    return resolve_conflicts(gs, index_candidates(gs, method, num_disks),
+                             num_disks, h, rng);
+}
+
+}  // namespace pgf

@@ -1,0 +1,148 @@
+#include "pgf/decluster/index_based.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pgf/sfc/curve.hpp"
+
+namespace pgf {
+
+namespace {
+
+sfc::CurveKind curve_for(Method method) {
+    switch (method) {
+        case Method::kHilbert: return sfc::CurveKind::kHilbert;
+        case Method::kMorton: return sfc::CurveKind::kMorton;
+        case Method::kGrayCode: return sfc::CurveKind::kGray;
+        case Method::kScan: return sfc::CurveKind::kScan;
+        default: break;
+    }
+    PGF_CHECK(false, "not a curve-based method");
+    return sfc::CurveKind::kHilbert;
+}
+
+/// Invokes fn(cell, flat_index) for every cell of the grid in row-major
+/// order (last axis fastest), so flat_index increments by one per call.
+template <typename Fn>
+void for_each_grid_cell(const std::vector<std::uint32_t>& shape, Fn&& fn) {
+    std::uint64_t total = 1;
+    for (std::uint32_t s : shape) total *= s;
+    std::vector<std::uint32_t> cell(shape.size(), 0);
+    for (std::uint64_t flat = 0; flat < total; ++flat) {
+        fn(cell, flat);
+        for (std::size_t i = shape.size(); i-- > 0;) {
+            if (++cell[i] < shape[i]) break;
+            cell[i] = 0;
+        }
+    }
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> cell_disks(const GridStructure& gs, Method method,
+                                      std::uint32_t num_disks) {
+    PGF_CHECK(is_index_based(method), "cell_disks requires an index-based method");
+    PGF_CHECK(num_disks >= 1, "need at least one disk");
+    const std::uint64_t total = gs.cell_count();
+    std::vector<std::uint32_t> disk(total);
+
+    switch (method) {
+        case Method::kDiskModulo:
+            for_each_grid_cell(gs.shape, [&](const std::vector<std::uint32_t>& cell,
+                                             std::uint64_t flat) {
+                std::uint64_t sum = std::accumulate(cell.begin(), cell.end(),
+                                                    std::uint64_t{0});
+                disk[flat] = static_cast<std::uint32_t>(sum % num_disks);
+            });
+            break;
+        case Method::kFieldwiseXor:
+            for_each_grid_cell(gs.shape, [&](const std::vector<std::uint32_t>& cell,
+                                             std::uint64_t flat) {
+                std::uint32_t x = 0;
+                for (std::uint32_t c : cell) x ^= c;
+                disk[flat] = x % num_disks;
+            });
+            break;
+        default: {
+            // Curve methods: linearize every cell, then use the *dense*
+            // rank along the curve so disks cycle in strict round-robin
+            // even when the enclosing power-of-two cube has gaps.
+            const sfc::CurveKind kind = curve_for(method);
+            std::vector<std::uint64_t> key(total);
+            for_each_grid_cell(gs.shape, [&](const std::vector<std::uint32_t>& cell,
+                                             std::uint64_t flat) {
+                key[flat] = sfc::linearize(kind, cell, gs.shape);
+            });
+            std::vector<std::uint64_t> order(total);
+            std::iota(order.begin(), order.end(), std::uint64_t{0});
+            std::sort(order.begin(), order.end(),
+                      [&](std::uint64_t a, std::uint64_t b) {
+                          return key[a] < key[b];
+                      });
+            for (std::uint64_t rank = 0; rank < total; ++rank) {
+                disk[order[rank]] =
+                    static_cast<std::uint32_t>(rank % num_disks);
+            }
+            break;
+        }
+    }
+    return disk;
+}
+
+std::vector<CandidateSet> bucket_candidates(
+    const GridStructure& gs, const std::vector<std::uint32_t>& cell_disk) {
+    PGF_CHECK(cell_disk.size() == gs.cell_count(),
+              "cell_disk size must match the grid");
+    const std::size_t d = gs.dims();
+    std::vector<CandidateSet> result;
+    result.reserve(gs.bucket_count());
+
+    std::vector<std::uint32_t> cell(d);
+    for (const BucketInfo& b : gs.buckets) {
+        // Walk the bucket's cell box with an odometer; accumulate disk
+        // multiplicities in a small sorted vector (candidate sets are tiny).
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> tally;
+        cell.assign(b.cell_lo.begin(), b.cell_lo.end());
+        for (;;) {
+            std::uint64_t flat = 0;
+            for (std::size_t i = 0; i < d; ++i)
+                flat = flat * gs.shape[i] + cell[i];
+            std::uint32_t disk = cell_disk[flat];
+            auto it = std::lower_bound(
+                tally.begin(), tally.end(), disk,
+                [](const auto& p, std::uint32_t v) { return p.first < v; });
+            if (it != tally.end() && it->first == disk) {
+                ++it->second;
+            } else {
+                tally.insert(it, {disk, 1});
+            }
+            std::size_t axis = d;
+            bool done = true;
+            while (axis-- > 0) {
+                if (++cell[axis] < b.cell_hi[axis]) {
+                    done = false;
+                    break;
+                }
+                cell[axis] = b.cell_lo[axis];
+            }
+            if (done) break;
+        }
+        CandidateSet cs;
+        cs.disks.reserve(tally.size());
+        cs.counts.reserve(tally.size());
+        for (const auto& [disk, count] : tally) {
+            cs.disks.push_back(disk);
+            cs.counts.push_back(count);
+        }
+        result.push_back(std::move(cs));
+    }
+    return result;
+}
+
+std::vector<CandidateSet> index_candidates(const GridStructure& gs,
+                                           Method method,
+                                           std::uint32_t num_disks) {
+    return bucket_candidates(gs, cell_disks(gs, method, num_disks));
+}
+
+}  // namespace pgf

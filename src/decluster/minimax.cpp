@@ -1,0 +1,16 @@
+#include "pgf/decluster/minimax.hpp"
+
+namespace pgf {
+
+Assignment minimax_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                             const MinimaxOptions& options) {
+    BucketWeights weights(gs, options.weight);
+    Rng rng(options.seed);
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of = minimax_partition(gs.bucket_count(), num_disks, weights, rng,
+                                  options.seeding, options.pool);
+    return a;
+}
+
+}  // namespace pgf

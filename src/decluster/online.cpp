@@ -1,0 +1,111 @@
+#include "pgf/decluster/online.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+OnlineMinimax::OnlineMinimax(std::vector<double> domain_lo,
+                             std::vector<double> domain_hi,
+                             std::uint32_t num_disks, WeightKind weight)
+    : dims_(domain_lo.size()),
+      num_disks_(num_disks),
+      weight_(weight),
+      regions_(num_disks),
+      load_(num_disks, 0) {
+    PGF_CHECK(num_disks_ >= 1, "need at least one disk");
+    PGF_CHECK(dims_ >= 1 && domain_hi.size() == dims_,
+              "domain dimensionality mismatch");
+    inv_domain_.resize(dims_);
+    for (std::size_t i = 0; i < dims_; ++i) {
+        PGF_CHECK(domain_hi[i] > domain_lo[i], "empty domain axis");
+        inv_domain_[i] = 1.0 / (domain_hi[i] - domain_lo[i]);
+    }
+}
+
+OnlineMinimax::OnlineMinimax(const GridStructure& gs,
+                             const Assignment& assignment, WeightKind weight)
+    : OnlineMinimax(gs.domain_lo, gs.domain_hi, assignment.num_disks, weight) {
+    PGF_CHECK(assignment.disk_of.size() == gs.bucket_count(),
+              "assignment does not match the grid structure");
+    for (std::size_t b = 0; b < gs.bucket_count(); ++b) {
+        std::uint32_t d = assignment.disk_of[b];
+        PGF_CHECK(d < num_disks_, "assignment references unknown disk");
+        auto& store = regions_[d];
+        store.insert(store.end(), gs.buckets[b].region_lo.begin(),
+                     gs.buckets[b].region_lo.end());
+        store.insert(store.end(), gs.buckets[b].region_hi.begin(),
+                     gs.buckets[b].region_hi.end());
+        ++load_[d];
+        ++placed_;
+    }
+}
+
+double OnlineMinimax::weight_to(std::uint32_t disk, const double* lo,
+                                const double* hi) const {
+    // Maximum weight between the candidate region and any member of `disk`
+    // (0 for an empty disk): the MAX_x(K) quantity of Algorithm 2.
+    double max_w = 0.0;
+    const auto& store = regions_[disk];
+    for (std::size_t k = 0; k < load_[disk]; ++k) {
+        const double* mlo = &store[k * 2 * dims_];
+        const double* mhi = mlo + dims_;
+        double w;
+        if (weight_ == WeightKind::kProximityIndex) {
+            w = 1.0;
+            for (std::size_t i = 0; i < dims_; ++i) {
+                double overlap = (hi[i] < mhi[i] ? hi[i] : mhi[i]) -
+                                 (lo[i] > mlo[i] ? lo[i] : mlo[i]);
+                if (overlap > 0.0) {
+                    w *= (1.0 + 2.0 * overlap * inv_domain_[i]) / 3.0;
+                } else {
+                    double gap = -overlap * inv_domain_[i];
+                    double one_minus = gap < 1.0 ? 1.0 - gap : 0.0;
+                    w *= one_minus * one_minus / 3.0;
+                }
+            }
+        } else {
+            double d2 = 0.0;
+            for (std::size_t i = 0; i < dims_; ++i) {
+                double d = 0.5 * ((lo[i] + hi[i]) - (mlo[i] + mhi[i])) *
+                           inv_domain_[i];
+                d2 += d * d;
+            }
+            w = 1.0 / (1.0 + std::sqrt(d2));
+        }
+        if (w > max_w) max_w = w;
+    }
+    return max_w;
+}
+
+std::uint32_t OnlineMinimax::place(const std::vector<double>& region_lo,
+                                   const std::vector<double>& region_hi) {
+    PGF_CHECK(region_lo.size() == dims_ && region_hi.size() == dims_,
+              "bucket dimensionality mismatch");
+    // Balance cap after this placement: no disk may exceed ceil((N+1)/M).
+    const std::size_t cap = (placed_ + num_disks_) / num_disks_;
+    std::uint32_t best = num_disks_;
+    double best_w = std::numeric_limits<double>::infinity();
+    for (std::uint32_t d = 0; d < num_disks_; ++d) {
+        if (load_[d] + 1 > cap) continue;
+        double w = weight_to(d, region_lo.data(), region_hi.data());
+        // Tie-break toward the less loaded disk, then the lower index —
+        // keeps placement deterministic.
+        if (w < best_w ||
+            (w == best_w && best < num_disks_ && load_[d] < load_[best])) {
+            best_w = w;
+            best = d;
+        }
+    }
+    PGF_CHECK(best < num_disks_, "no admissible disk (cap logic broken)");
+    auto& store = regions_[best];
+    store.insert(store.end(), region_lo.begin(), region_lo.end());
+    store.insert(store.end(), region_hi.begin(), region_hi.end());
+    ++load_[best];
+    ++placed_;
+    return best;
+}
+
+}  // namespace pgf

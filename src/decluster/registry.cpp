@@ -1,0 +1,118 @@
+#include "pgf/decluster/registry.hpp"
+
+#include "pgf/decluster/conflict.hpp"
+#include "pgf/decluster/minimax.hpp"
+#include "pgf/decluster/similarity.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+std::string to_string(Method m) {
+    switch (m) {
+        case Method::kDiskModulo: return "DM";
+        case Method::kFieldwiseXor: return "FX";
+        case Method::kHilbert: return "HCAM";
+        case Method::kMorton: return "Z-order";
+        case Method::kGrayCode: return "Gray";
+        case Method::kScan: return "Scan";
+        case Method::kMst: return "MST";
+        case Method::kSsp: return "SSP";
+        case Method::kSimilarityGraph: return "SimGraph";
+        case Method::kMinimax: return "MiniMax";
+    }
+    return "unknown";
+}
+
+bool is_index_based(Method m) {
+    switch (m) {
+        case Method::kDiskModulo:
+        case Method::kFieldwiseXor:
+        case Method::kHilbert:
+        case Method::kMorton:
+        case Method::kGrayCode:
+        case Method::kScan:
+            return true;
+        case Method::kMst:
+        case Method::kSsp:
+        case Method::kSimilarityGraph:
+        case Method::kMinimax:
+            return false;
+    }
+    return false;
+}
+
+std::string to_string(ConflictHeuristic h) {
+    switch (h) {
+        case ConflictHeuristic::kRandom: return "random";
+        case ConflictHeuristic::kMostFrequent: return "most-frequent";
+        case ConflictHeuristic::kDataBalance: return "data-balance";
+        case ConflictHeuristic::kAreaBalance: return "area-balance";
+    }
+    return "unknown";
+}
+
+std::string to_string(WeightKind w) {
+    switch (w) {
+        case WeightKind::kProximityIndex: return "proximity-index";
+        case WeightKind::kCenterSimilarity: return "center-similarity";
+    }
+    return "unknown";
+}
+
+Assignment decluster(const GridStructure& gs, Method method,
+                     std::uint32_t num_disks, const DeclusterOptions& options) {
+    if (is_index_based(method)) {
+        Rng rng(options.seed);
+        return decluster_index_based(gs, method, num_disks, options.heuristic,
+                                     rng);
+    }
+    switch (method) {
+        case Method::kMinimax: {
+            MinimaxOptions mo;
+            mo.seed = options.seed;
+            mo.weight = options.weight;
+            return minimax_decluster(gs, num_disks, mo);
+        }
+        case Method::kSsp: {
+            SimilarityOptions so{options.seed, options.weight};
+            return ssp_decluster(gs, num_disks, so);
+        }
+        case Method::kMst: {
+            SimilarityOptions so{options.seed, options.weight};
+            return mst_decluster(gs, num_disks, so);
+        }
+        case Method::kSimilarityGraph: {
+            SimilarityOptions so{options.seed, options.weight};
+            return similarity_graph_decluster(gs, num_disks, so);
+        }
+        default:
+            PGF_CHECK(false, "unhandled method");
+    }
+    return {};
+}
+
+std::optional<Method> parse_method(const std::string& name) {
+    if (name == "dm") return Method::kDiskModulo;
+    if (name == "fx") return Method::kFieldwiseXor;
+    if (name == "hcam" || name == "hilbert") return Method::kHilbert;
+    if (name == "morton" || name == "zorder") return Method::kMorton;
+    if (name == "gray") return Method::kGrayCode;
+    if (name == "scan") return Method::kScan;
+    if (name == "mst") return Method::kMst;
+    if (name == "ssp") return Method::kSsp;
+    if (name == "simgraph" || name == "ls") return Method::kSimilarityGraph;
+    if (name == "minimax") return Method::kMinimax;
+    return std::nullopt;
+}
+
+const std::vector<Method>& all_methods() {
+    static const std::vector<Method> methods = {
+        Method::kDiskModulo, Method::kFieldwiseXor, Method::kHilbert,
+        Method::kMorton,     Method::kGrayCode,     Method::kScan,
+        Method::kMst,        Method::kSsp,          Method::kSimilarityGraph,
+        Method::kMinimax,
+    };
+    return methods;
+}
+
+}  // namespace pgf

@@ -1,0 +1,93 @@
+#include "pgf/decluster/similarity.hpp"
+
+#include "pgf/decluster/weights.hpp"
+#include "pgf/graph/kernighan_lin.hpp"
+#include "pgf/graph/prim.hpp"
+#include "pgf/graph/spanning_path.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+Assignment ssp_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                         const SimilarityOptions& options) {
+    PGF_CHECK(num_disks >= 1, "ssp requires at least one disk");
+    const std::size_t n = gs.bucket_count();
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(n, 0);
+    if (n == 0) return a;
+
+    BucketWeights sim(gs, options.weight);
+    Rng rng(options.seed);
+    std::size_t start = rng.below(static_cast<std::uint32_t>(n));
+    std::vector<std::size_t> path = greedy_spanning_path(n, start, sim);
+    for (std::size_t pos = 0; pos < path.size(); ++pos) {
+        a.disk_of[path[pos]] = static_cast<std::uint32_t>(pos % num_disks);
+    }
+    return a;
+}
+
+Assignment mst_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                         const SimilarityOptions& options) {
+    PGF_CHECK(num_disks >= 1, "mst requires at least one disk");
+    const std::size_t n = gs.bucket_count();
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(n, 0);
+    if (n == 0 || num_disks == 1) return a;
+
+    BucketWeights sim(gs, options.weight);
+    Rng rng(options.seed);
+    std::size_t root = rng.below(static_cast<std::uint32_t>(n));
+    // Maximum-similarity spanning tree: Prim on negated weights, so every
+    // vertex hangs off its most co-access-prone already-connected neighbor.
+    auto parent = prim_mst(n, root,
+                           [&](std::size_t i, std::size_t j) {
+                               return -sim(i, j);
+                           });
+    // Preorder coloring: cycle a disk counter, skipping the parent's color
+    // so the most similar pair is always separated.
+    std::vector<std::size_t> order = preorder(parent);
+    std::uint32_t cursor = 0;
+    for (std::size_t v : order) {
+        if (v == root) {
+            a.disk_of[v] = cursor;
+            cursor = (cursor + 1) % num_disks;
+            continue;
+        }
+        std::uint32_t forbidden = a.disk_of[parent[v]];
+        if (cursor == forbidden) cursor = (cursor + 1) % num_disks;
+        a.disk_of[v] = cursor;
+        cursor = (cursor + 1) % num_disks;
+    }
+    return a;
+}
+
+Assignment similarity_graph_decluster(const GridStructure& gs,
+                                      std::uint32_t num_disks,
+                                      const SimilarityOptions& options,
+                                      std::size_t max_passes) {
+    PGF_CHECK(num_disks >= 1, "similarity graph requires at least one disk");
+    const std::size_t n = gs.bucket_count();
+    Assignment a;
+    a.num_disks = num_disks;
+    a.disk_of.assign(n, 0);
+    if (n == 0 || num_disks == 1) return a;
+
+    // Balanced random initial partition: shuffle, deal round-robin.
+    Rng rng(options.seed);
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    rng.shuffle(order);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+        a.disk_of[order[pos]] = static_cast<std::uint32_t>(pos % num_disks);
+    }
+
+    BucketWeights sim(gs, options.weight);
+    kl_refine(a.disk_of, num_disks,
+              [&](std::size_t i, std::size_t j) { return sim(i, j); },
+              max_passes);
+    return a;
+}
+
+}  // namespace pgf

@@ -1,0 +1,84 @@
+#include "pgf/disksim/metrics.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+std::uint32_t response_time(const std::vector<std::uint32_t>& query_buckets,
+                            const Assignment& a) {
+    std::vector<std::uint32_t> per_disk(a.num_disks, 0);
+    for (std::uint32_t b : query_buckets) {
+        PGF_CHECK(b < a.disk_of.size(), "query references unknown bucket");
+        ++per_disk[a.disk_of[b]];
+    }
+    std::uint32_t worst = 0;
+    for (std::uint32_t n : per_disk) worst = std::max(worst, n);
+    return worst;
+}
+
+double optimal_response(double avg_buckets_per_query, std::uint32_t num_disks) {
+    PGF_CHECK(num_disks >= 1, "need at least one disk");
+    return avg_buckets_per_query / num_disks;
+}
+
+double degree_of_data_balance(const Assignment& a) {
+    PGF_CHECK(!a.disk_of.empty(), "balance of an empty assignment");
+    std::vector<std::size_t> load = a.load();
+    std::size_t b_max = *std::max_element(load.begin(), load.end());
+    return static_cast<double>(b_max) * a.num_disks /
+           static_cast<double>(a.disk_of.size());
+}
+
+double degree_of_area_balance(const GridStructure& gs, const Assignment& a) {
+    PGF_CHECK(gs.bucket_count() == a.disk_of.size(),
+              "assignment does not match the grid structure");
+    std::vector<double> volume(a.num_disks, 0.0);
+    double total = 0.0;
+    for (std::size_t b = 0; b < gs.bucket_count(); ++b) {
+        double v = gs.buckets[b].volume();
+        volume[a.disk_of[b]] += v;
+        total += v;
+    }
+    double v_max = *std::max_element(volume.begin(), volume.end());
+    return v_max * a.num_disks / total;
+}
+
+std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights) {
+    const std::size_t n = weights.size();
+    std::vector<std::size_t> nn(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        double best = -1.0;
+        std::size_t best_j = i;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            double w = weights(i, j);
+            if (w > best) {
+                best = w;
+                best_j = j;
+            }
+        }
+        nn[i] = best_j;
+    }
+    return nn;
+}
+
+std::size_t closest_pairs_same_disk(const GridStructure& gs,
+                                    const Assignment& a, WeightKind weight) {
+    PGF_CHECK(gs.bucket_count() == a.disk_of.size(),
+              "assignment does not match the grid structure");
+    if (gs.bucket_count() < 2) return 0;
+    BucketWeights weights(gs, weight);
+    std::vector<std::size_t> nn = nearest_neighbors(weights);
+    std::set<std::pair<std::size_t, std::size_t>> pairs;
+    for (std::size_t b = 0; b < nn.size(); ++b) {
+        if (a.disk_of[b] == a.disk_of[nn[b]]) {
+            pairs.insert({std::min(b, nn[b]), std::max(b, nn[b])});
+        }
+    }
+    return pairs.size();
+}
+
+}  // namespace pgf

@@ -1,0 +1,26 @@
+#include "pgf/disksim/simulator.hpp"
+
+namespace pgf {
+
+WorkloadStats evaluate_workload(
+    const std::vector<std::vector<std::uint32_t>>& query_buckets,
+    const Assignment& a) {
+    WorkloadStats stats;
+    stats.queries = query_buckets.size();
+    OnlineStats response;
+    OnlineStats touched;
+    for (const auto& buckets : query_buckets) {
+        response.add(response_time(buckets, a));
+        touched.add(static_cast<double>(buckets.size()));
+    }
+    if (stats.queries > 0) {
+        stats.avg_response = response.mean();
+        stats.max_response = response.max();
+        stats.avg_buckets = touched.mean();
+        stats.optimal = optimal_response(touched.mean(), a.num_disks);
+    }
+    stats.data_balance = degree_of_data_balance(a);
+    return stats;
+}
+
+}  // namespace pgf

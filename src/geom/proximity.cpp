@@ -1,0 +1,24 @@
+#include "pgf/geom/proximity.hpp"
+
+#include <algorithm>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+double interval_proximity(double r_lo, double r_hi, double s_lo, double s_hi,
+                          double domain_len) {
+    PGF_CHECK(domain_len > 0.0, "proximity requires a positive domain extent");
+    PGF_CHECK(r_hi >= r_lo && s_hi >= s_lo, "intervals must be non-degenerate");
+    double overlap = std::min(r_hi, s_hi) - std::max(r_lo, s_lo);
+    if (overlap > 0.0) {
+        double delta = overlap / domain_len;
+        return (1.0 + 2.0 * delta) / 3.0;
+    }
+    double gap = std::max(r_lo, s_lo) - std::min(r_hi, s_hi);
+    double big_delta = std::min(gap / domain_len, 1.0);
+    double one_minus = 1.0 - big_delta;
+    return one_minus * one_minus / 3.0;
+}
+
+}  // namespace pgf

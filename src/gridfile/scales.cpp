@@ -1,0 +1,44 @@
+#include "pgf/gridfile/scales.hpp"
+
+#include <algorithm>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+LinearScale::LinearScale(double lo, double hi) : lo_(lo), hi_(hi) {
+    PGF_CHECK(hi > lo, "LinearScale requires hi > lo");
+}
+
+std::uint32_t LinearScale::locate(double x) const {
+    // upper_bound: the first split strictly greater than x; the number of
+    // splits <= x is the interval index.
+    auto it = std::upper_bound(splits_.begin(), splits_.end(), x);
+    auto idx = static_cast<std::uint32_t>(it - splits_.begin());
+    // Clamp out-of-domain values into the boundary intervals.
+    if (x < lo_) return 0;
+    if (x >= hi_) return intervals() - 1;
+    return idx;
+}
+
+double LinearScale::interval_lo(std::uint32_t i) const {
+    PGF_CHECK(i < intervals(), "interval index out of range");
+    return i == 0 ? lo_ : splits_[i - 1];
+}
+
+double LinearScale::interval_hi(std::uint32_t i) const {
+    PGF_CHECK(i < intervals(), "interval index out of range");
+    return i == splits_.size() ? hi_ : splits_[i];
+}
+
+bool LinearScale::insert_split(double x, std::uint32_t* split_interval) {
+    PGF_CHECK(x > lo_ && x < hi_, "split must lie strictly inside the domain");
+    auto it = std::lower_bound(splits_.begin(), splits_.end(), x);
+    if (it != splits_.end() && *it == x) return false;  // duplicate boundary
+    auto idx = static_cast<std::uint32_t>(it - splits_.begin());
+    splits_.insert(it, x);
+    if (split_interval != nullptr) *split_interval = idx;
+    return true;
+}
+
+}  // namespace pgf

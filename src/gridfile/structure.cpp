@@ -1,0 +1,72 @@
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+void GridStructure::validate() const {
+    const std::size_t d = dims();
+    PGF_CHECK(d >= 1, "GridStructure must have at least one dimension");
+    PGF_CHECK(domain_lo.size() == d && domain_hi.size() == d,
+              "GridStructure domain dimensionality mismatch");
+    for (std::size_t i = 0; i < d; ++i) {
+        PGF_CHECK(domain_hi[i] > domain_lo[i], "GridStructure empty domain");
+        PGF_CHECK(shape[i] >= 1, "GridStructure empty axis");
+    }
+    // Every cell must be covered by exactly one bucket.
+    std::uint64_t covered = 0;
+    for (const auto& b : buckets) {
+        PGF_CHECK(b.cell_lo.size() == d && b.cell_hi.size() == d &&
+                      b.region_lo.size() == d && b.region_hi.size() == d,
+                  "BucketInfo dimensionality mismatch");
+        for (std::size_t i = 0; i < d; ++i) {
+            PGF_CHECK(b.cell_lo[i] < b.cell_hi[i] && b.cell_hi[i] <= shape[i],
+                      "BucketInfo cell box out of grid");
+            PGF_CHECK(b.region_lo[i] < b.region_hi[i],
+                      "BucketInfo empty region");
+        }
+        covered += b.cell_count();
+    }
+    PGF_CHECK(covered == cell_count(),
+              "buckets must cover every grid cell exactly once");
+}
+
+GridStructure make_cartesian_structure(std::vector<std::uint32_t> shape,
+                                       std::vector<double> domain_lo,
+                                       std::vector<double> domain_hi,
+                                       std::size_t records_per_cell) {
+    const std::size_t d = shape.size();
+    PGF_CHECK(d >= 1, "make_cartesian_structure: need at least one axis");
+    PGF_CHECK(domain_lo.size() == d && domain_hi.size() == d,
+              "make_cartesian_structure: domain dimensionality mismatch");
+    GridStructure gs;
+    gs.shape = std::move(shape);
+    gs.domain_lo = std::move(domain_lo);
+    gs.domain_hi = std::move(domain_hi);
+
+    std::uint64_t total = gs.cell_count();
+    gs.buckets.reserve(total);
+    std::vector<std::uint32_t> cell(d, 0);
+    for (std::uint64_t n = 0; n < total; ++n) {
+        BucketInfo b;
+        b.cell_lo.resize(d);
+        b.cell_hi.resize(d);
+        b.region_lo.resize(d);
+        b.region_hi.resize(d);
+        for (std::size_t i = 0; i < d; ++i) {
+            b.cell_lo[i] = cell[i];
+            b.cell_hi[i] = cell[i] + 1;
+            double w = gs.domain_extent(i) / gs.shape[i];
+            b.region_lo[i] = gs.domain_lo[i] + w * cell[i];
+            b.region_hi[i] = gs.domain_lo[i] + w * (cell[i] + 1);
+        }
+        b.record_count = records_per_cell;
+        gs.buckets.push_back(std::move(b));
+        for (std::size_t i = d; i-- > 0;) {  // odometer, last axis fastest
+            if (++cell[i] < gs.shape[i]) break;
+            cell[i] = 0;
+        }
+    }
+    gs.validate();
+    return gs;
+}
+
+}  // namespace pgf

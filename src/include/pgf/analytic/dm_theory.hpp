@@ -1,0 +1,57 @@
+// Theorem 1: closed-form response time of the disk modulo scheme for
+// 2-d l x l square range queries on Cartesian product files, and the
+// necessary-and-sufficient condition for its strict optimality.
+//
+// With beta = l mod M:
+//   R_DM(M) = l                                  if M > l
+//   R_DM(M) = R_opt(M) + beta - ceil(beta^2/M)   if M <= l, beta != 0,
+//                                                   beta <= M (1 - 1/beta)
+//   R_DM(M) = R_opt(M)                           otherwise (strictly optimal)
+//
+// DM's response to an l x l query is position-independent (shifting the
+// query permutes the disks), so the exact value is also computable by
+// direct enumeration — dm_response_exact — which the tests and the theory
+// bench use to validate the closed form.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pgf {
+
+struct DmPrediction {
+    std::uint64_t response = 0;
+    bool strictly_optimal = false;
+};
+
+/// Closed-form Theorem 1 prediction for an l x l query on M disks.
+DmPrediction dm_theorem1(std::uint32_t l, std::uint32_t num_disks);
+
+/// Exact DM response by enumerating the l x l cell block: the maximum,
+/// over residues r, of |{(i,j) in [0,l)^2 : (i+j) mod M = r}|.
+std::uint64_t dm_response_exact(std::uint32_t l, std::uint32_t num_disks);
+
+/// Exact DM response for a query anchored at (x0, y0) — used to verify the
+/// position-independence that the closed form relies on.
+std::uint64_t dm_response_at(std::uint32_t x0, std::uint32_t y0,
+                             std::uint32_t l, std::uint32_t num_disks);
+
+/// Exact DM response of a *partial match* query on a Cartesian product
+/// file: the specified attributes pin one cell each (their values only
+/// shift every residue, so they do not appear); each entry of
+/// `free_extents` is the full axis extent of one unspecified attribute.
+/// Du & Sobolewski: with exactly one unspecified attribute this equals the
+/// optimal ceil(extent / M) for every M — DM's strict-optimality class.
+std::uint64_t dm_partial_match_exact(
+    const std::vector<std::uint32_t>& free_extents, std::uint32_t num_disks);
+
+/// FX response of a partial match query: `pinned_xor` is the XOR of the
+/// specified attribute values, `free_anchor[i]`..`free_anchor[i] +
+/// free_extents[i]` the swept range of unspecified attribute i. Unlike DM,
+/// the result depends on the anchor and the pinned values.
+std::uint64_t fx_partial_match_at(std::uint32_t pinned_xor,
+                                  const std::vector<std::uint32_t>& free_anchor,
+                                  const std::vector<std::uint32_t>& free_extents,
+                                  std::uint32_t num_disks);
+
+}  // namespace pgf

@@ -1,0 +1,43 @@
+// Theorem 2: scalability bounds of the fieldwise-xor scheme for
+// 2^m x 2^m square range queries on 2^n disks.
+//
+//   (i)   R_FX(2^n) = 2^(m + (m-n)) = 4^m / 2^n          for n <= m
+//   (ii)  2^(m-(n-m)) <= R_FX(2^n) <= 2^m                for n > m
+//   (iii) R_FX(2^(n+1)) >= (3/4) R_FX(2^n)               for n > m
+//
+// Unlike DM, FX's response to a square query depends on the query's
+// position, so the measured quantities are computed by enumerating all
+// anchor positions within a power-of-two grid (with expected / worst /
+// best summaries). The tests and the theory bench check the measured
+// values against the bounds.
+#pragma once
+
+#include <cstdint>
+
+namespace pgf {
+
+struct FxBounds {
+    double lower = 0.0;
+    double upper = 0.0;
+    bool exact = false;  ///< true when n <= m (clause (i) pins the value)
+};
+
+/// Theorem 2 bounds for query side l = 2^m on M = 2^n disks.
+FxBounds fx_theorem2(unsigned m, unsigned n);
+
+struct FxMeasurement {
+    double expected = 0.0;
+    std::uint64_t worst = 0;
+    std::uint64_t best = 0;
+};
+
+/// FX response of the l x l query anchored at (x0, y0).
+std::uint64_t fx_response_at(std::uint32_t x0, std::uint32_t y0,
+                             std::uint32_t l, std::uint32_t num_disks);
+
+/// Enumerates all anchors (x0, y0) in [0, grid - l]^2 of an l x l query on
+/// a grid x grid Cartesian file and summarizes the FX response.
+FxMeasurement fx_response_measure(std::uint32_t l, std::uint32_t num_disks,
+                                  std::uint32_t grid);
+
+}  // namespace pgf

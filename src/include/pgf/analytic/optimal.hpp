@@ -1,0 +1,17 @@
+// Optimal response-time references for square range queries on Cartesian
+// product files.
+#pragma once
+
+#include <cstdint>
+
+namespace pgf {
+
+/// Best possible worst-disk load when an l x l block of cells is spread
+/// over M disks: ceil(l^2 / M).
+std::uint64_t optimal_square_response(std::uint32_t l, std::uint32_t num_disks);
+
+/// Ideal-scaling reference of Theorem 2's discussion: R_opt(2M) = R_opt(M)/2
+/// holds exactly whenever M divides l^2.
+double optimal_square_response_real(std::uint32_t l, std::uint32_t num_disks);
+
+}  // namespace pgf

@@ -1,0 +1,44 @@
+// pgf::Declusterer — the library's one-call public API.
+//
+// Typical use:
+//
+//   pgf::GridFile<3> gf = dataset.build();
+//   pgf::Declusterer dec(gf.structure());
+//   auto report = dec.run(pgf::Method::kMinimax, /*num_disks=*/16);
+//   // report.assignment.disk_of[b] is the disk of bucket b;
+//   // report.data_balance / closest_pairs quantify the layout quality.
+#pragma once
+
+#include <cstdint>
+
+#include "pgf/decluster/registry.hpp"
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+/// Quality report accompanying an assignment.
+struct DeclusterReport {
+    Assignment assignment;
+    double data_balance = 0.0;       ///< B_max * M / B_sum (1.0 = perfect)
+    double area_balance = 0.0;       ///< volume analogue
+    std::size_t closest_pairs = 0;   ///< closest pairs sharing a disk
+};
+
+class Declusterer {
+public:
+    /// Takes ownership of the structural snapshot (see
+    /// GridFile<D>::structure()). The snapshot is validated on entry.
+    explicit Declusterer(GridStructure structure);
+
+    /// Declusters onto `num_disks` disks and computes the quality metrics.
+    DeclusterReport run(Method method, std::uint32_t num_disks,
+                        const DeclusterOptions& options = {}) const;
+
+    const GridStructure& structure() const { return structure_; }
+
+private:
+    GridStructure structure_;
+};
+
+}  // namespace pgf

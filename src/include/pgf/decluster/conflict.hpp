@@ -1,0 +1,34 @@
+// Conflict-resolution heuristics for merged grid-file buckets (Sec. 2.1).
+//
+// An index-based scheme yields a candidate set per bucket; these heuristics
+// collapse each set to one disk. `data balance` is Algorithm 1 of the paper
+// verbatim: unambiguous buckets first, then each conflicting bucket goes to
+// its least-loaded candidate disk. `area balance` replaces bucket counts by
+// accumulated region volume.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/decluster/index_based.hpp"
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+/// Resolves every bucket's candidate set to a single disk.
+/// `rng` is consumed only by the randomized heuristics (kRandom, and
+/// kMostFrequent's tie-break).
+Assignment resolve_conflicts(const GridStructure& gs,
+                             const std::vector<CandidateSet>& candidates,
+                             std::uint32_t num_disks, ConflictHeuristic h,
+                             Rng& rng);
+
+/// One-stop index-based declustering of a grid file: candidate generation
+/// followed by conflict resolution.
+Assignment decluster_index_based(const GridStructure& gs, Method method,
+                                 std::uint32_t num_disks, ConflictHeuristic h,
+                                 Rng& rng);
+
+}  // namespace pgf

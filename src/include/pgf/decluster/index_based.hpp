@@ -1,0 +1,44 @@
+// Index-based declustering schemes extended to grid files (paper Sec. 2).
+//
+// DM, FX and the curve-based schemes assign a disk to every grid *cell*
+// from its integer coordinates. In a Cartesian product file that is the
+// whole story; in a grid file a merged bucket covers several cells whose
+// assignments may conflict, so each bucket gets a *candidate set* (the
+// distinct disks its cells map to, with multiplicities) which a conflict
+// resolution heuristic then collapses to a single disk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+/// Candidate disks for one bucket: `disks` are distinct and sorted,
+/// `counts[i]` is how many of the bucket's cells map to `disks[i]`.
+struct CandidateSet {
+    std::vector<std::uint32_t> disks;
+    std::vector<std::uint32_t> counts;
+
+    bool conflicting() const { return disks.size() > 1; }
+};
+
+/// Disk assigned to each grid cell (flattened row-major, last axis
+/// fastest) by the given index-based method. `method` must satisfy
+/// is_index_based(). Curve methods use dense ranks along the curve so the
+/// round-robin property holds on non-power-of-two grids.
+std::vector<std::uint32_t> cell_disks(const GridStructure& gs, Method method,
+                                      std::uint32_t num_disks);
+
+/// Candidate set of every bucket given a per-cell assignment.
+std::vector<CandidateSet> bucket_candidates(
+    const GridStructure& gs, const std::vector<std::uint32_t>& cell_disk);
+
+/// Convenience: cell_disks + bucket_candidates in one call.
+std::vector<CandidateSet> index_candidates(const GridStructure& gs,
+                                           Method method,
+                                           std::uint32_t num_disks);
+
+}  // namespace pgf

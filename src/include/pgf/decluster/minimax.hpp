@@ -1,0 +1,199 @@
+// Minimax spanning tree declustering — Algorithm 2 of the paper, its main
+// contribution.
+//
+// The grid file is viewed as a complete graph: vertices are buckets, edge
+// weights the probability of co-access (the proximity index). M spanning
+// trees are grown from M random seeds in round-robin order; at each step
+// tree K adopts the vertex whose *maximum* weight to the tree's current
+// members is smallest (minimum-of-maximum criterion, vs. Prim's
+// minimum-of-minimum). Round-robin growth guarantees perfectly balanced
+// partitions: every disk receives at most ceil(N/M) buckets.
+//
+// Complexity: O(N^2) weight evaluations, O(N*M) memory — the edge list is
+// never materialized.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/decluster/weights.hpp"
+#include "pgf/gridfile/structure.hpp"
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+#include "pgf/util/thread_pool.hpp"
+
+namespace pgf {
+
+/// How the M tree seeds are chosen.
+enum class MinimaxSeeding {
+    kRandom,         ///< M random distinct vertices (the paper's Phase 1)
+    kFarthestFirst,  ///< ablation: greedy farthest-first traversal seeds
+};
+
+struct MinimaxOptions {
+    std::uint64_t seed = 1;
+    MinimaxSeeding seeding = MinimaxSeeding::kRandom;
+    WeightKind weight = WeightKind::kProximityIndex;
+    /// Optional worker pool: the O(N^2) sweeps run chunked across threads
+    /// with results bit-identical to the serial algorithm.
+    ThreadPool* pool = nullptr;
+};
+
+/// Core of Algorithm 2 over an arbitrary symmetric cost functor
+/// `cost(i, j) -> double` (higher = more likely co-accessed, must be
+/// separated). Returns disk_of, with every disk receiving at most
+/// ceil(n/m) vertices.
+template <typename Cost>
+std::vector<std::uint32_t> minimax_partition(std::size_t n, std::uint32_t m,
+                                             const Cost& cost, Rng& rng,
+                                             MinimaxSeeding seeding =
+                                                 MinimaxSeeding::kRandom,
+                                             ThreadPool* pool = nullptr) {
+    // Sweeps below this size are cheaper than the dispatch overhead.
+    constexpr std::size_t kParallelThreshold = 2048;
+    PGF_CHECK(m >= 1, "minimax requires at least one disk");
+    std::vector<std::uint32_t> disk_of(n, 0);
+    if (n == 0 || m == 1) return disk_of;
+    const std::uint32_t trees = static_cast<std::uint32_t>(
+        std::min<std::size_t>(m, n));
+
+    // Phase 1 [seeding]: choose `trees` mutually distinct seed vertices.
+    std::vector<std::size_t> seeds;
+    if (seeding == MinimaxSeeding::kRandom || trees == 1) {
+        seeds = rng.sample_indices(n, trees);
+    } else {
+        // Farthest-first: start from a random vertex; each next seed is the
+        // vertex whose maximum weight to the chosen seeds is smallest
+        // (i.e. the vertex least similar to every existing seed).
+        seeds.reserve(trees);
+        seeds.push_back(rng.below(static_cast<std::uint32_t>(n)));
+        std::vector<double> max_to_seeds(n, 0.0);
+        std::vector<char> is_seed(n, 0);
+        is_seed[seeds[0]] = 1;
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!is_seed[v]) max_to_seeds[v] = cost(seeds[0], v);
+        }
+        while (seeds.size() < trees) {
+            std::size_t best = n;
+            double best_val = std::numeric_limits<double>::infinity();
+            for (std::size_t v = 0; v < n; ++v) {
+                if (!is_seed[v] && max_to_seeds[v] < best_val) {
+                    best_val = max_to_seeds[v];
+                    best = v;
+                }
+            }
+            is_seed[best] = 1;
+            seeds.push_back(best);
+            for (std::size_t v = 0; v < n; ++v) {
+                if (!is_seed[v]) {
+                    max_to_seeds[v] = std::max(max_to_seeds[v], cost(best, v));
+                }
+            }
+        }
+    }
+
+    // B: vertices not yet in any tree; pos_in_b enables O(1) swap-removal.
+    std::vector<std::size_t> b_set;
+    b_set.reserve(n);
+    {
+        std::vector<char> is_seed(n, 0);
+        for (std::size_t k = 0; k < seeds.size(); ++k) {
+            is_seed[seeds[k]] = 1;
+            disk_of[seeds[k]] = static_cast<std::uint32_t>(k);
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            if (!is_seed[v]) b_set.push_back(v);
+        }
+    }
+
+    // MAX[x * trees + k]: maximum weight between vertex x (still in B) and
+    // the members of tree k. Step 1 initializes it against the seeds.
+    std::vector<double> max_cost(n * trees);
+    auto init_range = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t p = begin; p < end; ++p) {
+            std::size_t x = b_set[p];
+            for (std::uint32_t k = 0; k < trees; ++k) {
+                max_cost[x * trees + k] = cost(x, seeds[k]);
+            }
+        }
+    };
+    if (pool != nullptr && b_set.size() >= kParallelThreshold) {
+        pool->parallel_for(b_set.size(), init_range);
+    } else {
+        init_range(0, b_set.size());
+    }
+
+    // Phase 2 [expanding]: round-robin growth.
+    std::uint32_t k = 0;
+    while (!b_set.empty()) {
+        // Step 2: y = argmin over B of MAX_y(k). The serial scan keeps the
+        // first occurrence of the minimum; the parallel reduction preserves
+        // that by comparing (value, position) lexicographically.
+        std::size_t best_pos;
+        if (pool != nullptr && b_set.size() >= kParallelThreshold) {
+            struct Best {
+                double val;
+                std::size_t pos;
+            };
+            Best best = pool->map_reduce(
+                b_set.size(),
+                Best{std::numeric_limits<double>::infinity(), b_set.size()},
+                [&](std::size_t begin, std::size_t end) {
+                    Best local{std::numeric_limits<double>::infinity(),
+                               b_set.size()};
+                    for (std::size_t p = begin; p < end; ++p) {
+                        double v = max_cost[b_set[p] * trees + k];
+                        if (v < local.val) local = Best{v, p};
+                    }
+                    return local;
+                },
+                [](const Best& acc, const Best& v) {
+                    return v.val < acc.val ? v : acc;
+                });
+            best_pos = best.pos;
+        } else {
+            best_pos = 0;
+            double best_val = max_cost[b_set[0] * trees + k];
+            for (std::size_t p = 1; p < b_set.size(); ++p) {
+                double v = max_cost[b_set[p] * trees + k];
+                if (v < best_val) {
+                    best_val = v;
+                    best_pos = p;
+                }
+            }
+        }
+        const std::size_t y = b_set[best_pos];
+        disk_of[y] = k;
+        b_set[best_pos] = b_set.back();
+        b_set.pop_back();
+
+        // Step 3: fold y's edges into MAX_x(k) for the remaining vertices
+        // (independent per vertex, so chunking cannot change the result).
+        auto update_range = [&](std::size_t begin, std::size_t end) {
+            for (std::size_t p = begin; p < end; ++p) {
+                std::size_t x = b_set[p];
+                double c = cost(y, x);
+                double& slot = max_cost[x * trees + k];
+                if (c > slot) slot = c;
+            }
+        };
+        if (pool != nullptr && b_set.size() >= kParallelThreshold) {
+            pool->parallel_for(b_set.size(), update_range);
+        } else {
+            update_range(0, b_set.size());
+        }
+
+        // Step 4: next tree, wrapping around.
+        k = (k + 1 == trees) ? 0 : k + 1;
+    }
+    return disk_of;
+}
+
+/// Declusters a grid file with Algorithm 2 using the configured edge
+/// weights. The result is an assignment over gs.bucket_count() buckets.
+Assignment minimax_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                             const MinimaxOptions& options = {});
+
+}  // namespace pgf

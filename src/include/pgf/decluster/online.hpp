@@ -1,0 +1,65 @@
+// Online (incremental) minimax declustering.
+//
+// The paper's Algorithm 2 is an offline pass over the whole grid file, but
+// the files it targets *grow*: a running simulation keeps appending
+// snapshots, and every bucket split creates a bucket the existing
+// assignment says nothing about. OnlineMinimax extends the minimax
+// criterion to that setting: each arriving bucket goes to the admissible
+// disk whose members have the smallest *maximum* proximity to it —
+// exactly the tree-growth rule of Algorithm 2 applied one vertex at a
+// time — where "admissible" enforces the same perfect-balance cap
+// ceil(N/M) the offline algorithm guarantees.
+//
+// Placement is O(N) per bucket (N = buckets placed so far), so streaming a
+// whole file costs the same O(N^2) as the offline algorithm.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+class OnlineMinimax {
+public:
+    /// An empty declusterer for buckets inside the given domain.
+    OnlineMinimax(std::vector<double> domain_lo, std::vector<double> domain_hi,
+                  std::uint32_t num_disks,
+                  WeightKind weight = WeightKind::kProximityIndex);
+
+    /// Seeds the state from an existing (e.g. offline-computed) assignment,
+    /// so subsequent placements extend it.
+    OnlineMinimax(const GridStructure& gs, const Assignment& assignment,
+                  WeightKind weight = WeightKind::kProximityIndex);
+
+    /// Places one new bucket; returns its disk and records it as a member.
+    std::uint32_t place(const std::vector<double>& region_lo,
+                        const std::vector<double>& region_hi);
+
+    /// Convenience: place(bucket region of `info`).
+    std::uint32_t place(const BucketInfo& info) {
+        return place(info.region_lo, info.region_hi);
+    }
+
+    std::uint32_t num_disks() const { return num_disks_; }
+    std::size_t placed() const { return placed_; }
+    const std::vector<std::size_t>& load() const { return load_; }
+
+private:
+    double weight_to(std::uint32_t disk, const double* lo,
+                     const double* hi) const;
+
+    std::size_t dims_;
+    std::uint32_t num_disks_;
+    WeightKind weight_;
+    std::vector<double> inv_domain_;
+    /// Per-disk flat region storage: member k of disk d occupies
+    /// [k*2*dims, (k+1)*2*dims) of regions_[d], lo first then hi.
+    std::vector<std::vector<double>> regions_;
+    std::vector<std::size_t> load_;
+    std::size_t placed_ = 0;
+};
+
+}  // namespace pgf

@@ -1,0 +1,36 @@
+// Unified entry point: decluster any grid file with any studied method.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+struct DeclusterOptions {
+    /// Conflict-resolution heuristic (index-based methods only). The paper's
+    /// experiments settle on data balance ("/D" in its tables).
+    ConflictHeuristic heuristic = ConflictHeuristic::kDataBalance;
+    /// Edge-weight measure (proximity-based methods only).
+    WeightKind weight = WeightKind::kProximityIndex;
+    /// Seed for every random choice the method makes.
+    std::uint64_t seed = 1;
+};
+
+/// Declusters the file over `num_disks` disks with the given method.
+Assignment decluster(const GridStructure& gs, Method method,
+                     std::uint32_t num_disks,
+                     const DeclusterOptions& options = {});
+
+/// Parses a method name ("dm", "fx", "hcam", "morton", "gray", "scan",
+/// "mst", "ssp", "minimax"); returns nullopt for unknown names.
+std::optional<Method> parse_method(const std::string& name);
+
+/// All methods in the paper's presentation order.
+const std::vector<Method>& all_methods();
+
+}  // namespace pgf

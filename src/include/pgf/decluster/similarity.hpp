@@ -1,0 +1,52 @@
+// Similarity-based declustering algorithms of Fang, Lee & Chang (VLDB '86),
+// the prior proximity-aware work the paper compares minimax against.
+//
+// Both view buckets as vertices of a complete similarity graph and try to
+// make the M partitions mutually similar (so that every neighborhood is
+// spread across all disks):
+//
+//  - SSP (short spanning path): order the buckets along a short spanning
+//    path — consecutive vertices highly similar — and deal positions to
+//    disks round-robin. Perfectly balanced, but path locality degrades for
+//    large files ("may produce partitions that are less similar to each
+//    other").
+//  - MST: grow a maximum-similarity spanning tree and color it during a
+//    preorder walk, forcing every vertex away from its most-similar tree
+//    neighbor (its parent) and cycling through the remaining disks. Does
+//    NOT guarantee balanced partitions — exactly the drawback the paper
+//    notes.
+#pragma once
+
+#include <cstdint>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+struct SimilarityOptions {
+    std::uint64_t seed = 1;  ///< seeds the start-vertex choice
+    WeightKind weight = WeightKind::kProximityIndex;
+};
+
+/// Short-spanning-path declustering. Every disk receives at most
+/// ceil(N/M) buckets.
+Assignment ssp_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                         const SimilarityOptions& options = {});
+
+/// MST-based declustering (balance not guaranteed).
+Assignment mst_decluster(const GridStructure& gs, std::uint32_t num_disks,
+                         const SimilarityOptions& options = {});
+
+/// Similarity-graph declustering in the spirit of Liu & Shekhar (ICDE '95):
+/// start from a balanced random partition and run Kernighan–Lin-style
+/// balance-preserving swap passes that maximize the inter-disk similarity
+/// cut. The paper excludes this approach as a primary algorithm because the
+/// number of passes is unbounded; `max_passes` caps it here. Perfectly
+/// balanced (swaps preserve the initial round-robin sizes). O(N^2) per pass.
+Assignment similarity_graph_decluster(const GridStructure& gs,
+                                      std::uint32_t num_disks,
+                                      const SimilarityOptions& options = {},
+                                      std::size_t max_passes = 4);
+
+}  // namespace pgf

@@ -1,0 +1,68 @@
+// Common vocabulary of the declustering layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// A disk assignment: disk_of[b] is the disk (in [0, num_disks)) holding
+/// bucket b.
+struct Assignment {
+    std::vector<std::uint32_t> disk_of;
+    std::uint32_t num_disks = 0;
+
+    /// Number of buckets per disk.
+    std::vector<std::size_t> load() const {
+        std::vector<std::size_t> n(num_disks, 0);
+        for (std::uint32_t d : disk_of) {
+            PGF_CHECK(d < num_disks, "assignment references unknown disk");
+            ++n[d];
+        }
+        return n;
+    }
+};
+
+/// Declustering algorithms studied by the paper (plus the extra curve
+/// variants used in the linearization ablation).
+enum class Method {
+    kDiskModulo,    ///< DM: (i1+...+id) mod M  [Du & Sobolewski]
+    kFieldwiseXor,  ///< FX: (i1^...^id) mod M  [Kim & Pramanik]
+    kHilbert,       ///< HCAM: Hilbert rank mod M  [Faloutsos & Bhagwat]
+    kMorton,        ///< ablation: Z-order rank mod M
+    kGrayCode,      ///< ablation: Gray-code rank mod M
+    kScan,          ///< ablation: row-major scan rank mod M
+    kMst,           ///< similarity-based MST declustering  [Fang et al.]
+    kSsp,           ///< similarity-based short spanning path  [Fang et al.]
+    kSimilarityGraph,  ///< KL-refined similarity graph  [Liu & Shekhar]
+    kMinimax,       ///< minimax spanning tree (this paper's Algorithm 2)
+};
+
+std::string to_string(Method m);
+
+/// True for the index-based schemes that assign disks per *cell* and hence
+/// need conflict resolution on merged grid-file buckets.
+bool is_index_based(Method m);
+
+/// Tie-breaking heuristics for merged buckets (paper Sec. 2.1).
+enum class ConflictHeuristic {
+    kRandom,
+    kMostFrequent,
+    kDataBalance,  ///< Algorithm 1
+    kAreaBalance,
+};
+
+std::string to_string(ConflictHeuristic h);
+
+/// Edge-weight measure for the proximity-based algorithms.
+enum class WeightKind {
+    kProximityIndex,     ///< Kamel & Faloutsos proximity (paper's choice)
+    kCenterSimilarity,   ///< ablation: Euclidean-center similarity
+};
+
+std::string to_string(WeightKind w);
+
+}  // namespace pgf

@@ -1,0 +1,41 @@
+// Quality metrics for disk assignments (paper Sec. 2.2 definitions).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/decluster/weights.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf {
+
+/// Response time of one query: max over disks of the number of buckets
+/// fetched from that disk, max_{i=1..M} N_i(q). Assumes unit bucket read
+/// time on every disk (the paper's simulator assumption).
+std::uint32_t response_time(const std::vector<std::uint32_t>& query_buckets,
+                            const Assignment& a);
+
+/// The paper's "optimal response time" reference: average number of
+/// buckets accessed divided by the number of disks.
+double optimal_response(double avg_buckets_per_query, std::uint32_t num_disks);
+
+/// Degree of data balance: B_max * M / B_sum over bucket counts; 1.0 is a
+/// perfect distribution, larger is worse.
+double degree_of_data_balance(const Assignment& a);
+
+/// Same measure over accumulated bucket-region volume instead of counts.
+double degree_of_area_balance(const GridStructure& gs, const Assignment& a);
+
+/// For each bucket, the index of its most-proximate other bucket under the
+/// given weights (ties to the lower index). O(N^2).
+std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights);
+
+/// Number of distinct closest pairs {b, nn(b)} whose two buckets live on
+/// the same disk (Tables 2-3 of the paper). Mutual pairs count once.
+std::size_t closest_pairs_same_disk(const GridStructure& gs,
+                                    const Assignment& a,
+                                    WeightKind weight =
+                                        WeightKind::kProximityIndex);
+
+}  // namespace pgf

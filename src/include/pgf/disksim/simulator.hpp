@@ -1,0 +1,51 @@
+// The declustering simulator of Sec. 2.2: processes a batch of range
+// queries against a declustered grid file and reports the average response
+// time (in bucket-read units), the optimal reference, and balance metrics.
+//
+// Assumptions, matching the paper: raw disk I/O (no cache), no temporal
+// locality between queries, identical bucket read time on every disk.
+//
+// The expensive part — mapping each query to the set of buckets it touches
+// — depends only on the grid file, not on the assignment, so it is exposed
+// separately (collect_query_buckets) and reused across every (method, M)
+// configuration in a sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+#include "pgf/disksim/metrics.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/stats.hpp"
+
+namespace pgf {
+
+/// Aggregate results of a query workload under one assignment.
+struct WorkloadStats {
+    std::size_t queries = 0;
+    double avg_response = 0.0;    ///< mean of max_i N_i(q)
+    double max_response = 0.0;
+    double avg_buckets = 0.0;     ///< mean buckets touched per query
+    double optimal = 0.0;         ///< avg_buckets / M (the paper's reference)
+    double data_balance = 0.0;    ///< B_max * M / B_sum
+};
+
+/// Buckets touched by each query (the grid-file lookups, done once).
+template <std::size_t D>
+std::vector<std::vector<std::uint32_t>> collect_query_buckets(
+    const GridFile<D>& gf, const std::vector<Rect<D>>& queries) {
+    std::vector<std::vector<std::uint32_t>> result;
+    result.reserve(queries.size());
+    for (const Rect<D>& q : queries) {
+        result.push_back(gf.query_buckets(q));
+    }
+    return result;
+}
+
+/// Evaluates an assignment against precollected per-query bucket sets.
+WorkloadStats evaluate_workload(
+    const std::vector<std::vector<std::uint32_t>>& query_buckets,
+    const Assignment& a);
+
+}  // namespace pgf

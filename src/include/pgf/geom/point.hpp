@@ -1,0 +1,120 @@
+// Fixed-dimension points and axis-aligned boxes.
+//
+// The dimension is a template parameter: grid files in this reproduction are
+// 2-d (synthetic datasets), 3-d (DSMC/stock snapshots) and 4-d
+// (spatio-temporal SP-2 experiment), and compile-time dimension keeps the
+// hot per-record paths free of heap allocation and runtime loops the
+// optimizer cannot unroll.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+template <std::size_t D>
+struct Point {
+    static_assert(D >= 1, "points must have at least one dimension");
+
+    std::array<double, D> x{};
+
+    double& operator[](std::size_t i) { return x[i]; }
+    double operator[](std::size_t i) const { return x[i]; }
+
+    friend bool operator==(const Point&, const Point&) = default;
+};
+
+template <std::size_t D>
+std::ostream& operator<<(std::ostream& os, const Point<D>& p) {
+    os << "(";
+    for (std::size_t i = 0; i < D; ++i) {
+        if (i) os << ", ";
+        os << p[i];
+    }
+    return os << ")";
+}
+
+template <std::size_t D>
+double squared_distance(const Point<D>& a, const Point<D>& b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < D; ++i) {
+        double d = a[i] - b[i];
+        s += d * d;
+    }
+    return s;
+}
+
+template <std::size_t D>
+double distance(const Point<D>& a, const Point<D>& b) {
+    return std::sqrt(squared_distance(a, b));
+}
+
+/// Axis-aligned box [lo, hi) — half-open on each axis, matching grid-file
+/// cell semantics (a point on a split plane belongs to the upper cell).
+template <std::size_t D>
+struct Rect {
+    Point<D> lo;
+    Point<D> hi;
+
+    static Rect from_bounds(const Point<D>& lo, const Point<D>& hi) {
+        for (std::size_t i = 0; i < D; ++i)
+            PGF_CHECK(lo[i] <= hi[i], "Rect requires lo <= hi on every axis");
+        return Rect{lo, hi};
+    }
+
+    double extent(std::size_t i) const { return hi[i] - lo[i]; }
+
+    double volume() const {
+        double v = 1.0;
+        for (std::size_t i = 0; i < D; ++i) v *= extent(i);
+        return v;
+    }
+
+    Point<D> center() const {
+        Point<D> c;
+        for (std::size_t i = 0; i < D; ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+        return c;
+    }
+
+    bool contains(const Point<D>& p) const {
+        for (std::size_t i = 0; i < D; ++i)
+            if (p[i] < lo[i] || p[i] >= hi[i]) return false;
+        return true;
+    }
+
+    /// Closed-sense overlap test: boxes sharing only a face do NOT
+    /// intersect under half-open semantics.
+    bool intersects(const Rect& o) const {
+        for (std::size_t i = 0; i < D; ++i)
+            if (lo[i] >= o.hi[i] || o.lo[i] >= hi[i]) return false;
+        return true;
+    }
+
+    /// Length of the overlap of the two boxes' projections on axis i
+    /// (0 when disjoint on that axis).
+    double overlap_extent(std::size_t i, const Rect& o) const {
+        double l = std::max(lo[i], o.lo[i]);
+        double h = std::min(hi[i], o.hi[i]);
+        return h > l ? h - l : 0.0;
+    }
+
+    /// Gap between the two boxes' projections on axis i (0 when they touch
+    /// or overlap).
+    double gap_extent(std::size_t i, const Rect& o) const {
+        double g = std::max(lo[i], o.lo[i]) - std::min(hi[i], o.hi[i]);
+        return g > 0.0 ? g : 0.0;
+    }
+
+    friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+template <std::size_t D>
+std::ostream& operator<<(std::ostream& os, const Rect<D>& r) {
+    return os << "[" << r.lo << " .. " << r.hi << ")";
+}
+
+}  // namespace pgf

@@ -1,0 +1,53 @@
+// Proximity index of Kamel & Faloutsos (Parallel R-trees, SIGMOD '92),
+// the edge-weight measure the minimax algorithm (paper Sec. 3.1) uses to
+// estimate how likely two buckets are to be touched by the same range query.
+//
+// For two d-dimensional rectangles R, S inside a domain rectangle:
+//     Proximity(R, S)    = prod_i Proximity(R_i, S_i)
+//     Proximity(R_i,S_i) = (1 + 2*delta_i) / 3      if R_i, S_i intersect
+//                        = (1 - Delta_i)^2 / 3      if disjoint
+// where delta_i is the overlap length and Delta_i the gap, each normalized
+// by the domain extent along axis i.
+#pragma once
+
+#include "pgf/geom/point.hpp"
+
+namespace pgf {
+
+/// One-dimensional proximity of intervals [r_lo, r_hi) and [s_lo, s_hi)
+/// inside a domain of length `domain_len`. Exposed separately so the formula
+/// can be unit-tested against hand-computed values.
+double interval_proximity(double r_lo, double r_hi, double s_lo, double s_hi,
+                          double domain_len);
+
+/// Full d-dimensional proximity index of two boxes within `domain`.
+/// Result is in (0, 1]; higher = more likely to be co-accessed.
+template <std::size_t D>
+double proximity_index(const Rect<D>& r, const Rect<D>& s,
+                       const Rect<D>& domain) {
+    double p = 1.0;
+    for (std::size_t i = 0; i < D; ++i) {
+        p *= interval_proximity(r.lo[i], r.hi[i], s.lo[i], s.hi[i],
+                                domain.extent(i));
+    }
+    return p;
+}
+
+/// The alternative the paper considered and rejected (suitable for points,
+/// not for partially overlapped boxes): Euclidean distance between centers,
+/// converted into a similarity in (0, 1] so it can be swapped for the
+/// proximity index in ablation experiments (higher = closer).
+template <std::size_t D>
+double center_similarity(const Rect<D>& r, const Rect<D>& s,
+                         const Rect<D>& domain) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < D; ++i) {
+        double len = domain.extent(i);
+        double d = (0.5 * (r.lo[i] + r.hi[i]) - 0.5 * (s.lo[i] + s.hi[i])) /
+                   (len > 0.0 ? len : 1.0);
+        d2 += d * d;
+    }
+    return 1.0 / (1.0 + std::sqrt(d2));
+}
+
+}  // namespace pgf

@@ -1,0 +1,41 @@
+// Kernighan–Lin-style swap refinement for M-way declustering.
+//
+// The declustering problem is a Max-Cut variant: total *inter*-disk edge
+// weight should be maximized, equivalently the total weight of edges whose
+// endpoints share a disk ("internal weight") minimized. This pass performs
+// balance-preserving vertex swaps with positive gain, the multi-way
+// analogue of one Kernighan–Lin pass. The paper excludes KL as a primary
+// algorithm because its pass count is unbounded; here it is used as an
+// ablation: how much can local search still improve each algorithm's
+// output?
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace pgf {
+
+struct KlResult {
+    std::size_t passes = 0;      ///< passes actually executed
+    std::size_t swaps = 0;       ///< total improving swaps applied
+    double internal_before = 0;  ///< same-disk edge weight before refinement
+    double internal_after = 0;   ///< same-disk edge weight after refinement
+};
+
+/// Refines `disk_of` in place. `weight(i, j)` must be symmetric and is
+/// interpreted as co-access likelihood (higher = the pair should be
+/// separated). Stops after `max_passes` or when a full pass finds no
+/// improving swap. O(n^2) per pass plus O(n) per applied swap.
+KlResult kl_refine(std::vector<std::uint32_t>& disk_of, std::uint32_t num_disks,
+                   const std::function<double(std::size_t, std::size_t)>& weight,
+                   std::size_t max_passes = 8);
+
+/// Total weight of edges whose endpoints share a disk (the objective the
+/// refinement minimizes). O(n^2).
+double internal_weight(
+    const std::vector<std::uint32_t>& disk_of,
+    const std::function<double(std::size_t, std::size_t)>& weight);
+
+}  // namespace pgf

@@ -1,0 +1,65 @@
+// Prim's minimal spanning tree on an implicit dense graph.
+//
+// The similarity-based declustering algorithms operate on the complete
+// graph over all buckets; edges are never materialized — `cost(i, j)` is
+// evaluated on demand, giving O(n^2) time and O(n) memory, the same bounds
+// the paper quotes for these algorithms.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// Computes the MST of the complete graph on n vertices under `cost`,
+/// rooted at `root`. Returns the parent array (parent[root] == root).
+/// Cost must be symmetric; self-edges are never evaluated.
+template <typename Cost>
+std::vector<std::size_t> prim_mst(std::size_t n, std::size_t root, Cost cost) {
+    PGF_CHECK(n >= 1, "prim_mst requires at least one vertex");
+    PGF_CHECK(root < n, "prim_mst root out of range");
+    std::vector<std::size_t> parent(n, root);
+    std::vector<double> best(n, std::numeric_limits<double>::infinity());
+    std::vector<char> in_tree(n, 0);
+    parent[root] = root;
+    in_tree[root] = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!in_tree[i]) best[i] = cost(root, i);
+    }
+    for (std::size_t added = 1; added < n; ++added) {
+        std::size_t next = n;
+        double next_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_tree[i] && best[i] < next_cost) {
+                next_cost = best[i];
+                next = i;
+            }
+        }
+        PGF_CHECK(next < n, "prim_mst: graph must be complete");
+        in_tree[next] = 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            if (!in_tree[i]) {
+                double c = cost(next, i);
+                if (c < best[i]) {
+                    best[i] = c;
+                    parent[i] = next;
+                }
+            }
+        }
+    }
+    return parent;
+}
+
+/// Sum of edge costs of the tree described by a parent array.
+double tree_cost(const std::vector<std::size_t>& parent,
+                 const std::function<double(std::size_t, std::size_t)>& cost);
+
+/// Vertices of the tree in depth-first preorder from the root. Children are
+/// visited in increasing vertex order.
+std::vector<std::size_t> preorder(const std::vector<std::size_t>& parent);
+
+}  // namespace pgf

@@ -1,0 +1,140 @@
+// The grid directory: a d-dimensional array mapping grid cells to buckets.
+//
+// Several cells may map to the same bucket — that is precisely the "merged
+// subspaces" property of grid files (vs. Cartesian product files) that
+// forces the conflict-resolution step when extending index-based
+// declustering schemes (paper Sec. 2.1, Fig. 1). The directory maintains
+// the grid-file invariant that the set of cells sharing a bucket always
+// forms an axis-aligned box of cells.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// Half-open box of grid cells: lo[i] <= cell[i] < hi[i].
+template <std::size_t D>
+struct CellBox {
+    std::array<std::uint32_t, D> lo{};
+    std::array<std::uint32_t, D> hi{};
+
+    std::uint64_t cell_count() const {
+        std::uint64_t n = 1;
+        for (std::size_t i = 0; i < D; ++i) n *= hi[i] - lo[i];
+        return n;
+    }
+
+    std::uint32_t extent(std::size_t i) const { return hi[i] - lo[i]; }
+
+    bool contains(const std::array<std::uint32_t, D>& cell) const {
+        for (std::size_t i = 0; i < D; ++i)
+            if (cell[i] < lo[i] || cell[i] >= hi[i]) return false;
+        return true;
+    }
+
+    friend bool operator==(const CellBox&, const CellBox&) = default;
+};
+
+/// Invokes `fn(cell)` for every cell in `box`, in row-major order (last
+/// axis fastest).
+template <std::size_t D, typename Fn>
+void for_each_cell(const CellBox<D>& box, Fn&& fn) {
+    std::array<std::uint32_t, D> cell = box.lo;
+    for (std::size_t i = 0; i < D; ++i) {
+        if (box.lo[i] >= box.hi[i]) return;  // empty box
+    }
+    for (;;) {
+        fn(static_cast<const std::array<std::uint32_t, D>&>(cell));
+        std::size_t axis = D;
+        while (axis-- > 0) {
+            if (++cell[axis] < box.hi[axis]) break;
+            cell[axis] = box.lo[axis];
+            if (axis == 0) return;
+        }
+    }
+}
+
+template <std::size_t D>
+class GridDirectory {
+public:
+    using BucketId = std::uint32_t;
+    static constexpr BucketId kNoBucket = ~BucketId{0};
+
+    /// A 1x1x...x1 directory whose single cell maps to `initial`.
+    explicit GridDirectory(BucketId initial) {
+        shape_.fill(1);
+        cells_.assign(1, initial);
+    }
+
+    /// A directory of the given shape with every cell set to `fill`
+    /// (used when restoring a persisted grid file).
+    GridDirectory(const std::array<std::uint32_t, D>& shape, BucketId fill)
+        : shape_(shape) {
+        std::uint64_t total = 1;
+        for (std::uint32_t s : shape_) {
+            PGF_CHECK(s >= 1, "directory axes must be non-empty");
+            total *= s;
+        }
+        cells_.assign(total, fill);
+    }
+
+    const std::array<std::uint32_t, D>& shape() const { return shape_; }
+
+    std::uint64_t cell_count() const { return cells_.size(); }
+
+    BucketId at(const std::array<std::uint32_t, D>& cell) const {
+        return cells_[flatten(cell)];
+    }
+
+    void set(const std::array<std::uint32_t, D>& cell, BucketId b) {
+        cells_[flatten(cell)] = b;
+    }
+
+    /// Splits interval `interval` of axis `axis` in two: the directory
+    /// doubles that slice, and both halves initially map to the same
+    /// buckets (so every bucket crossing the split becomes / stays merged).
+    void expand(std::size_t axis, std::uint32_t interval) {
+        PGF_CHECK(axis < D, "directory axis out of range");
+        PGF_CHECK(interval < shape_[axis], "directory interval out of range");
+        std::array<std::uint32_t, D> new_shape = shape_;
+        ++new_shape[axis];
+        std::vector<BucketId> grown(cells_.size() / shape_[axis] *
+                                    new_shape[axis]);
+        // Walk the new array; each new cell reads from the old cell whose
+        // coordinate along `axis` is collapsed across the duplicated slice.
+        CellBox<D> all;
+        all.lo.fill(0);
+        all.hi = new_shape;
+        std::vector<BucketId> old_cells = std::move(cells_);
+        std::array<std::uint32_t, D> old_shape = shape_;
+        shape_ = new_shape;
+        cells_ = std::move(grown);
+        for_each_cell(all, [&](const std::array<std::uint32_t, D>& cell) {
+            std::array<std::uint32_t, D> src = cell;
+            if (src[axis] > interval) --src[axis];
+            std::uint64_t src_flat = 0;
+            for (std::size_t i = 0; i < D; ++i)
+                src_flat = src_flat * old_shape[i] + src[i];
+            cells_[flatten(cell)] = old_cells[src_flat];
+        });
+    }
+
+    std::uint64_t flatten(const std::array<std::uint32_t, D>& cell) const {
+        std::uint64_t idx = 0;
+        for (std::size_t i = 0; i < D; ++i) {
+            PGF_CHECK(cell[i] < shape_[i], "directory cell out of range");
+            idx = idx * shape_[i] + cell[i];
+        }
+        return idx;
+    }
+
+private:
+    std::array<std::uint32_t, D> shape_;
+    std::vector<BucketId> cells_;  // row-major, last axis fastest
+};
+
+}  // namespace pgf

@@ -1,0 +1,450 @@
+// The grid file of Nievergelt & Hinterberger: an adaptive, symmetric,
+// multi-key file structure over d attributes.
+//
+// Structure: one linear scale per dimension partitions the domain into a
+// grid of cells; a grid directory maps each cell to a data bucket; several
+// adjacent cells may share one bucket (a "merged" bucket), and the set of
+// cells sharing a bucket always forms a box. Buckets hold up to
+// `bucket_capacity` records. When a bucket overflows:
+//   - if it spans more than one cell along some axis, the bucket is split
+//     along an existing grid line (no directory growth);
+//   - otherwise the grid itself is refined (a new split point enters one
+//     scale and the directory doubles along that axis), after which the
+//     bucket spans two cells and is split as above.
+//
+// This implementation supports insertion, deletion (without bucket
+// re-merging: emptied buckets simply stay under-full, which is the common
+// simplification and does not affect any experiment in the paper, which
+// only loads and queries), exact multidimensional range queries, and a
+// structural export for the declustering layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pgf/geom/point.hpp"
+#include "pgf/gridfile/directory.hpp"
+#include "pgf/gridfile/partial_match.hpp"
+#include "pgf/gridfile/scales.hpp"
+#include "pgf/gridfile/structure.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// A stored record: an indexing point plus an opaque record id (in a real
+/// deployment the id keys the non-indexed payload).
+template <std::size_t D>
+struct GridRecord {
+    Point<D> point;
+    std::uint64_t id = 0;
+};
+
+/// Where a grid refinement places the new split inside an overflowing cell.
+enum class SplitPolicy {
+    kMidpoint,  ///< geometric midpoint of the cell interval (default)
+    kMedian,    ///< median of the overflowing bucket's coordinates
+};
+
+template <std::size_t D>
+class GridFile {
+public:
+    using BucketId = std::uint32_t;
+
+    struct Config {
+        /// Maximum records per bucket. The paper fixes bucket size at 4 KB;
+        /// with ~72-byte records that is 56 records per bucket.
+        std::size_t bucket_capacity = 56;
+        SplitPolicy split_policy = SplitPolicy::kMidpoint;
+    };
+
+    struct Bucket {
+        std::vector<GridRecord<D>> records;
+        CellBox<D> cells;
+    };
+
+    GridFile(const Rect<D>& domain, Config config = {})
+        : domain_(domain), config_(config), dir_(BucketId{0}) {
+        PGF_CHECK(config_.bucket_capacity >= 2,
+                  "bucket capacity must be at least 2");
+        scales_.reserve(D);
+        for (std::size_t i = 0; i < D; ++i) {
+            scales_.emplace_back(domain.lo[i], domain.hi[i]);
+        }
+        Bucket root;
+        root.cells.lo.fill(0);
+        for (std::size_t i = 0; i < D; ++i) root.cells.hi[i] = 1;
+        buckets_.push_back(std::move(root));
+    }
+
+    /// Reassembles a grid file from persisted state: the per-dimension
+    /// scales and the buckets (records + cell boxes). The directory is
+    /// rebuilt from the bucket cell boxes, which must tile the grid exactly
+    /// (checked). Used by the storage layer's load path.
+    static GridFile restore(const Rect<D>& domain, Config config,
+                            std::vector<LinearScale> scales,
+                            std::vector<Bucket> buckets) {
+        PGF_CHECK(scales.size() == D, "restore: one scale per dimension");
+        PGF_CHECK(!buckets.empty(), "restore: at least one bucket required");
+        GridFile gf(domain, config);
+        gf.scales_ = std::move(scales);
+        std::array<std::uint32_t, D> shape;
+        for (std::size_t i = 0; i < D; ++i) {
+            PGF_CHECK(gf.scales_[i].lo() == domain.lo[i] &&
+                          gf.scales_[i].hi() == domain.hi[i],
+                      "restore: scale does not span the domain");
+            shape[i] = gf.scales_[i].intervals();
+        }
+        gf.dir_ = GridDirectory<D>(shape, GridDirectory<D>::kNoBucket);
+        gf.buckets_ = std::move(buckets);
+        gf.record_count_ = 0;
+        std::uint64_t covered = 0;
+        for (BucketId b = 0; b < gf.buckets_.size(); ++b) {
+            const CellBox<D>& box = gf.buckets_[b].cells;
+            for (std::size_t i = 0; i < D; ++i) {
+                PGF_CHECK(box.lo[i] < box.hi[i] && box.hi[i] <= shape[i],
+                          "restore: bucket cell box out of grid");
+            }
+            for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
+                PGF_CHECK(gf.dir_.at(cell) == GridDirectory<D>::kNoBucket,
+                          "restore: overlapping bucket cell boxes");
+                gf.dir_.set(cell, b);
+            });
+            covered += box.cell_count();
+            gf.record_count_ += gf.buckets_[b].records.size();
+        }
+        PGF_CHECK(covered == gf.dir_.cell_count(),
+                  "restore: buckets must tile the whole grid");
+        return gf;
+    }
+
+    // -- modification ------------------------------------------------------
+
+    /// Inserts one record. Out-of-domain coordinates are clamped into the
+    /// boundary cells (the scales' locate() semantics).
+    void insert(const Point<D>& p, std::uint64_t id) {
+        BucketId b = dir_.at(locate_cell(p));
+        buckets_[b].records.push_back(GridRecord<D>{p, id});
+        ++record_count_;
+        if (buckets_[b].records.size() > config_.bucket_capacity) {
+            handle_overflow(b);
+        }
+    }
+
+    /// Bulk insertion convenience (ids are assigned 0..n-1 plus `id_base`).
+    void bulk_load(const std::vector<Point<D>>& points,
+                   std::uint64_t id_base = 0) {
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            insert(points[i], id_base + i);
+        }
+    }
+
+    /// Erases the record with the given point and id; returns true when a
+    /// record was removed. Buckets are not re-merged on underflow.
+    bool erase(const Point<D>& p, std::uint64_t id) {
+        Bucket& b = buckets_[dir_.at(locate_cell(p))];
+        auto it = std::find_if(b.records.begin(), b.records.end(),
+                               [&](const GridRecord<D>& r) {
+                                   return r.id == id && r.point == p;
+                               });
+        if (it == b.records.end()) return false;
+        b.records.erase(it);
+        --record_count_;
+        return true;
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// Ids of the buckets whose region overlaps query box `q` — this is the
+    /// unit of I/O the response-time metric counts.
+    std::vector<BucketId> query_buckets(const Rect<D>& q) const {
+        std::vector<BucketId> out;
+        CellBox<D> box;
+        if (!query_cell_box(q, &box)) return out;
+        std::vector<char> seen(buckets_.size(), 0);
+        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
+            BucketId b = dir_.at(cell);
+            if (!seen[b]) {
+                seen[b] = 1;
+                out.push_back(b);
+            }
+        });
+        return out;
+    }
+
+    /// Exact range query: records whose point lies in `q` (half-open).
+    std::vector<GridRecord<D>> query_records(const Rect<D>& q) const {
+        std::vector<GridRecord<D>> out;
+        for (BucketId b : query_buckets(q)) {
+            for (const auto& r : buckets_[b].records) {
+                if (q.contains(r.point)) out.push_back(r);
+            }
+        }
+        return out;
+    }
+
+    /// Buckets a partial match query must read: specified attributes pin
+    /// one scale interval, unspecified attributes span the whole axis.
+    std::vector<BucketId> query_buckets(const PartialMatch<D>& q) const {
+        PGF_CHECK(q.valid(),
+                  "partial match must leave at least one attribute free");
+        CellBox<D> box;
+        for (std::size_t i = 0; i < D; ++i) {
+            if (q.key[i].has_value()) {
+                std::uint32_t cell = scales_[i].locate(*q.key[i]);
+                box.lo[i] = cell;
+                box.hi[i] = cell + 1;
+            } else {
+                box.lo[i] = 0;
+                box.hi[i] = dir_.shape()[i];
+            }
+        }
+        std::vector<BucketId> out;
+        std::vector<char> seen(buckets_.size(), 0);
+        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
+            BucketId b = dir_.at(cell);
+            if (!seen[b]) {
+                seen[b] = 1;
+                out.push_back(b);
+            }
+        });
+        return out;
+    }
+
+    /// Records whose specified attributes match exactly.
+    std::vector<GridRecord<D>> query_records(const PartialMatch<D>& q) const {
+        std::vector<GridRecord<D>> out;
+        for (BucketId b : query_buckets(q)) {
+            for (const auto& r : buckets_[b].records) {
+                bool match = true;
+                for (std::size_t i = 0; i < D && match; ++i) {
+                    if (q.key[i].has_value() && r.point[i] != *q.key[i]) {
+                        match = false;
+                    }
+                }
+                if (match) out.push_back(r);
+            }
+        }
+        return out;
+    }
+
+    // -- structure accessors ------------------------------------------------
+
+    const Rect<D>& domain() const { return domain_; }
+    const Config& config() const { return config_; }
+    std::size_t record_count() const { return record_count_; }
+    std::size_t bucket_count() const { return buckets_.size(); }
+    const Bucket& bucket(BucketId b) const { return buckets_[b]; }
+    const LinearScale& scale(std::size_t axis) const { return scales_[axis]; }
+    const GridDirectory<D>& directory() const { return dir_; }
+
+    std::array<std::uint32_t, D> grid_shape() const { return dir_.shape(); }
+
+    /// Data-space region covered by bucket `b` (union of its cells).
+    Rect<D> bucket_region(BucketId b) const {
+        const CellBox<D>& c = buckets_[b].cells;
+        Rect<D> r;
+        for (std::size_t i = 0; i < D; ++i) {
+            r.lo[i] = scales_[i].interval_lo(c.lo[i]);
+            r.hi[i] = scales_[i].interval_hi(c.hi[i] - 1);
+        }
+        return r;
+    }
+
+    std::size_t merged_bucket_count() const {
+        std::size_t n = 0;
+        for (const auto& b : buckets_) n += b.cells.cell_count() > 1 ? 1u : 0u;
+        return n;
+    }
+
+    /// Number of buckets that exceed capacity because their records could
+    /// not be separated by further refinement (duplicate-heavy data).
+    std::size_t oversized_bucket_count() const {
+        std::size_t n = 0;
+        for (const auto& b : buckets_)
+            n += b.records.size() > config_.bucket_capacity ? 1u : 0u;
+        return n;
+    }
+
+    /// Grid cell containing point `p` (out-of-domain values clamp).
+    std::array<std::uint32_t, D> locate_cell(const Point<D>& p) const {
+        std::array<std::uint32_t, D> cell;
+        for (std::size_t i = 0; i < D; ++i) cell[i] = scales_[i].locate(p[i]);
+        return cell;
+    }
+
+    /// Exports the dimension-erased structural snapshot consumed by the
+    /// declustering layer.
+    GridStructure structure() const {
+        GridStructure gs;
+        gs.shape.assign(dir_.shape().begin(), dir_.shape().end());
+        gs.domain_lo.assign(domain_.lo.x.begin(), domain_.lo.x.end());
+        gs.domain_hi.assign(domain_.hi.x.begin(), domain_.hi.x.end());
+        gs.buckets.reserve(buckets_.size());
+        for (BucketId b = 0; b < buckets_.size(); ++b) {
+            BucketInfo info;
+            info.cell_lo.assign(buckets_[b].cells.lo.begin(),
+                                buckets_[b].cells.lo.end());
+            info.cell_hi.assign(buckets_[b].cells.hi.begin(),
+                                buckets_[b].cells.hi.end());
+            Rect<D> region = bucket_region(b);
+            info.region_lo.assign(region.lo.x.begin(), region.lo.x.end());
+            info.region_hi.assign(region.hi.x.begin(), region.hi.x.end());
+            info.record_count = buckets_[b].records.size();
+            gs.buckets.push_back(std::move(info));
+        }
+        return gs;
+    }
+
+    /// Cell box of grid cells overlapping query box `q`; false when the
+    /// query misses the domain entirely or is empty.
+    bool query_cell_box(const Rect<D>& q, CellBox<D>* box) const {
+        for (std::size_t i = 0; i < D; ++i) {
+            if (q.hi[i] <= q.lo[i]) return false;
+            if (q.hi[i] <= domain_.lo[i] || q.lo[i] >= domain_.hi[i])
+                return false;
+            // First interval whose upper bound exceeds q.lo[i].
+            std::uint32_t first = scales_[i].locate(std::max(q.lo[i], domain_.lo[i]));
+            // Last interval whose lower bound is below q.hi[i].
+            std::uint32_t last = scales_[i].locate(std::min(q.hi[i], domain_.hi[i]));
+            if (scales_[i].interval_lo(last) >= q.hi[i] && last > 0) --last;
+            box->lo[i] = first;
+            box->hi[i] = last + 1;
+        }
+        return true;
+    }
+
+private:
+    void handle_overflow(BucketId overflowing) {
+        // A split may leave one half still overflowing (skewed data), so
+        // iterate until resolved or refinement becomes impossible.
+        BucketId b = overflowing;
+        while (buckets_[b].records.size() > config_.bucket_capacity) {
+            if (max_cell_extent(b) == 1 && !refine_grid(b)) {
+                return;  // cannot separate further; bucket stays oversized
+            }
+            b = split_bucket(b);
+        }
+    }
+
+    std::uint32_t max_cell_extent(BucketId b) const {
+        std::uint32_t m = 0;
+        for (std::size_t i = 0; i < D; ++i)
+            m = std::max(m, buckets_[b].cells.extent(i));
+        return m;
+    }
+
+    /// Refines the grid through bucket `b`'s single cell. Returns false if
+    /// no axis can be split (degenerate region or duplicate coordinates).
+    bool refine_grid(BucketId b) {
+        // Prefer the axis where the cell is relatively longest, so the grid
+        // adapts its shape to the data distribution.
+        Rect<D> region = bucket_region(b);
+        std::array<std::size_t, D> axes;
+        for (std::size_t i = 0; i < D; ++i) axes[i] = i;
+        std::sort(axes.begin(), axes.end(), [&](std::size_t a, std::size_t c) {
+            return region.extent(a) / domain_.extent(a) >
+                   region.extent(c) / domain_.extent(c);
+        });
+        for (std::size_t axis : axes) {
+            double lo = region.lo[axis];
+            double hi = region.hi[axis];
+            if (hi - lo <= domain_.extent(axis) * 1e-12) continue;
+            double x = split_coordinate(b, axis, lo, hi);
+            if (!(x > lo && x < hi)) continue;
+            std::uint32_t interval = 0;
+            if (!scales_[axis].insert_split(x, &interval)) continue;
+            dir_.expand(axis, interval);
+            shift_cell_boxes(axis, interval);
+            return true;
+        }
+        return false;
+    }
+
+    double split_coordinate(BucketId b, std::size_t axis, double lo,
+                            double hi) const {
+        if (config_.split_policy == SplitPolicy::kMidpoint) {
+            return 0.5 * (lo + hi);
+        }
+        // Median policy: the middle record coordinate, clamped strictly
+        // inside the cell (falls back to midpoint for degenerate medians).
+        std::vector<double> xs;
+        xs.reserve(buckets_[b].records.size());
+        for (const auto& r : buckets_[b].records) xs.push_back(r.point[axis]);
+        auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+        std::nth_element(xs.begin(), mid, xs.end());
+        double x = *mid;
+        if (x > lo && x < hi) return x;
+        return 0.5 * (lo + hi);
+    }
+
+    /// After a directory expansion at (axis, interval), renumber every
+    /// bucket's cell box: intervals above the split shift up by one, and
+    /// boxes containing the split interval grow by one.
+    void shift_cell_boxes(std::size_t axis, std::uint32_t interval) {
+        for (Bucket& bucket : buckets_) {
+            if (bucket.cells.lo[axis] > interval) {
+                ++bucket.cells.lo[axis];
+                ++bucket.cells.hi[axis];
+            } else if (bucket.cells.hi[axis] > interval) {
+                ++bucket.cells.hi[axis];
+            }
+        }
+    }
+
+    /// Splits bucket `b` along its widest cell axis at the middle grid
+    /// line; returns whichever half is overflowing (or `b` if neither —
+    /// callers re-check the loop condition).
+    BucketId split_bucket(BucketId b) {
+        std::size_t axis = 0;
+        std::uint32_t widest = 0;
+        for (std::size_t i = 0; i < D; ++i) {
+            if (buckets_[b].cells.extent(i) > widest) {
+                widest = buckets_[b].cells.extent(i);
+                axis = i;
+            }
+        }
+        PGF_CHECK(widest >= 2, "split_bucket requires a multi-cell bucket");
+
+        const std::uint32_t mid =
+            buckets_[b].cells.lo[axis] + buckets_[b].cells.extent(axis) / 2;
+
+        auto new_id = static_cast<BucketId>(buckets_.size());
+        Bucket upper;
+        upper.cells = buckets_[b].cells;
+        upper.cells.lo[axis] = mid;
+        buckets_[b].cells.hi[axis] = mid;
+
+        // Move records whose cell falls in the upper half.
+        auto& lower_records = buckets_[b].records;
+        auto pivot = std::partition(
+            lower_records.begin(), lower_records.end(),
+            [&](const GridRecord<D>& r) {
+                return scales_[axis].locate(r.point[axis]) < mid;
+            });
+        upper.records.assign(std::make_move_iterator(pivot),
+                             std::make_move_iterator(lower_records.end()));
+        lower_records.erase(pivot, lower_records.end());
+
+        buckets_.push_back(std::move(upper));
+        for_each_cell(buckets_[new_id].cells,
+                      [&](const std::array<std::uint32_t, D>& cell) {
+                          dir_.set(cell, new_id);
+                      });
+
+        return buckets_[new_id].records.size() >
+                       buckets_[b].records.size()
+                   ? new_id
+                   : b;
+    }
+
+    Rect<D> domain_;
+    Config config_;
+    std::vector<LinearScale> scales_;
+    GridDirectory<D> dir_;
+    std::vector<Bucket> buckets_;
+    std::size_t record_count_ = 0;
+};
+
+}  // namespace pgf

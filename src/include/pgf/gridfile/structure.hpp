@@ -1,0 +1,84 @@
+// Dimension-erased snapshot of a grid file's structure.
+//
+// Declustering operates on buckets (their cell boxes and data-space
+// regions), never on individual records, and does not need the compile-time
+// dimension the storage layer uses. GridFile<D>::structure() exports this
+// snapshot; Cartesian product files build one directly (every cell its own
+// bucket); all declustering algorithms, conflict-resolution heuristics and
+// quality metrics consume it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// One bucket: the half-open box of grid cells it covers, its data-space
+/// region, and how many records it holds.
+struct BucketInfo {
+    std::vector<std::uint32_t> cell_lo;  ///< inclusive per-axis cell bound
+    std::vector<std::uint32_t> cell_hi;  ///< exclusive per-axis cell bound
+    std::vector<double> region_lo;       ///< inclusive data-space bound
+    std::vector<double> region_hi;       ///< exclusive data-space bound
+    std::size_t record_count = 0;
+
+    std::uint64_t cell_count() const {
+        std::uint64_t n = 1;
+        for (std::size_t i = 0; i < cell_lo.size(); ++i)
+            n *= cell_hi[i] - cell_lo[i];
+        return n;
+    }
+
+    bool merged() const { return cell_count() > 1; }
+
+    double volume() const {
+        double v = 1.0;
+        for (std::size_t i = 0; i < region_lo.size(); ++i)
+            v *= region_hi[i] - region_lo[i];
+        return v;
+    }
+};
+
+/// The whole file: grid shape, data-space domain, and all buckets.
+struct GridStructure {
+    std::vector<std::uint32_t> shape;  ///< cells per axis
+    std::vector<double> domain_lo;
+    std::vector<double> domain_hi;
+    std::vector<BucketInfo> buckets;
+
+    std::size_t dims() const { return shape.size(); }
+    std::size_t bucket_count() const { return buckets.size(); }
+
+    std::uint64_t cell_count() const {
+        std::uint64_t n = 1;
+        for (std::uint32_t s : shape) n *= s;
+        return n;
+    }
+
+    std::size_t merged_bucket_count() const {
+        std::size_t n = 0;
+        for (const auto& b : buckets) n += b.merged() ? 1u : 0u;
+        return n;
+    }
+
+    double domain_extent(std::size_t axis) const {
+        return domain_hi[axis] - domain_lo[axis];
+    }
+
+    /// Sanity-checks internal consistency (matching dims, cells covered
+    /// exactly once). O(cells); used by tests and bench setup.
+    void validate() const;
+};
+
+/// Builds the structure of a Cartesian product file: a grid of `shape`
+/// cells over the given domain where every cell is its own bucket (in
+/// row-major order, last axis fastest) holding `records_per_cell` records.
+GridStructure make_cartesian_structure(std::vector<std::uint32_t> shape,
+                                       std::vector<double> domain_lo,
+                                       std::vector<double> domain_hi,
+                                       std::size_t records_per_cell = 1);
+
+}  // namespace pgf

@@ -1,0 +1,30 @@
+// Point-to-point message cost model (latency + bandwidth), the standard
+// first-order model of the SP-2's high-performance switch.
+#pragma once
+
+#include <cstddef>
+
+#include "pgf/sim/des.hpp"
+
+namespace pgf {
+
+struct NetworkParams {
+    double latency_s = 40e-6;            ///< per-message latency
+    double bandwidth_bytes_per_s = 35e6; ///< sustained point-to-point rate
+};
+
+class Network {
+public:
+    explicit Network(NetworkParams params = {});
+
+    /// Time for one message of `bytes` payload between two nodes.
+    /// Local (self-addressed) messages cost nothing.
+    sim::SimTime transfer_time(std::size_t bytes, bool remote = true) const;
+
+    const NetworkParams& params() const { return params_; }
+
+private:
+    NetworkParams params_;
+};
+
+}  // namespace pgf

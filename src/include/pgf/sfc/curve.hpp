@@ -1,0 +1,39 @@
+// Unified front-end over the supported cell linearizations.
+//
+// HCAM uses the Hilbert curve; the others exist for the linearization
+// ablation (paper Sec. 2.3 cites the comparison of Hilbert vs column scan,
+// z-curve and Gray coding).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pgf::sfc {
+
+enum class CurveKind {
+    kHilbert,   ///< Hilbert curve (HCAM's H function)
+    kMorton,    ///< Z-order / bit interleaving
+    kGray,      ///< Gray-code ordering
+    kScan,      ///< column-wise (row-major mixed-radix) scan
+};
+
+std::string to_string(CurveKind kind);
+
+/// Linearizes the cell at `coords` within a grid of the given `shape`
+/// (shape[i] = number of cells along axis i; coords[i] < shape[i]).
+///
+/// Power-of-two curves (Hilbert/Morton/Gray) are evaluated in the smallest
+/// enclosing 2^b cube; kScan uses the exact mixed-radix row-major index.
+/// Ranks are therefore not necessarily dense for non-power-of-two shapes;
+/// they are used only for ordering and round-robin disk assignment, where
+/// gaps are harmless.
+std::uint64_t linearize(CurveKind kind, std::span<const std::uint32_t> coords,
+                        std::span<const std::uint32_t> shape);
+
+/// All cells of `shape` sorted by their rank along the curve.
+std::vector<std::vector<std::uint32_t>> curve_order(
+    CurveKind kind, std::span<const std::uint32_t> shape);
+
+}  // namespace pgf::sfc

@@ -1,0 +1,35 @@
+// d-dimensional Hilbert curve (Skilling's transpose algorithm).
+//
+// This is the H(i_1, ..., i_d) mapping used by the HCAM declustering scheme
+// (Faloutsos & Bhagwat): grid cells are linearized along the Hilbert curve
+// of the smallest enclosing power-of-two cube and then assigned to disks
+// round-robin.
+//
+// Reference: J. Skilling, "Programming the Hilbert curve", AIP Conf. Proc.
+// 707 (2004). The algorithm transforms coordinates to/from the "transpose"
+// bit layout of the Hilbert index in O(d * b) bit operations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pgf::sfc {
+
+/// Maximum total index width supported (dims * bits must fit in 64 bits).
+inline constexpr unsigned kMaxIndexBits = 64;
+
+/// Hilbert index of the cell at `coords` in a [0, 2^bits)^dims cube.
+/// Requirements: 1 <= dims, 1 <= bits, dims*bits <= 64, coords[i] < 2^bits.
+std::uint64_t hilbert_index(std::span<const std::uint32_t> coords,
+                            unsigned bits);
+
+/// Inverse mapping: cell coordinates of Hilbert index `index`.
+std::vector<std::uint32_t> hilbert_coords(std::uint64_t index, unsigned dims,
+                                          unsigned bits);
+
+/// Smallest b such that every extent fits: max_i ceil(log2(shape[i])),
+/// at least 1. Used to pick the enclosing cube for non-square grids.
+unsigned bits_for_shape(std::span<const std::uint32_t> shape);
+
+}  // namespace pgf::sfc

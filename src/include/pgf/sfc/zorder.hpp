@@ -1,0 +1,24 @@
+// Z-order (Morton) linearization: straight bit interleaving.
+//
+// One of the alternative linearizations the paper's Sec. 2.3 cites when
+// noting that the Hilbert curve clusters better than column-wise scan,
+// z-curve and Gray coding; included for the linearization ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace pgf::sfc {
+
+/// Morton index of `coords` in a [0, 2^bits)^dims cube. Bit q of coordinate
+/// i maps to index bit q*dims + (dims-1-i), i.e. dimension 0 is the most
+/// significant within each bit plane (matching hilbert_index's convention).
+std::uint64_t morton_index(std::span<const std::uint32_t> coords,
+                           unsigned bits);
+
+/// Inverse of morton_index.
+std::vector<std::uint32_t> morton_coords(std::uint64_t index, unsigned dims,
+                                         unsigned bits);
+
+}  // namespace pgf::sfc

@@ -1,0 +1,99 @@
+// LRU buffer pool over a PageFile.
+//
+// Pages are pinned through RAII PageRef handles; unpinned pages stay
+// cached until LRU eviction. Dirty pages are written back on eviction and
+// on flush_all(). Statistics (hits/misses/evictions/writebacks) feed the
+// storage micro-benchmarks and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "pgf/storage/page_file.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+class BufferPool {
+public:
+    /// `capacity` = maximum resident pages; must be >= 1.
+    BufferPool(PageFile& file, std::size_t capacity);
+
+    BufferPool(const BufferPool&) = delete;
+    BufferPool& operator=(const BufferPool&) = delete;
+    ~BufferPool();
+
+    /// RAII pin on a buffered page.
+    class PageRef {
+    public:
+        PageRef(PageRef&& o) noexcept : pool_(o.pool_), frame_(o.frame_) {
+            o.pool_ = nullptr;
+        }
+        PageRef& operator=(PageRef&&) = delete;
+        PageRef(const PageRef&) = delete;
+        PageRef& operator=(const PageRef&) = delete;
+        ~PageRef() {
+            if (pool_ != nullptr) pool_->unpin(frame_);
+        }
+
+        std::span<std::byte> data();
+        std::span<const std::byte> data() const;
+        std::uint64_t page_id() const;
+        /// Marks the page for write-back.
+        void mark_dirty();
+
+    private:
+        friend class BufferPool;
+        PageRef(BufferPool* pool, std::size_t frame)
+            : pool_(pool), frame_(frame) {}
+        BufferPool* pool_;
+        std::size_t frame_;
+    };
+
+    /// Fetches (and pins) page `id`, reading it from the file on a miss.
+    PageRef fetch(std::uint64_t id);
+
+    /// Allocates a fresh zeroed page in the file and pins it.
+    PageRef allocate();
+
+    /// Writes back every dirty page and syncs the file. Requires no pinned
+    /// pages with outstanding writes is NOT required — pinned pages are
+    /// flushed too (they stay resident).
+    void flush_all();
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t resident() const { return table_.size(); }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+private:
+    struct Frame {
+        std::uint64_t page_id = 0;
+        std::vector<std::byte> data;
+        std::uint32_t pin_count = 0;
+        bool dirty = false;
+        std::uint64_t last_use = 0;
+        bool in_use = false;
+    };
+
+    std::size_t frame_for(std::uint64_t id);
+    std::size_t grab_frame();
+    void unpin(std::size_t frame);
+
+    PageFile& file_;
+    std::size_t capacity_;
+    std::vector<Frame> frames_;
+    std::unordered_map<std::uint64_t, std::size_t> table_;  // page -> frame
+    std::uint64_t clock_ = 0;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+}  // namespace pgf

@@ -1,0 +1,61 @@
+// File-backed page store: the persistence substrate under the grid file.
+//
+// Layout: a superblock at offset 0 (magic, page size, page count) followed
+// by fixed-size pages. Page ids are 0-based over the data pages; the
+// superblock is not addressable. All I/O is synchronous and unbuffered at
+// this layer — caching is the BufferPool's job.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+
+namespace pgf {
+
+class PageFile {
+public:
+    static constexpr std::size_t kDefaultPageSize = 4096;
+    static constexpr std::size_t kMinPageSize = 64;
+
+    /// Creates (truncating) a page file with the given page size.
+    static PageFile create(const std::string& path,
+                           std::size_t page_size = kDefaultPageSize);
+
+    /// Opens an existing page file; the page size comes from the superblock.
+    static PageFile open(const std::string& path);
+
+    PageFile(PageFile&&) = default;
+    PageFile& operator=(PageFile&&) = default;
+    PageFile(const PageFile&) = delete;
+    PageFile& operator=(const PageFile&) = delete;
+    ~PageFile();
+
+    std::size_t page_size() const { return page_size_; }
+    std::uint64_t page_count() const { return page_count_; }
+    const std::string& path() const { return path_; }
+
+    /// Appends a zeroed page; returns its id.
+    std::uint64_t allocate();
+
+    /// Reads page `id` into `out` (out.size() must equal page_size()).
+    void read(std::uint64_t id, std::span<std::byte> out);
+
+    /// Writes `data` (page_size() bytes) to page `id`.
+    void write(std::uint64_t id, std::span<const std::byte> data);
+
+    /// Flushes the stream and persists the superblock.
+    void sync();
+
+private:
+    PageFile() = default;
+    void write_superblock();
+
+    std::string path_;
+    std::size_t page_size_ = 0;
+    std::uint64_t page_count_ = 0;
+    mutable std::fstream stream_;
+};
+
+}  // namespace pgf

@@ -1,0 +1,39 @@
+// Physical partitioning: turn a declustering assignment into per-disk page
+// files — the loading step a shared-nothing deployment performs before
+// queries run (the paper's grid files were "distributed over all the
+// participating processors' local disks", Sec. 3.5).
+//
+// Pages are appended to each disk's file in bucket-id order, so a disk's
+// buckets become sequential on its platter — the layout the disk model's
+// sequential-read optimization rewards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pgf/decluster/types.hpp"
+
+namespace pgf {
+
+struct PartitionResult {
+    /// Pages written to each disk file.
+    std::vector<std::uint64_t> pages_per_disk;
+    /// location[b] = (disk, page id within that disk's file) of bucket b.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> location;
+    /// Paths of the created per-disk page files.
+    std::vector<std::string> paths;
+};
+
+/// Copies each bucket's page out of `source_path` (a PageFile, e.g. the
+/// backing store of a PagedGridFile) into `<output_prefix>.disk<k>`, where
+/// k = assignment.disk_of[bucket]. `bucket_pages[b]` is bucket b's page id
+/// in the source file (PagedGridFile::bucket_page). Existing output files
+/// are truncated.
+PartitionResult partition_pages(const std::string& source_path,
+                                const std::vector<std::uint64_t>& bucket_pages,
+                                const Assignment& assignment,
+                                const std::string& output_prefix);
+
+}  // namespace pgf

@@ -1,0 +1,65 @@
+// Little-endian byte stream over a BufferPool.
+//
+// ByteWriter appends to consecutively allocated pages; ByteReader walks the
+// same page sequence. Formats built on these are self-describing (every
+// variable-length field is count-prefixed), so no total length is stored.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pgf/storage/buffer_pool.hpp"
+
+namespace pgf {
+
+class ByteWriter {
+public:
+    /// Starts writing at a fresh page of `pool`; first_page() gives the
+    /// entry point a loader must start from.
+    explicit ByteWriter(BufferPool& pool);
+
+    void put_u8(std::uint8_t v);
+    void put_u32(std::uint32_t v);
+    void put_u64(std::uint64_t v);
+    void put_f64(double v);
+    void put_string(const std::string& s);  // u32 length + bytes
+
+    /// Flushes the current page; the writer must not be used afterwards.
+    void finish();
+
+    std::uint64_t first_page() const { return first_page_; }
+    std::uint64_t bytes_written() const { return bytes_; }
+
+private:
+    void put_byte(std::byte b);
+
+    BufferPool& pool_;
+    std::uint64_t first_page_;
+    std::uint64_t current_page_;
+    std::size_t offset_ = 0;
+    std::uint64_t bytes_ = 0;
+    bool finished_ = false;
+};
+
+class ByteReader {
+public:
+    ByteReader(BufferPool& pool, std::uint64_t first_page);
+
+    std::uint8_t get_u8();
+    std::uint32_t get_u32();
+    std::uint64_t get_u64();
+    double get_f64();
+    std::string get_string();
+
+    std::uint64_t bytes_read() const { return bytes_; }
+
+private:
+    std::byte get_byte();
+
+    BufferPool& pool_;
+    std::uint64_t current_page_;
+    std::size_t offset_ = 0;
+    std::uint64_t bytes_ = 0;
+};
+
+}  // namespace pgf

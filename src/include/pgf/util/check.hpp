@@ -1,0 +1,39 @@
+// Checked assertions for the pgf library.
+//
+// PGF_CHECK is active in all build types: library invariants and argument
+// validation must not silently disappear in release builds, because the
+// experiment harness relies on them to catch mis-configured runs.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pgf {
+
+/// Error thrown when a PGF_CHECK fails. Derives from std::logic_error since
+/// a failed check always indicates a programming or configuration error.
+class CheckError : public std::logic_error {
+public:
+    explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+/// Builds the failure message and throws CheckError. Out-of-line so the
+/// macro expansion stays small at every call site.
+[[noreturn]] void check_failed(const char* expr, const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+}  // namespace pgf
+
+/// Validate a condition; throws pgf::CheckError with location info on
+/// failure. `msg` is any expression convertible to std::string.
+#define PGF_CHECK(cond, msg)                                             \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::pgf::detail::check_failed(#cond, __FILE__, __LINE__, msg); \
+        }                                                                \
+    } while (0)
+
+/// Shorthand for argument validation with a default message.
+#define PGF_REQUIRE(cond) PGF_CHECK(cond, "requirement violated")

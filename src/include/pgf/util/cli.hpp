@@ -1,0 +1,40 @@
+// Minimal command-line flag parser for bench/example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` forms.
+// Unknown positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pgf {
+
+class Cli {
+public:
+    Cli(int argc, const char* const* argv);
+
+    /// True if the flag was present (with or without a value).
+    bool has(const std::string& name) const;
+
+    std::string get_string(const std::string& name,
+                           const std::string& fallback) const;
+    std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+    double get_double(const std::string& name, double fallback) const;
+    /// `--name`, `--name=true/1/yes/on` → true; `--name=false/0/no/off` → false.
+    bool get_bool(const std::string& name, bool fallback) const;
+
+    const std::vector<std::string>& positional() const { return positional_; }
+    const std::string& program() const { return program_; }
+
+private:
+    std::optional<std::string> raw(const std::string& name) const;
+
+    std::string program_;
+    std::map<std::string, std::string> flags_;  // empty string = bare flag
+    std::vector<std::string> positional_;
+};
+
+}  // namespace pgf

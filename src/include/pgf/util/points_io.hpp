@@ -1,0 +1,25 @@
+// CSV import/export of multidimensional points — the ingestion path of the
+// pgfcli tool (tools/pgfcli.cpp).
+//
+// Format: one point per line, numeric columns separated by `delimiter`.
+// Blank lines and lines starting with '#' are skipped; a single leading
+// non-numeric row is treated as a header and skipped. All data rows must
+// have the same column count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pgf {
+
+/// Reads every point row of `path`. Throws CheckError on unreadable files,
+/// non-numeric cells, or ragged rows.
+std::vector<std::vector<double>> read_csv_points(const std::string& path,
+                                                 char delimiter = ',');
+
+/// Writes rows to `path` (no header). Throws CheckError on I/O failure.
+void write_csv_points(const std::string& path,
+                      const std::vector<std::vector<double>>& rows,
+                      char delimiter = ',');
+
+}  // namespace pgf

@@ -1,0 +1,63 @@
+// Streaming and batch statistics used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pgf {
+
+/// Numerically stable streaming mean/variance/min/max (Welford's algorithm).
+class OnlineStats {
+public:
+    void add(double x);
+
+    /// Merges another accumulator into this one (parallel-combine form of
+    /// Welford's update).
+    void merge(const OnlineStats& other);
+
+    std::size_t count() const { return n_; }
+    double mean() const;
+    /// Sample variance (divides by n-1); 0 for fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Returns the q-quantile (q in [0,1]) of `values` using linear
+/// interpolation between order statistics. Copies and sorts internally.
+double quantile(std::vector<double> values, double q);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+/// the range are clamped into the first/last bin. Used for dataset
+/// distribution reports (paper Fig. 5).
+class Histogram {
+public:
+    Histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    std::size_t bin_count(std::size_t i) const;
+    std::size_t bins() const { return counts_.size(); }
+    std::size_t total() const { return total_; }
+    double bin_lo(std::size_t i) const;
+    double bin_hi(std::size_t i) const;
+
+    /// Renders a compact ASCII bar chart (one line per bin).
+    std::string ascii(std::size_t max_width = 50) const;
+
+private:
+    double lo_, hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+}  // namespace pgf

@@ -1,0 +1,82 @@
+// ASCII table and CSV emission for the experiment harness.
+//
+// Every bench binary reproduces a table or figure from the paper; TextTable
+// renders the same rows the paper reports, and CsvWriter persists the series
+// for plotting.
+#pragma once
+
+#include <cstddef>
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace pgf {
+
+/// Formats a double with the given precision, trimming trailing zeros only
+/// when `trim` is set.
+std::string format_double(double value, int precision = 2, bool trim = false);
+
+/// Column-aligned ASCII table with a header row and separator line.
+class TextTable {
+public:
+    TextTable() = default;
+    explicit TextTable(std::vector<std::string> header);
+
+    void set_header(std::vector<std::string> header);
+    void add_row(std::vector<std::string> row);
+
+    /// Convenience: builds a row from heterogeneous cell values.
+    template <typename... Cells>
+    void add(const Cells&... cells) {
+        std::vector<std::string> row;
+        row.reserve(sizeof...(Cells));
+        (row.push_back(to_cell(cells)), ...);
+        add_row(std::move(row));
+    }
+
+    std::size_t rows() const { return rows_.size(); }
+
+    /// Renders with two-space column gaps and a dashed rule under the header.
+    void print(std::ostream& os) const;
+    std::string str() const;
+
+    /// Writes the table as CSV (header + rows) to `path`. Returns false if
+    /// the file could not be opened.
+    bool write_csv(const std::string& path) const;
+
+private:
+    template <typename T>
+    static std::string to_cell(const T& v) {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(v);
+        } else if constexpr (std::is_floating_point_v<T>) {
+            return format_double(static_cast<double>(v));
+        } else {
+            std::ostringstream os;
+            os << v;
+            return os.str();
+        }
+    }
+
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Streams rows of doubles/strings to a CSV file as the experiment runs.
+class CsvWriter {
+public:
+    /// Opens `path` for writing and emits the header. Throws CheckError on
+    /// failure to open.
+    CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+    void write_row(const std::vector<std::string>& cells);
+    void write_row(std::initializer_list<double> values);
+
+private:
+    std::ofstream out_;
+};
+
+}  // namespace pgf

@@ -1,0 +1,83 @@
+// Persistent worker pool with a deterministic parallel_for.
+//
+// The O(N^2) declustering algorithms (minimax, nearest-neighbor scans)
+// spend their time in embarrassingly parallel sweeps over the not-yet-
+// assigned vertex set; this pool parallelizes those sweeps while keeping
+// results bit-identical to the serial code: chunks are fixed-size and
+// indexed, and reductions combine per-chunk results in chunk order.
+//
+// The calling thread participates in the work, so a pool of size 1 degrades
+// to plain serial execution with no synchronization beyond one mutex.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pgf {
+
+class ThreadPool {
+public:
+    /// Creates `threads` workers in addition to the calling thread; 0 means
+    /// hardware_concurrency - 1 (so total parallelism = core count).
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total parallelism (workers + the calling thread).
+    unsigned parallelism() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+    /// Invokes fn(begin, end) over disjoint chunks covering [0, n).
+    /// Blocks until every chunk completed. fn must not throw.
+    void parallel_for(std::size_t n,
+                      const std::function<void(std::size_t, std::size_t)>& fn);
+
+    /// Deterministic parallel argmin: reduce(chunk_index, begin, end) maps
+    /// each chunk to a value; combine(acc, value) folds them IN CHUNK ORDER
+    /// on the calling thread. (Provided as a convenience built on
+    /// parallel_for.)
+    template <typename Value, typename Reduce, typename Combine>
+    Value map_reduce(std::size_t n, Value init, Reduce reduce,
+                     Combine combine) {
+        const std::size_t chunk = chunk_size(n);
+        if (chunk == 0) return init;
+        const std::size_t chunks = (n + chunk - 1) / chunk;
+        std::vector<Value> partial(chunks, init);
+        parallel_for(n, [&](std::size_t begin, std::size_t end) {
+            partial[begin / chunk] = reduce(begin, end);
+        });
+        Value acc = init;
+        for (const Value& v : partial) acc = combine(acc, v);
+        return acc;
+    }
+
+    /// Chunk size used for n items (exposed so map_reduce's chunk->index
+    /// arithmetic is testable).
+    std::size_t chunk_size(std::size_t n) const;
+
+private:
+    void worker_loop();
+
+    struct Task {
+        const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+        std::size_t n = 0;
+        std::size_t chunk = 0;
+        std::size_t next = 0;       ///< next chunk start to claim
+        std::size_t outstanding = 0;  ///< chunks not yet finished
+        std::uint64_t generation = 0;
+    };
+
+    std::mutex mutex_;
+    std::condition_variable work_cv_;
+    std::condition_variable done_cv_;
+    Task task_;
+    bool shutdown_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace pgf

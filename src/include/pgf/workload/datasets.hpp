@@ -1,0 +1,76 @@
+// Dataset generators for every benchmark the paper runs.
+//
+// The three 2-d synthetic datasets follow Sec. 2.2 exactly. The two real
+// datasets (a DSMC particle snapshot and two years of stock quotes) are not
+// redistributable, so statistically equivalent synthetic generators stand
+// in for them — see DESIGN.md §3 for the substitution rationale. Every
+// generator is deterministic in the supplied Rng.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pgf/geom/point.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+/// A generated dataset plus the grid-file parameters used in experiments.
+template <std::size_t D>
+struct Dataset {
+    std::string name;
+    std::vector<Point<D>> points;
+    Rect<D> domain;
+    /// Records per 4 KB (8 KB for the 4-d dataset) bucket, chosen so the
+    /// resulting grid file's bucket count is close to the paper's.
+    std::size_t bucket_capacity = 56;
+
+    /// Builds the grid file the paper's experiments load.
+    GridFile<D> build() const {
+        typename GridFile<D>::Config config;
+        config.bucket_capacity = bucket_capacity;
+        GridFile<D> gf(domain, config);
+        gf.bulk_load(points);
+        return gf;
+    }
+};
+
+/// uniform.2d: n points uniform over [0,2000]^2 (paper: n = 10,000).
+Dataset<2> make_uniform2d(Rng& rng, std::size_t n = 10000);
+
+/// hotspot.2d: n/2 uniform points overlaid with n/2 normally distributed
+/// points centered in the domain (paper's hot.2d).
+Dataset<2> make_hotspot2d(Rng& rng, std::size_t n = 10000);
+
+/// correl.2d: n points normally distributed along the diagonal y = x
+/// (correlated attributes).
+Dataset<2> make_correl2d(Rng& rng, std::size_t n = 10000);
+
+/// DSMC.3d stand-in: particles from a rarefied-flow scene — uniform free
+/// stream, compression buildup ahead of an embedded flat plate, rarefied
+/// wake behind it (paper: n = 52,857).
+Dataset<3> make_dsmc3d(Rng& rng, std::size_t n = 52857);
+
+/// stock.3d stand-in: (stock id, closing price, trading day) for
+/// `stocks` geometric-random-walk price series; record count is exactly
+/// `n` (paper: 383 stocks, n = 127,026 quotes).
+Dataset<3> make_stock3d(Rng& rng, std::size_t n = 127026,
+                        std::size_t stocks = 383);
+
+/// 4-d spatio-temporal DSMC stand-in for the SP-2 experiment: `snapshots`
+/// time steps of the 3-d scene with the plate/shock front advecting
+/// downstream; coordinates are (t, x, y, z)
+/// (paper: 59 snapshots, ~3M records, 8 KB buckets).
+Dataset<4> make_dsmc4d(Rng& rng, std::size_t snapshots = 59,
+                       std::size_t per_snapshot = 50847);
+
+/// MHD.3d stand-in (the paper's conclusion names an MHD magnetosphere
+/// simulation as its second large evaluation dataset, after Tanaka '93):
+/// plasma density around a non-magnetized planet in the solar wind —
+/// uniform free stream, a dense compressed sheath between the paraboloid
+/// bow shock and the obstacle, a rarefied cavity/tail behind it.
+Dataset<3> make_mhd3d(Rng& rng, std::size_t n = 60000);
+
+}  // namespace pgf

@@ -1,0 +1,19 @@
+#include "pgf/parallel/network.hpp"
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+Network::Network(NetworkParams params) : params_(params) {
+    PGF_CHECK(params_.bandwidth_bytes_per_s > 0.0,
+              "network bandwidth must be positive");
+    PGF_CHECK(params_.latency_s >= 0.0, "network latency must be >= 0");
+}
+
+sim::SimTime Network::transfer_time(std::size_t bytes, bool remote) const {
+    if (!remote) return 0.0;
+    return params_.latency_s +
+           static_cast<double>(bytes) / params_.bandwidth_bytes_per_s;
+}
+
+}  // namespace pgf

@@ -1,0 +1,81 @@
+#include "pgf/sfc/curve.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pgf/sfc/gray.hpp"
+#include "pgf/sfc/hilbert.hpp"
+#include "pgf/sfc/zorder.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf::sfc {
+
+std::string to_string(CurveKind kind) {
+    switch (kind) {
+        case CurveKind::kHilbert: return "hilbert";
+        case CurveKind::kMorton: return "morton";
+        case CurveKind::kGray: return "gray";
+        case CurveKind::kScan: return "scan";
+    }
+    return "unknown";
+}
+
+std::uint64_t linearize(CurveKind kind, std::span<const std::uint32_t> coords,
+                        std::span<const std::uint32_t> shape) {
+    PGF_CHECK(coords.size() == shape.size(),
+              "linearize: coords/shape dimensionality mismatch");
+    for (std::size_t i = 0; i < coords.size(); ++i) {
+        PGF_CHECK(coords[i] < shape[i], "linearize: coordinate out of grid");
+    }
+    if (kind == CurveKind::kScan) {
+        // Row-major mixed-radix index: last axis varies fastest.
+        std::uint64_t idx = 0;
+        for (std::size_t i = 0; i < coords.size(); ++i) {
+            idx = idx * shape[i] + coords[i];
+        }
+        return idx;
+    }
+    unsigned bits = bits_for_shape(shape);
+    switch (kind) {
+        case CurveKind::kHilbert: return hilbert_index(coords, bits);
+        case CurveKind::kMorton: return morton_index(coords, bits);
+        case CurveKind::kGray: return gray_index(coords, bits);
+        case CurveKind::kScan: break;  // handled above
+    }
+    PGF_CHECK(false, "linearize: unknown curve kind");
+    return 0;
+}
+
+std::vector<std::vector<std::uint32_t>> curve_order(
+    CurveKind kind, std::span<const std::uint32_t> shape) {
+    std::uint64_t total = 1;
+    for (std::uint32_t s : shape) {
+        PGF_CHECK(s > 0, "curve_order: empty axis");
+        total *= s;
+    }
+    std::vector<std::vector<std::uint32_t>> cells;
+    cells.reserve(total);
+    std::vector<std::uint32_t> cur(shape.size(), 0);
+    for (std::uint64_t n = 0; n < total; ++n) {
+        cells.push_back(cur);
+        // Odometer increment, last axis fastest.
+        for (std::size_t i = shape.size(); i-- > 0;) {
+            if (++cur[i] < shape[i]) break;
+            cur[i] = 0;
+        }
+    }
+    std::vector<std::uint64_t> rank(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        rank[i] = linearize(kind, cells[i], shape);
+    }
+    std::vector<std::size_t> order(cells.size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return rank[a] < rank[b]; });
+    std::vector<std::vector<std::uint32_t>> sorted;
+    sorted.reserve(cells.size());
+    for (std::size_t i : order) sorted.push_back(std::move(cells[i]));
+    return sorted;
+}
+
+}  // namespace pgf::sfc

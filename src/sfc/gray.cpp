@@ -1,0 +1,24 @@
+#include "pgf/sfc/gray.hpp"
+
+#include "pgf/sfc/zorder.hpp"
+
+namespace pgf::sfc {
+
+std::uint64_t gray_encode(std::uint64_t v) { return v ^ (v >> 1); }
+
+std::uint64_t gray_decode(std::uint64_t g) {
+    // Prefix-xor via doubling: O(log bits) steps.
+    g ^= g >> 1;
+    g ^= g >> 2;
+    g ^= g >> 4;
+    g ^= g >> 8;
+    g ^= g >> 16;
+    g ^= g >> 32;
+    return g;
+}
+
+std::uint64_t gray_index(std::span<const std::uint32_t> coords, unsigned bits) {
+    return gray_decode(morton_index(coords, bits));
+}
+
+}  // namespace pgf::sfc

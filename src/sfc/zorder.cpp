@@ -1,0 +1,46 @@
+#include "pgf/sfc/zorder.hpp"
+
+#include "pgf/sfc/hilbert.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf::sfc {
+
+namespace {
+void validate(unsigned dims, unsigned bits) {
+    PGF_CHECK(dims >= 1, "morton: dims must be >= 1");
+    PGF_CHECK(bits >= 1 && bits <= 32, "morton: bits must be in [1,32]");
+    PGF_CHECK(dims * bits <= kMaxIndexBits,
+              "morton: dims*bits must fit in a 64-bit index");
+}
+}  // namespace
+
+std::uint64_t morton_index(std::span<const std::uint32_t> coords,
+                           unsigned bits) {
+    const auto dims = static_cast<unsigned>(coords.size());
+    validate(dims, bits);
+    std::uint64_t index = 0;
+    for (unsigned q = bits; q-- > 0;) {
+        for (unsigned i = 0; i < dims; ++i) {
+            PGF_CHECK(bits == 32 || coords[i] < (1u << bits),
+                      "morton: coordinate exceeds the 2^bits cube");
+            index = (index << 1) | ((coords[i] >> q) & 1u);
+        }
+    }
+    return index;
+}
+
+std::vector<std::uint32_t> morton_coords(std::uint64_t index, unsigned dims,
+                                         unsigned bits) {
+    validate(dims, bits);
+    std::vector<std::uint32_t> coords(dims, 0);
+    unsigned shift = dims * bits;
+    for (unsigned q = bits; q-- > 0;) {
+        for (unsigned i = 0; i < dims; ++i) {
+            --shift;
+            coords[i] |= static_cast<std::uint32_t>((index >> shift) & 1u) << q;
+        }
+    }
+    return coords;
+}
+
+}  // namespace pgf::sfc

@@ -1,0 +1,116 @@
+#include "pgf/storage/buffer_pool.hpp"
+
+namespace pgf {
+
+BufferPool::BufferPool(PageFile& file, std::size_t capacity)
+    : file_(file), capacity_(capacity) {
+    PGF_CHECK(capacity_ >= 1, "BufferPool needs at least one frame");
+    frames_.resize(capacity_);
+}
+
+BufferPool::~BufferPool() {
+    // Best-effort flush; failures here cannot throw out of a destructor.
+    try {
+        flush_all();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+}
+
+std::span<std::byte> BufferPool::PageRef::data() {
+    return pool_->frames_[frame_].data;
+}
+
+std::span<const std::byte> BufferPool::PageRef::data() const {
+    return pool_->frames_[frame_].data;
+}
+
+std::uint64_t BufferPool::PageRef::page_id() const {
+    return pool_->frames_[frame_].page_id;
+}
+
+void BufferPool::PageRef::mark_dirty() {
+    pool_->frames_[frame_].dirty = true;
+}
+
+BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
+    auto it = table_.find(id);
+    if (it != table_.end()) {
+        ++hits_;
+        Frame& f = frames_[it->second];
+        ++f.pin_count;
+        f.last_use = ++clock_;
+        return PageRef(this, it->second);
+    }
+    ++misses_;
+    std::size_t frame = grab_frame();
+    Frame& f = frames_[frame];
+    f.page_id = id;
+    f.data.assign(file_.page_size(), std::byte{0});
+    file_.read(id, f.data);
+    f.pin_count = 1;
+    f.dirty = false;
+    f.last_use = ++clock_;
+    f.in_use = true;
+    table_[id] = frame;
+    return PageRef(this, frame);
+}
+
+BufferPool::PageRef BufferPool::allocate() {
+    std::uint64_t id = file_.allocate();
+    std::size_t frame = grab_frame();
+    Frame& f = frames_[frame];
+    f.page_id = id;
+    f.data.assign(file_.page_size(), std::byte{0});
+    f.pin_count = 1;
+    f.dirty = false;
+    f.last_use = ++clock_;
+    f.in_use = true;
+    table_[id] = frame;
+    return PageRef(this, frame);
+}
+
+std::size_t BufferPool::grab_frame() {
+    // Free frame first.
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        if (!frames_[i].in_use) return i;
+    }
+    // LRU among unpinned frames.
+    std::size_t victim = frames_.size();
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        if (frames_[i].pin_count == 0 &&
+            (victim == frames_.size() ||
+             frames_[i].last_use < frames_[victim].last_use)) {
+            victim = i;
+        }
+    }
+    PGF_CHECK(victim < frames_.size(),
+              "BufferPool exhausted: every frame is pinned");
+    Frame& f = frames_[victim];
+    if (f.dirty) {
+        file_.write(f.page_id, f.data);
+        ++writebacks_;
+    }
+    table_.erase(f.page_id);
+    f.in_use = false;
+    ++evictions_;
+    return victim;
+}
+
+void BufferPool::unpin(std::size_t frame) {
+    Frame& f = frames_[frame];
+    PGF_CHECK(f.pin_count > 0, "unpin of an unpinned frame");
+    --f.pin_count;
+}
+
+void BufferPool::flush_all() {
+    for (Frame& f : frames_) {
+        if (f.in_use && f.dirty) {
+            file_.write(f.page_id, f.data);
+            f.dirty = false;
+            ++writebacks_;
+        }
+    }
+    file_.sync();
+}
+
+}  // namespace pgf

@@ -1,0 +1,116 @@
+#include "pgf/storage/page_file.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'G', 'F', 'P', 'A', 'G', 'E', '1'};
+constexpr std::size_t kSuperblockSize = 24;  // magic + page_size + page_count
+
+void put_u64(std::byte* out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+    }
+}
+
+std::uint64_t get_u64(const std::byte* in) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+    }
+    return v;
+}
+
+}  // namespace
+
+PageFile PageFile::create(const std::string& path, std::size_t page_size) {
+    PGF_CHECK(page_size >= kMinPageSize, "page size too small");
+    PageFile pf;
+    pf.path_ = path;
+    pf.page_size_ = page_size;
+    pf.page_count_ = 0;
+    pf.stream_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                              std::ios::trunc);
+    PGF_CHECK(pf.stream_.is_open(), "PageFile: cannot create " + path);
+    pf.write_superblock();
+    return pf;
+}
+
+PageFile PageFile::open(const std::string& path) {
+    PageFile pf;
+    pf.path_ = path;
+    pf.stream_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    PGF_CHECK(pf.stream_.is_open(), "PageFile: cannot open " + path);
+    std::byte header[kSuperblockSize];
+    pf.stream_.seekg(0);
+    pf.stream_.read(reinterpret_cast<char*>(header), kSuperblockSize);
+    PGF_CHECK(pf.stream_.good(), "PageFile: truncated superblock in " + path);
+    PGF_CHECK(std::memcmp(header, kMagic, sizeof(kMagic)) == 0,
+              "PageFile: bad magic in " + path);
+    pf.page_size_ = static_cast<std::size_t>(get_u64(header + 8));
+    pf.page_count_ = get_u64(header + 16);
+    PGF_CHECK(pf.page_size_ >= kMinPageSize,
+              "PageFile: corrupt page size in " + path);
+    return pf;
+}
+
+PageFile::~PageFile() {
+    if (stream_.is_open()) {
+        write_superblock();
+        stream_.flush();
+    }
+}
+
+void PageFile::write_superblock() {
+    std::byte header[kSuperblockSize] = {};
+    std::memcpy(header, kMagic, sizeof(kMagic));
+    put_u64(header + 8, page_size_);
+    put_u64(header + 16, page_count_);
+    stream_.clear();
+    stream_.seekp(0);
+    stream_.write(reinterpret_cast<const char*>(header), kSuperblockSize);
+    PGF_CHECK(stream_.good(), "PageFile: superblock write failed");
+}
+
+std::uint64_t PageFile::allocate() {
+    std::uint64_t id = page_count_++;
+    std::vector<std::byte> zero(page_size_, std::byte{0});
+    write(id, zero);
+    return id;
+}
+
+void PageFile::read(std::uint64_t id, std::span<std::byte> out) {
+    PGF_CHECK(id < page_count_, "PageFile: read past end");
+    PGF_CHECK(out.size() == page_size_, "PageFile: read buffer size mismatch");
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(kSuperblockSize +
+                                              id * page_size_));
+    stream_.read(reinterpret_cast<char*>(out.data()),
+                 static_cast<std::streamsize>(page_size_));
+    PGF_CHECK(stream_.good(), "PageFile: read failed");
+}
+
+void PageFile::write(std::uint64_t id, std::span<const std::byte> data) {
+    PGF_CHECK(id < page_count_, "PageFile: write past end");
+    PGF_CHECK(data.size() == page_size_,
+              "PageFile: write buffer size mismatch");
+    stream_.clear();
+    stream_.seekp(static_cast<std::streamoff>(kSuperblockSize +
+                                              id * page_size_));
+    stream_.write(reinterpret_cast<const char*>(data.data()),
+                  static_cast<std::streamsize>(page_size_));
+    PGF_CHECK(stream_.good(), "PageFile: write failed");
+}
+
+void PageFile::sync() {
+    write_superblock();
+    stream_.flush();
+    PGF_CHECK(stream_.good(), "PageFile: sync failed");
+}
+
+}  // namespace pgf

@@ -1,0 +1,48 @@
+#include "pgf/storage/partition.hpp"
+
+#include <memory>
+#include <vector>
+
+#include "pgf/storage/page_file.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+PartitionResult partition_pages(const std::string& source_path,
+                                const std::vector<std::uint64_t>& bucket_pages,
+                                const Assignment& assignment,
+                                const std::string& output_prefix) {
+    PGF_CHECK(bucket_pages.size() == assignment.disk_of.size(),
+              "partition_pages: one page per assigned bucket required");
+    PGF_CHECK(assignment.num_disks >= 1, "partition_pages: need disks");
+
+    PageFile source = PageFile::open(source_path);
+    PartitionResult result;
+    result.pages_per_disk.assign(assignment.num_disks, 0);
+    result.location.resize(bucket_pages.size());
+
+    std::vector<std::unique_ptr<PageFile>> disks;
+    disks.reserve(assignment.num_disks);
+    for (std::uint32_t d = 0; d < assignment.num_disks; ++d) {
+        std::string path = output_prefix + ".disk" + std::to_string(d);
+        disks.push_back(std::make_unique<PageFile>(
+            PageFile::create(path, source.page_size())));
+        result.paths.push_back(std::move(path));
+    }
+
+    std::vector<std::byte> buffer(source.page_size());
+    for (std::size_t b = 0; b < bucket_pages.size(); ++b) {
+        std::uint32_t d = assignment.disk_of[b];
+        PGF_CHECK(d < assignment.num_disks,
+                  "partition_pages: assignment references unknown disk");
+        source.read(bucket_pages[b], buffer);
+        std::uint64_t page = disks[d]->allocate();
+        disks[d]->write(page, buffer);
+        result.location[b] = {d, page};
+        ++result.pages_per_disk[d];
+    }
+    for (auto& disk : disks) disk->sync();
+    return result;
+}
+
+}  // namespace pgf

@@ -1,0 +1,111 @@
+#include "pgf/storage/serializer.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+ByteWriter::ByteWriter(BufferPool& pool) : pool_(pool) {
+    auto page = pool_.allocate();
+    first_page_ = current_page_ = page.page_id();
+    page.mark_dirty();
+}
+
+void ByteWriter::put_byte(std::byte b) {
+    PGF_CHECK(!finished_, "write after finish()");
+    auto page = pool_.fetch(current_page_);
+    if (offset_ == page.data().size()) {
+        auto next = pool_.allocate();
+        // Pages are allocated consecutively by construction; the reader
+        // relies on that to walk the stream.
+        PGF_CHECK(next.page_id() == current_page_ + 1,
+                  "ByteWriter requires exclusive use of the page file");
+        next.mark_dirty();
+        current_page_ = next.page_id();
+        offset_ = 0;
+        next.data()[offset_++] = b;
+        ++bytes_;
+        return;
+    }
+    page.data()[offset_++] = b;
+    page.mark_dirty();
+    ++bytes_;
+}
+
+void ByteWriter::put_u8(std::uint8_t v) { put_byte(static_cast<std::byte>(v)); }
+
+void ByteWriter::put_u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        put_byte(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+}
+
+void ByteWriter::put_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        put_byte(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+}
+
+void ByteWriter::put_f64(double v) { put_u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::put_string(const std::string& s) {
+    put_u32(static_cast<std::uint32_t>(s.size()));
+    for (char c : s) put_byte(static_cast<std::byte>(c));
+}
+
+void ByteWriter::finish() {
+    finished_ = true;
+    pool_.flush_all();
+}
+
+ByteReader::ByteReader(BufferPool& pool, std::uint64_t first_page)
+    : pool_(pool), current_page_(first_page) {}
+
+std::byte ByteReader::get_byte() {
+    auto page = pool_.fetch(current_page_);
+    if (offset_ == page.data().size()) {
+        ++current_page_;
+        offset_ = 0;
+        auto next = pool_.fetch(current_page_);
+        ++bytes_;
+        return next.data()[offset_++];
+    }
+    ++bytes_;
+    return page.data()[offset_++];
+}
+
+std::uint8_t ByteReader::get_u8() {
+    return static_cast<std::uint8_t>(get_byte());
+}
+
+std::uint32_t ByteReader::get_u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(get_byte()) << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t ByteReader::get_u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(get_byte()) << (8 * i);
+    }
+    return v;
+}
+
+double ByteReader::get_f64() { return std::bit_cast<double>(get_u64()); }
+
+std::string ByteReader::get_string() {
+    std::uint32_t n = get_u32();
+    std::string s;
+    s.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(get_byte()));
+    }
+    return s;
+}
+
+}  // namespace pgf

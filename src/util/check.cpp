@@ -1,0 +1,15 @@
+#include "pgf/util/check.hpp"
+
+#include <sstream>
+
+namespace pgf::detail {
+
+void check_failed(const char* expr, const char* file, int line,
+                  const std::string& message) {
+    std::ostringstream os;
+    os << "PGF_CHECK failed: (" << expr << ") at " << file << ":" << line
+       << " — " << message;
+    throw CheckError(os.str());
+}
+
+}  // namespace pgf::detail

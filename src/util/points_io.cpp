@@ -1,0 +1,87 @@
+#include "pgf/util/points_io.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+namespace {
+
+bool parse_row(const std::string& line, char delimiter,
+               std::vector<double>* out) {
+    out->clear();
+    std::size_t start = 0;
+    while (start <= line.size()) {
+        std::size_t end = line.find(delimiter, start);
+        if (end == std::string::npos) end = line.size();
+        std::string cell = line.substr(start, end - start);
+        // Trim surrounding whitespace.
+        std::size_t first = cell.find_first_not_of(" \t\r");
+        if (first == std::string::npos) return false;
+        std::size_t last = cell.find_last_not_of(" \t\r");
+        cell = cell.substr(first, last - first + 1);
+        char* parse_end = nullptr;
+        double v = std::strtod(cell.c_str(), &parse_end);
+        if (parse_end == cell.c_str() || *parse_end != '\0') return false;
+        out->push_back(v);
+        start = end + 1;
+    }
+    return !out->empty();
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> read_csv_points(const std::string& path,
+                                                 char delimiter) {
+    std::ifstream in(path);
+    PGF_CHECK(in.is_open(), "read_csv_points: cannot open " + path);
+    std::vector<std::vector<double>> rows;
+    std::string line;
+    std::vector<double> row;
+    std::size_t line_no = 0;
+    bool first_content_line = true;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Skip blanks and comments.
+        std::size_t first = line.find_first_not_of(" \t\r");
+        if (first == std::string::npos || line[first] == '#') continue;
+        if (!parse_row(line, delimiter, &row)) {
+            // A single leading non-numeric row is a header.
+            PGF_CHECK(first_content_line,
+                      "read_csv_points: non-numeric cell at " + path + ":" +
+                          std::to_string(line_no));
+            first_content_line = false;
+            continue;
+        }
+        first_content_line = false;
+        if (!rows.empty()) {
+            PGF_CHECK(row.size() == rows.front().size(),
+                      "read_csv_points: ragged row at " + path + ":" +
+                          std::to_string(line_no));
+        }
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+void write_csv_points(const std::string& path,
+                      const std::vector<std::vector<double>>& rows,
+                      char delimiter) {
+    std::ofstream out(path);
+    PGF_CHECK(out.is_open(), "write_csv_points: cannot open " + path);
+    std::ostringstream line;
+    for (const auto& row : rows) {
+        line.str("");
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            if (i) line << delimiter;
+            line << row[i];
+        }
+        out << line.str() << '\n';
+    }
+    PGF_CHECK(out.good(), "write_csv_points: write failed for " + path);
+}
+
+}  // namespace pgf

@@ -1,0 +1,110 @@
+#include "pgf/util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+Rng::Rng(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    state_ = sm.next();
+    inc_ = sm.next() | 1u;  // stream selector must be odd
+    next_u32();             // advance once so state depends on inc_
+}
+
+std::uint32_t Rng::next_u32() {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+}
+
+std::uint64_t Rng::next_u64() {
+    return (static_cast<std::uint64_t>(next_u32()) << 32) | next_u32();
+}
+
+std::uint32_t Rng::below(std::uint32_t bound) {
+    PGF_CHECK(bound > 0, "Rng::below requires a positive bound");
+    // Lemire's nearly-divisionless unbiased method.
+    std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    auto lo = static_cast<std::uint32_t>(m);
+    if (lo < bound) {
+        std::uint32_t threshold = (0u - bound) % bound;
+        while (lo < threshold) {
+            m = static_cast<std::uint64_t>(next_u32()) * bound;
+            lo = static_cast<std::uint32_t>(m);
+        }
+    }
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+    PGF_CHECK(lo <= hi, "Rng::uniform_int requires lo <= hi");
+    auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+        return static_cast<std::int64_t>(next_u64());
+    }
+    if (span <= 0xffffffffULL) {
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint32_t>(span)));
+    }
+    // Rejection sampling over 64-bit span.
+    std::uint64_t limit = ~0ULL - (~0ULL % span) - 1;
+    std::uint64_t r;
+    do {
+        r = next_u64();
+    } while (r > limit);
+    return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal(double mean, double stddev) {
+    if (has_spare_normal_) {
+        has_spare_normal_ = false;
+        return mean + stddev * spare_normal_;
+    }
+    // Box–Muller: generate two independent standard normals.
+    double u1;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    double u2 = uniform();
+    double radius = std::sqrt(-2.0 * std::log(u1));
+    double angle = 2.0 * std::numbers::pi * u2;
+    spare_normal_ = radius * std::sin(angle);
+    has_spare_normal_ = true;
+    return mean + stddev * radius * std::cos(angle);
+}
+
+double Rng::exponential(double rate) {
+    PGF_CHECK(rate > 0.0, "Rng::exponential requires rate > 0");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+    PGF_CHECK(k <= n, "Rng::sample_indices requires k <= n");
+    // Partial Fisher–Yates over an index vector: O(n) setup, exact uniformity.
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+        std::size_t j = i + below(static_cast<std::uint32_t>(n - i));
+        std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+}
+
+}  // namespace pgf

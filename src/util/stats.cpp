@@ -1,0 +1,113 @@
+#include "pgf/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+void OnlineStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    auto na = static_cast<double>(n_);
+    auto nb = static_cast<double>(other.n_);
+    double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+}
+
+double OnlineStats::mean() const {
+    PGF_CHECK(n_ > 0, "mean of empty OnlineStats");
+    return mean_;
+}
+
+double OnlineStats::variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+    PGF_CHECK(n_ > 0, "min of empty OnlineStats");
+    return min_;
+}
+
+double OnlineStats::max() const {
+    PGF_CHECK(n_ > 0, "max of empty OnlineStats");
+    return max_;
+}
+
+double quantile(std::vector<double> values, double q) {
+    PGF_CHECK(!values.empty(), "quantile of empty vector");
+    PGF_CHECK(q >= 0.0 && q <= 1.0, "quantile order must be in [0,1]");
+    std::sort(values.begin(), values.end());
+    double pos = q * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(pos);
+    auto hi = std::min(lo + 1, values.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+    PGF_CHECK(hi > lo, "Histogram requires hi > lo");
+    PGF_CHECK(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x) {
+    double t = (x - lo_) / (hi_ - lo_);
+    auto b = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+    b = std::clamp<std::ptrdiff_t>(b, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(b)];
+    ++total_;
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+    PGF_CHECK(i < counts_.size(), "histogram bin out of range");
+    return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+std::string Histogram::ascii(std::size_t max_width) const {
+    std::size_t peak = 1;
+    for (std::size_t c : counts_) peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        std::size_t width = counts_[i] * max_width / peak;
+        os << "[" << bin_lo(i) << ", " << bin_hi(i) << ") "
+           << std::string(width, '#') << " " << counts_[i] << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace pgf

@@ -1,0 +1,115 @@
+#include "pgf/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+std::string format_double(double value, int precision, bool trim) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    std::string s = os.str();
+    if (trim && s.find('.') != std::string::npos) {
+        s.erase(s.find_last_not_of('0') + 1);
+        if (!s.empty() && s.back() == '.') s.pop_back();
+    }
+    return s;
+}
+
+TextTable::TextTable(std::vector<std::string> header) {
+    set_header(std::move(header));
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+    header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+    PGF_CHECK(header_.empty() || row.size() == header_.size(),
+              "row width must match header width");
+    rows_.push_back(std::move(row));
+}
+
+void TextTable::print(std::ostream& os) const {
+    std::size_t cols = header_.size();
+    for (const auto& r : rows_) cols = std::max(cols, r.size());
+    std::vector<std::size_t> width(cols, 0);
+    auto widen = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            width[i] = std::max(width[i], row[i].size());
+    };
+    if (!header_.empty()) widen(header_);
+    for (const auto& r : rows_) widen(r);
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::setw(static_cast<int>(width[i])) << row[i];
+            if (i + 1 < row.size()) os << "  ";
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < cols; ++i) total += width[i] + (i ? 2 : 0);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& r : rows_) emit(r);
+}
+
+std::string TextTable::str() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void write_csv_row(std::ostream& os, const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i) os << ',';
+        os << csv_escape(cells[i]);
+    }
+    os << '\n';
+}
+}  // namespace
+
+bool TextTable::write_csv(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    if (!header_.empty()) write_csv_row(out, header_);
+    for (const auto& r : rows_) write_csv_row(out, r);
+    return true;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path) {
+    PGF_CHECK(static_cast<bool>(out_), "CsvWriter: cannot open " + path);
+    write_csv_row(out_, header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+    write_csv_row(out_, cells);
+}
+
+void CsvWriter::write_row(std::initializer_list<double> values) {
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(format_double(v, 6, true));
+    write_csv_row(out_, cells);
+}
+
+}  // namespace pgf

@@ -1,0 +1,105 @@
+#include "pgf/util/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+ThreadPool::ThreadPool(unsigned threads) {
+    if (threads == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        threads = hw > 1 ? hw - 1 : 0;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::chunk_size(std::size_t n) const {
+    if (n == 0) return 0;
+    // ~4 chunks per thread bounds the imbalance while keeping per-chunk
+    // dispatch overhead negligible.
+    std::size_t target = static_cast<std::size_t>(parallelism()) * 4;
+    return std::max<std::size_t>(1, (n + target - 1) / target);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t chunk = chunk_size(n);
+    const std::size_t chunks = (n + chunk - 1) / chunk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        PGF_CHECK(task_.outstanding == 0,
+                  "parallel_for is not reentrant");
+        task_.fn = &fn;
+        task_.n = n;
+        task_.chunk = chunk;
+        task_.next = 0;
+        task_.outstanding = chunks;
+        ++task_.generation;
+    }
+    work_cv_.notify_all();
+    // The calling thread works too.
+    for (;;) {
+        std::size_t begin;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (task_.next >= task_.n) break;
+            begin = task_.next;
+            task_.next += task_.chunk;
+        }
+        fn(begin, std::min(begin + chunk, n));
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --task_.outstanding;
+        }
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [this] { return task_.outstanding == 0; });
+    task_.fn = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+        const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+        std::size_t begin = 0, end = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_cv_.wait(lock, [&] {
+                return shutdown_ ||
+                       (task_.generation != seen_generation &&
+                        task_.fn != nullptr) ||
+                       (task_.fn != nullptr && task_.next < task_.n);
+            });
+            if (shutdown_) return;
+            seen_generation = task_.generation;
+            if (task_.fn == nullptr || task_.next >= task_.n) continue;
+            fn = task_.fn;
+            begin = task_.next;
+            task_.next += task_.chunk;
+            end = std::min(begin + task_.chunk, task_.n);
+        }
+        (*fn)(begin, end);
+        bool all_done;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            all_done = --task_.outstanding == 0;
+        }
+        if (all_done) done_cv_.notify_all();
+    }
+}
+
+}  // namespace pgf

@@ -1,0 +1,273 @@
+#include "pgf/workload/datasets.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+namespace {
+
+constexpr double kDomain2d = 2000.0;  // paper: [0,2000] x [0,2000]
+
+/// Clamps a coordinate strictly inside [lo, hi) so boundary cells stay
+/// consistent (generators occasionally sample exactly on the edge).
+double clamp_in(double x, double lo, double hi) {
+    double eps = (hi - lo) * 1e-9;
+    return std::clamp(x, lo, hi - eps);
+}
+
+// ---------------------------------------------------------------------------
+// DSMC-like density scene.
+//
+// Free molecular flow along +x over a flat plate normal to the stream:
+//   - free stream: uniform background density;
+//   - compression: density rises exponentially approaching the plate's
+//     upstream face (within the plate's y/z footprint);
+//   - wake: density drops sharply just downstream of the plate.
+// This reproduces the property the paper relies on — a mostly-uniform
+// distribution with strong local skew, which flattens index-based response
+// curves earlier than hot.2d (Sec. 3.3).
+// ---------------------------------------------------------------------------
+struct DsmcScene {
+    double plate_x = 0.55;   ///< streamwise plate position
+    double footprint_lo = 0.30;
+    double footprint_hi = 0.70;
+    double compression_scale = 0.07;  ///< e-folding length of the buildup
+    double compression_gain = 5.0;    ///< peak density over background
+    double wake_depth = 0.25;         ///< wake density relative to background
+    double wake_length = 0.20;
+
+    double density(double x, double y, double z) const {
+        double rho = 1.0;
+        bool in_footprint = y >= footprint_lo && y < footprint_hi &&
+                            z >= footprint_lo && z < footprint_hi;
+        if (in_footprint) {
+            if (x < plate_x) {
+                rho += compression_gain *
+                       std::exp(-(plate_x - x) / compression_scale);
+            } else {
+                double behind = (x - plate_x) / wake_length;
+                double recovery = 1.0 - std::exp(-behind);
+                rho *= wake_depth + (1.0 - wake_depth) * recovery;
+            }
+        }
+        return rho;
+    }
+
+    double max_density() const { return 1.0 + compression_gain; }
+};
+
+Point<3> sample_dsmc(const DsmcScene& scene, Rng& rng) {
+    const double rho_max = scene.max_density();
+    for (;;) {
+        double x = rng.uniform();
+        double y = rng.uniform();
+        double z = rng.uniform();
+        if (rng.uniform() * rho_max <= scene.density(x, y, z)) {
+            return Point<3>{{x, y, z}};
+        }
+    }
+}
+
+}  // namespace
+
+Dataset<2> make_uniform2d(Rng& rng, std::size_t n) {
+    Dataset<2> ds;
+    ds.name = "uniform.2d";
+    ds.domain = Rect<2>{{{0.0, 0.0}}, {{kDomain2d, kDomain2d}}};
+    ds.bucket_capacity = 56;  // 4 KB buckets, ~72-byte records
+    ds.points.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ds.points.push_back(Point<2>{{rng.uniform(0.0, kDomain2d),
+                                      rng.uniform(0.0, kDomain2d)}});
+    }
+    return ds;
+}
+
+Dataset<2> make_hotspot2d(Rng& rng, std::size_t n) {
+    Dataset<2> ds;
+    ds.name = "hot.2d";
+    ds.domain = Rect<2>{{{0.0, 0.0}}, {{kDomain2d, kDomain2d}}};
+    ds.bucket_capacity = 56;
+    ds.points.reserve(n);
+    const std::size_t uniform_half = n / 2;
+    for (std::size_t i = 0; i < uniform_half; ++i) {
+        ds.points.push_back(Point<2>{{rng.uniform(0.0, kDomain2d),
+                                      rng.uniform(0.0, kDomain2d)}});
+    }
+    // Hot spot: normal distribution centered in the domain. The standard
+    // deviation (domain/10) concentrates ~95% of the hot points within the
+    // central fifth of each axis, producing the heavily merged periphery
+    // the paper reports (169 of 241 buckets merged).
+    const double center = kDomain2d / 2.0;
+    const double sigma = kDomain2d / 10.0;
+    for (std::size_t i = uniform_half; i < n; ++i) {
+        double x = clamp_in(rng.normal(center, sigma), 0.0, kDomain2d);
+        double y = clamp_in(rng.normal(center, sigma), 0.0, kDomain2d);
+        ds.points.push_back(Point<2>{{x, y}});
+    }
+    return ds;
+}
+
+Dataset<2> make_correl2d(Rng& rng, std::size_t n) {
+    Dataset<2> ds;
+    ds.name = "correl.2d";
+    ds.domain = Rect<2>{{{0.0, 0.0}}, {{kDomain2d, kDomain2d}}};
+    ds.bucket_capacity = 56;
+    ds.points.reserve(n);
+    // Points normally distributed about the diagonal y = x: the position
+    // along the diagonal is uniform, the perpendicular offset is normal.
+    const double sigma = kDomain2d / 25.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        double t = rng.uniform(0.0, kDomain2d);
+        double offset = rng.normal(0.0, sigma);
+        // Perpendicular to the diagonal: (+offset/sqrt(2), -offset/sqrt(2)).
+        double x = clamp_in(t + offset / std::numbers::sqrt2, 0.0, kDomain2d);
+        double y = clamp_in(t - offset / std::numbers::sqrt2, 0.0, kDomain2d);
+        ds.points.push_back(Point<2>{{x, y}});
+    }
+    return ds;
+}
+
+Dataset<3> make_dsmc3d(Rng& rng, std::size_t n) {
+    Dataset<3> ds;
+    ds.name = "DSMC.3d";
+    ds.domain = Rect<3>{{{0.0, 0.0, 0.0}}, {{1.0, 1.0, 1.0}}};
+    ds.bucket_capacity = 170;  // 4 KB buckets, 24-byte particle records
+    ds.points.reserve(n);
+    DsmcScene scene;
+    for (std::size_t i = 0; i < n; ++i) {
+        ds.points.push_back(sample_dsmc(scene, rng));
+    }
+    return ds;
+}
+
+Dataset<3> make_stock3d(Rng& rng, std::size_t n, std::size_t stocks) {
+    PGF_CHECK(stocks >= 1, "need at least one stock");
+    Dataset<3> ds;
+    ds.name = "stock.3d";
+    constexpr double kDays = 520.0;     // ~2 years of trading days
+    constexpr double kMaxPrice = 500.0;
+    ds.domain = Rect<3>{{{0.0, 0.0, 0.0}},
+                        {{static_cast<double>(stocks), kMaxPrice, kDays}}};
+    ds.bucket_capacity = 150;  // 4 KB buckets, ~27-byte quote records
+    ds.points.reserve(n);
+
+    // Each stock trades over a random contiguous span of days (listings
+    // and delistings), with a geometric-random-walk closing price. Axes are
+    // (stock id, price, day): uniform in (day x id) and (day x price)
+    // slices, hot-spotted per stock in the (id x price) slice — the
+    // structure the paper's Sec. 3.3 describes.
+    std::size_t stock = 0;
+    while (ds.points.size() < n) {
+        double id = static_cast<double>(stock % stocks) + 0.5;
+        double price = std::exp(rng.normal(std::log(40.0), 0.9));
+        auto span = static_cast<std::size_t>(
+            rng.uniform_int(140, static_cast<std::int64_t>(kDays)));
+        auto start = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(kDays) - static_cast<std::int64_t>(span)));
+        for (std::size_t d = 0; d < span && ds.points.size() < n; ++d) {
+            price *= std::exp(rng.normal(0.0, 0.025));
+            price = std::clamp(price, 1.0, kMaxPrice - 1.0);
+            ds.points.push_back(Point<3>{{id, price,
+                                          static_cast<double>(start + d) + 0.5}});
+        }
+        ++stock;
+    }
+    return ds;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// MHD magnetosphere scene (cf. Tanaka '93): solar wind streams along +x
+// past a planet; density rises sharply in the sheath between the bow shock
+// (a paraboloid opening downstream) and the obstacle surface, and drops in
+// the shadowed cavity/tail behind the planet.
+// ---------------------------------------------------------------------------
+struct MhdScene {
+    double planet_x = 0.35;
+    double planet_y = 0.5;
+    double planet_z = 0.5;
+    double planet_radius = 0.08;
+    double shock_standoff = 0.10;   ///< sub-solar shock distance
+    double shock_flare = 1.2;       ///< paraboloid opening rate
+    double sheath_gain = 4.0;       ///< compressed sheath over free stream
+    double cavity_density = 0.15;   ///< tail/cavity relative density
+    double tail_length = 0.45;
+
+    double density(double x, double y, double z) const {
+        double dy = y - planet_y;
+        double dz = z - planet_z;
+        double r2 = dy * dy + dz * dz;
+        double dx = x - planet_x;
+        double r = std::sqrt(dx * dx + r2);
+        if (r < planet_radius) return 0.0;  // inside the obstacle
+        // Bow shock surface: x = planet_x - standoff + flare * r_perp^2.
+        double shock_x = planet_x - shock_standoff + shock_flare * r2;
+        bool behind_shock = x >= shock_x;
+        if (!behind_shock) return 1.0;  // undisturbed solar wind
+        // Shadowed cavity / tail downstream of the planet.
+        if (dx > 0.0 && dx < tail_length &&
+            r2 < planet_radius * planet_radius * (1.0 + 3.0 * dx)) {
+            return cavity_density;
+        }
+        // Magnetosheath: compressed, decaying away from the shock nose.
+        double depth = std::min(x - shock_x, 0.3);
+        return 1.0 + sheath_gain * std::exp(-depth / 0.1) *
+                         std::exp(-r2 / 0.12);
+    }
+
+    double max_density() const { return 1.0 + sheath_gain; }
+};
+
+}  // namespace
+
+Dataset<3> make_mhd3d(Rng& rng, std::size_t n) {
+    Dataset<3> ds;
+    ds.name = "MHD.3d";
+    ds.domain = Rect<3>{{{0.0, 0.0, 0.0}}, {{1.0, 1.0, 1.0}}};
+    ds.bucket_capacity = 170;  // 4 KB buckets, 24-byte plasma-cell records
+    ds.points.reserve(n);
+    MhdScene scene;
+    const double rho_max = scene.max_density();
+    while (ds.points.size() < n) {
+        double x = rng.uniform();
+        double y = rng.uniform();
+        double z = rng.uniform();
+        if (rng.uniform() * rho_max <= scene.density(x, y, z)) {
+            ds.points.push_back(Point<3>{{x, y, z}});
+        }
+    }
+    return ds;
+}
+
+Dataset<4> make_dsmc4d(Rng& rng, std::size_t snapshots,
+                       std::size_t per_snapshot) {
+    PGF_CHECK(snapshots >= 1, "need at least one snapshot");
+    Dataset<4> ds;
+    ds.name = "DSMC.4d";
+    ds.domain = Rect<4>{{{0.0, 0.0, 0.0, 0.0}},
+                        {{static_cast<double>(snapshots), 1.0, 1.0, 1.0}}};
+    ds.bucket_capacity = 215;  // 8 KB buckets (paper Sec. 3.5)
+    ds.points.reserve(snapshots * per_snapshot);
+    for (std::size_t t = 0; t < snapshots; ++t) {
+        DsmcScene scene;
+        // The compression front advects downstream over the simulated run.
+        double progress = snapshots > 1
+                              ? static_cast<double>(t) /
+                                    static_cast<double>(snapshots - 1)
+                              : 0.0;
+        scene.plate_x = 0.35 + 0.35 * progress;
+        for (std::size_t i = 0; i < per_snapshot; ++i) {
+            Point<3> p = sample_dsmc(scene, rng);
+            ds.points.push_back(
+                Point<4>{{static_cast<double>(t) + 0.5, p[0], p[1], p[2]}});
+        }
+    }
+    return ds;
+}
+
+}  // namespace pgf

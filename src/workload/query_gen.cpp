@@ -1,0 +1,15 @@
+#include "pgf/workload/query_gen.hpp"
+
+#include <cmath>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+double query_side_fraction(double ratio, std::size_t dims) {
+    PGF_CHECK(ratio > 0.0 && ratio < 1.0, "query ratio must be in (0,1)");
+    PGF_CHECK(dims >= 1, "queries need at least one dimension");
+    return std::pow(ratio, 1.0 / static_cast<double>(dims));
+}
+
+}  // namespace pgf

@@ -1,0 +1,106 @@
+#include "pgf/analytic/dm_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "pgf/analytic/optimal.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(DmExact, TinyHandComputedCases) {
+    // 2x2 query, 2 disks: cells (0,0),(1,1) -> disk 0; (0,1),(1,0) -> 1.
+    EXPECT_EQ(dm_response_exact(2, 2), 2u);
+    // 2x2 query, 4 disks: sums 0,1,1,2 -> disks 0,1,1,2 -> max 2.
+    EXPECT_EQ(dm_response_exact(2, 4), 2u);
+    // 3x3 query, 3 disks: each anti-diagonal class has 3 cells.
+    EXPECT_EQ(dm_response_exact(3, 3), 3u);
+    // Single-cell query: always 1.
+    EXPECT_EQ(dm_response_exact(1, 7), 1u);
+}
+
+TEST(DmExact, PositionIndependence) {
+    // Shifting the query window permutes the DM disks, leaving the response
+    // unchanged — the property Theorem 1's closed form relies on.
+    for (std::uint32_t l : {2u, 3u, 5u, 8u}) {
+        for (std::uint32_t m : {2u, 3u, 4u, 7u}) {
+            std::uint64_t base = dm_response_at(0, 0, l, m);
+            for (std::uint32_t x0 : {1u, 3u, 10u}) {
+                for (std::uint32_t y0 : {2u, 5u, 11u}) {
+                    EXPECT_EQ(dm_response_at(x0, y0, l, m), base)
+                        << "l=" << l << " M=" << m;
+                }
+            }
+        }
+    }
+}
+
+TEST(DmTheorem1, MoreDisksThanQuerySideSaturatesAtL) {
+    // The headline scalability result: for M > l the response is stuck at
+    // l no matter how many disks are added.
+    for (std::uint32_t l : {2u, 4u, 6u, 10u}) {
+        for (std::uint32_t m = l + 1; m <= l + 30; m += 7) {
+            DmPrediction p = dm_theorem1(l, m);
+            EXPECT_EQ(p.response, l);
+            EXPECT_EQ(dm_response_exact(l, m), l);
+        }
+    }
+}
+
+TEST(DmTheorem1, DivisibleCaseIsStrictlyOptimal) {
+    for (std::uint32_t k = 1; k <= 5; ++k) {
+        for (std::uint32_t m = 2; m <= 8; ++m) {
+            std::uint32_t l = k * m;  // beta = 0
+            DmPrediction p = dm_theorem1(l, m);
+            EXPECT_TRUE(p.strictly_optimal);
+            EXPECT_EQ(p.response, optimal_square_response(l, m));
+            EXPECT_EQ(dm_response_exact(l, m), p.response);
+        }
+    }
+}
+
+// The closed form must agree with brute-force enumeration everywhere.
+class DmClosedForm
+    : public ::testing::TestWithParam<std::uint32_t> {};  // param = M
+
+TEST_P(DmClosedForm, MatchesBruteForceForAllL) {
+    const std::uint32_t m = GetParam();
+    for (std::uint32_t l = 1; l <= 48; ++l) {
+        DmPrediction p = dm_theorem1(l, m);
+        std::uint64_t exact = dm_response_exact(l, m);
+        EXPECT_EQ(p.response, exact) << "l=" << l << " M=" << m;
+        EXPECT_EQ(p.strictly_optimal,
+                  exact == optimal_square_response(l, m))
+            << "l=" << l << " M=" << m;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DiskSweep, DmClosedForm,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u,
+                                           10u, 12u, 16u, 24u, 32u),
+                         [](const auto& param_info) {
+                             return "M" + std::to_string(param_info.param);
+                         });
+
+TEST(DmTheorem1, TighterThanLiEtAlBound) {
+    // Theorem 1(ii) claims a bound tighter than R_opt + M - 2 (Li et al.)
+    // for every M >= 3 in two dimensions.
+    for (std::uint32_t m = 3; m <= 32; ++m) {
+        for (std::uint32_t l = m; l <= 3 * m; ++l) {
+            DmPrediction p = dm_theorem1(l, m);
+            std::uint64_t li_bound = optimal_square_response(l, m) + m - 2;
+            EXPECT_LE(p.response, li_bound) << "l=" << l << " M=" << m;
+        }
+    }
+}
+
+TEST(DmTheory, RejectsZeroArguments) {
+    EXPECT_THROW(dm_theorem1(0, 4), CheckError);
+    EXPECT_THROW(dm_theorem1(4, 0), CheckError);
+    EXPECT_THROW(dm_response_exact(0, 4), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

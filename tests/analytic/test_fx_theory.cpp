@@ -1,0 +1,135 @@
+#include "pgf/analytic/fx_theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pgf/analytic/optimal.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(FxResponse, TinyHandComputedCases) {
+    // 2x2 query at origin, 2 disks: (0^0)=0, (0^1)=1, (1^0)=1, (1^1)=0.
+    EXPECT_EQ(fx_response_at(0, 0, 2, 2), 2u);
+    // 2x2 at origin, 4 disks: values 0,1,1,0 -> disk 0 twice.
+    EXPECT_EQ(fx_response_at(0, 0, 2, 4), 2u);
+    // 2x2 anchored at (0,1), 4 disks: 1,2,3,0 -> perfectly spread.
+    EXPECT_EQ(fx_response_at(0, 1, 2, 4), 1u);
+}
+
+TEST(FxResponse, PositionDependent) {
+    // Unlike DM, FX response varies with the anchor (motivating the
+    // expected-value measurement).
+    EXPECT_NE(fx_response_at(0, 0, 2, 4), fx_response_at(0, 1, 2, 4));
+}
+
+TEST(FxMeasure, SummaryOrdering) {
+    FxMeasurement m = fx_response_measure(4, 8, 32);
+    EXPECT_LE(m.best, m.worst);
+    EXPECT_GE(m.expected, static_cast<double>(m.best));
+    EXPECT_LE(m.expected, static_cast<double>(m.worst));
+}
+
+// Theorem 2(i): for l = 2^m and M = 2^n with n <= m the FX response is
+// exactly 4^m / 2^n at EVERY anchor.
+class FxClauseOne
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(FxClauseOne, ExactEverywhere) {
+    auto [m, n] = GetParam();
+    const std::uint32_t l = 1u << m;
+    const std::uint32_t disks = 1u << n;
+    FxBounds b = fx_theorem2(m, n);
+    ASSERT_TRUE(b.exact);
+    const double expected = std::ldexp(1.0, static_cast<int>(2 * m - n));
+    EXPECT_DOUBLE_EQ(b.lower, expected);
+    FxMeasurement meas = fx_response_measure(l, disks, 2 * l);
+    EXPECT_DOUBLE_EQ(meas.expected, expected);
+    EXPECT_EQ(meas.worst, meas.best);  // anchor-independent in this regime
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regime, FxClauseOne,
+    ::testing::Values(std::tuple<unsigned, unsigned>{1, 0},
+                      std::tuple<unsigned, unsigned>{1, 1},
+                      std::tuple<unsigned, unsigned>{2, 1},
+                      std::tuple<unsigned, unsigned>{2, 2},
+                      std::tuple<unsigned, unsigned>{3, 2},
+                      std::tuple<unsigned, unsigned>{3, 3},
+                      std::tuple<unsigned, unsigned>{4, 3}),
+    [](const auto& param_info) {
+        return "m" + std::to_string(std::get<0>(param_info.param)) + "n" +
+               std::to_string(std::get<1>(param_info.param));
+    });
+
+// Theorem 2(ii): for n > m the response lies in [2^(2m-n), 2^m].
+class FxClauseTwo
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(FxClauseTwo, BoundsHoldForEveryAnchor) {
+    auto [m, n] = GetParam();
+    const std::uint32_t l = 1u << m;
+    const std::uint32_t disks = 1u << n;
+    FxBounds b = fx_theorem2(m, n);
+    ASSERT_FALSE(b.exact);
+    EXPECT_DOUBLE_EQ(b.upper, std::ldexp(1.0, static_cast<int>(m)));
+    FxMeasurement meas = fx_response_measure(l, disks, 4 * l);
+    EXPECT_GE(static_cast<double>(meas.best), b.lower);
+    EXPECT_LE(static_cast<double>(meas.worst), b.upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regime, FxClauseTwo,
+    ::testing::Values(std::tuple<unsigned, unsigned>{1, 2},
+                      std::tuple<unsigned, unsigned>{1, 3},
+                      std::tuple<unsigned, unsigned>{2, 3},
+                      std::tuple<unsigned, unsigned>{2, 4},
+                      std::tuple<unsigned, unsigned>{3, 4},
+                      std::tuple<unsigned, unsigned>{3, 5},
+                      std::tuple<unsigned, unsigned>{4, 5}),
+    [](const auto& param_info) {
+        return "m" + std::to_string(std::get<0>(param_info.param)) + "n" +
+               std::to_string(std::get<1>(param_info.param));
+    });
+
+TEST(FxTheorem2, ClauseThreeScalingFloor) {
+    // R_FX(2^(n+1)) >= (3/4) R_FX(2^n) for n > m: doubling the disks can
+    // shave at most a quarter off — far from ideal halving.
+    for (unsigned m = 1; m <= 3; ++m) {
+        const std::uint32_t l = 1u << m;
+        double prev = 0.0;
+        for (unsigned n = m + 1; n <= m + 3; ++n) {
+            FxMeasurement meas = fx_response_measure(l, 1u << n, 4 * l);
+            if (prev > 0.0) {
+                EXPECT_GE(meas.expected, 0.75 * prev - 1e-9)
+                    << "m=" << m << " n=" << n;
+            }
+            prev = meas.expected;
+        }
+    }
+}
+
+TEST(FxTheorem2, SaturationNeverBelowDm) {
+    // FX saturates at a lower response than DM for the uniform case the
+    // paper plots (Fig. 4 left): at large M, FX's worst anchor stays <=
+    // DM's constant l.
+    for (unsigned m = 2; m <= 4; ++m) {
+        const std::uint32_t l = 1u << m;
+        FxMeasurement meas = fx_response_measure(l, 8 * l, 4 * l);
+        EXPECT_LE(meas.worst, l);
+    }
+}
+
+TEST(FxMeasure, RejectsGridSmallerThanQuery) {
+    EXPECT_THROW(fx_response_measure(8, 4, 4), CheckError);
+}
+
+TEST(FxTheorem2, RejectsHugeExponents) {
+    EXPECT_THROW(fx_theorem2(40, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,49 @@
+#include "pgf/analytic/optimal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(OptimalSquare, CeilingFormula) {
+    EXPECT_EQ(optimal_square_response(4, 4), 4u);    // 16/4
+    EXPECT_EQ(optimal_square_response(4, 5), 4u);    // ceil(16/5)
+    EXPECT_EQ(optimal_square_response(4, 16), 1u);
+    EXPECT_EQ(optimal_square_response(4, 17), 1u);
+    EXPECT_EQ(optimal_square_response(1, 1), 1u);
+    EXPECT_EQ(optimal_square_response(7, 3), 17u);   // ceil(49/3)
+}
+
+TEST(OptimalSquare, RealVariant) {
+    EXPECT_DOUBLE_EQ(optimal_square_response_real(4, 5), 3.2);
+    EXPECT_DOUBLE_EQ(optimal_square_response_real(10, 4), 25.0);
+}
+
+TEST(OptimalSquare, IdealScalingWhenDivisible) {
+    // R_opt(2M) = R_opt(M)/2 when M | l^2 — the ideal-scaling reference in
+    // the Theorem 2 discussion.
+    EXPECT_DOUBLE_EQ(optimal_square_response_real(8, 8),
+                     2.0 * optimal_square_response_real(8, 16));
+}
+
+TEST(OptimalSquare, NeverBelowRealAndWithinOne) {
+    for (std::uint32_t l = 1; l <= 20; ++l) {
+        for (std::uint32_t m = 1; m <= 40; ++m) {
+            auto intval = optimal_square_response(l, m);
+            double real = optimal_square_response_real(l, m);
+            EXPECT_GE(static_cast<double>(intval), real);
+            EXPECT_LT(static_cast<double>(intval), real + 1.0);
+        }
+    }
+}
+
+TEST(OptimalSquare, RejectsZeroArguments) {
+    EXPECT_THROW(optimal_square_response(0, 4), CheckError);
+    EXPECT_THROW(optimal_square_response(4, 0), CheckError);
+    EXPECT_THROW(optimal_square_response_real(0, 1), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

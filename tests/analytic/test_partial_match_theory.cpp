@@ -1,0 +1,121 @@
+// Partial-match optimality results the paper builds on (Sec. 2):
+// Du & Sobolewski — DM is strictly optimal for every partial match query
+// with exactly one unspecified attribute; Kim & Pramanik — with power-of-2
+// fields and disks, FX's optimal query set contains DM's.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pgf/analytic/dm_theory.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+    return (a + b - 1) / b;
+}
+
+TEST(DmPartialMatch, OneUnspecifiedAttributeIsStrictlyOptimal) {
+    // Du & Sobolewski's Theorem: the swept cells take consecutive residues,
+    // so every disk serves at most ceil(extent / M).
+    for (std::uint32_t extent : {1u, 2u, 5u, 7u, 16u, 33u, 100u}) {
+        for (std::uint32_t m : {1u, 2u, 3u, 4u, 7u, 8u, 16u, 33u}) {
+            EXPECT_EQ(dm_partial_match_exact({extent}, m),
+                      ceil_div(extent, m))
+                << "extent=" << extent << " M=" << m;
+        }
+    }
+}
+
+TEST(DmPartialMatch, TwoUnspecifiedAttributesCanBeSuboptimal) {
+    // With two free attributes DM degenerates to the square-range behavior
+    // of Theorem 1: e.g. a full 6x6 sweep on 4 disks.
+    std::uint64_t response = dm_partial_match_exact({6, 6}, 4);
+    EXPECT_GT(response, ceil_div(36, 4));
+    // And matches the 2-d range-query enumerator on the same box.
+    EXPECT_EQ(response, dm_response_exact(6, 4));
+}
+
+TEST(DmPartialMatch, MatchesSquareEnumeratorForAllSquares) {
+    for (std::uint32_t l = 1; l <= 12; ++l) {
+        for (std::uint32_t m = 1; m <= 10; ++m) {
+            EXPECT_EQ(dm_partial_match_exact({l, l}, m),
+                      dm_response_exact(l, m));
+        }
+    }
+}
+
+TEST(DmPartialMatch, ThreeDimensionalSweep) {
+    // 2x3x4 box on 3 disks: residue counts of i+j+k.
+    std::uint64_t r = dm_partial_match_exact({2, 3, 4}, 3);
+    // Hand count: sums 0..6 with multiplicities 1,3,5,6,5,3,1 -> residues
+    // r0: s=0,3,6 -> 1+6+1=8; r1: s=1,4 -> 3+5=8; r2: s=2,5 -> 5+3=8.
+    EXPECT_EQ(r, 8u);
+}
+
+TEST(DmPartialMatch, RejectsDegenerateInput) {
+    EXPECT_THROW(dm_partial_match_exact({}, 4), CheckError);
+    EXPECT_THROW(dm_partial_match_exact({0u}, 4), CheckError);
+    EXPECT_THROW(dm_partial_match_exact({4u}, 0), CheckError);
+}
+
+TEST(FxPartialMatch, OneFreePowerOfTwoAxisIsOptimal) {
+    // A full power-of-two axis sweep XORed with any constant permutes the
+    // values, so FX also spreads them perfectly over 2^n disks.
+    for (std::uint32_t extent : {2u, 4u, 8u, 16u}) {
+        for (std::uint32_t m : {2u, 4u, 8u}) {
+            if (m > extent) continue;
+            for (std::uint32_t pinned : {0u, 3u, 9u}) {
+                EXPECT_EQ(fx_partial_match_at(pinned, {0}, {extent}, m),
+                          extent / m)
+                    << "extent=" << extent << " M=" << m;
+            }
+        }
+    }
+}
+
+TEST(FxPartialMatch, OptimalSetContainsDmOptimalSet) {
+    // Kim & Pramanik: with power-of-2 extents and disks, whenever DM is
+    // optimal for a partial match query, FX is too. Verify over anchors.
+    for (std::uint32_t e1 : {2u, 4u, 8u}) {
+        for (std::uint32_t e2 : {2u, 4u, 8u}) {
+            for (std::uint32_t m : {2u, 4u, 8u}) {
+                std::uint64_t opt = ceil_div(
+                    static_cast<std::uint64_t>(e1) * e2, m);
+                if (dm_partial_match_exact({e1, e2}, m) != opt) continue;
+                for (std::uint32_t a1 : {0u, 4u, 5u}) {
+                    for (std::uint32_t a2 : {0u, 2u, 7u}) {
+                        EXPECT_EQ(
+                            fx_partial_match_at(0, {a1, a2}, {e1, e2}, m),
+                            opt)
+                            << e1 << "x" << e2 << " M=" << m;
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(FxPartialMatch, ResponseDependsOnAnchorPosition) {
+    // Unlike DM (position independent), FX's response to a non-power-of-two
+    // sweep varies with where the sweep is anchored — the asymmetry the
+    // paper's Sec. 2 discussion trades on. Scan a block of anchors and
+    // require at least two distinct responses.
+    std::set<std::uint64_t> responses;
+    for (std::uint32_t a1 = 0; a1 < 8; ++a1) {
+        for (std::uint32_t a2 = 0; a2 < 8; ++a2) {
+            responses.insert(fx_partial_match_at(0, {a1, a2}, {6, 6}, 4));
+        }
+    }
+    EXPECT_GE(responses.size(), 2u);
+}
+
+TEST(FxPartialMatch, RejectsMalformedInput) {
+    EXPECT_THROW(fx_partial_match_at(0, {0}, {2, 2}, 4), CheckError);
+    EXPECT_THROW(fx_partial_match_at(0, {}, {}, 4), CheckError);
+    EXPECT_THROW(fx_partial_match_at(0, {0}, {2}, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

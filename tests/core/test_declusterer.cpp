@@ -1,0 +1,70 @@
+#include "pgf/core/declusterer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/disksim/metrics.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+#include "pgf/workload/datasets.hpp"
+
+namespace pgf {
+namespace {
+
+GridStructure sample_structure() {
+    Rng rng(3);
+    return make_hotspot2d(rng, 3000).build().structure();
+}
+
+TEST(Declusterer, ValidatesStructureOnConstruction) {
+    GridStructure broken;
+    broken.shape = {4};
+    broken.domain_lo = {0.0};
+    broken.domain_hi = {1.0};  // no buckets -> cells uncovered
+    EXPECT_THROW(Declusterer{broken}, CheckError);
+
+    EXPECT_NO_THROW(Declusterer{sample_structure()});
+}
+
+TEST(Declusterer, ReportMetricsMatchStandaloneFunctions) {
+    Declusterer dec(sample_structure());
+    DeclusterReport report = dec.run(Method::kHilbert, 12, {.seed = 7});
+    EXPECT_DOUBLE_EQ(report.data_balance,
+                     degree_of_data_balance(report.assignment));
+    EXPECT_DOUBLE_EQ(report.area_balance,
+                     degree_of_area_balance(dec.structure(),
+                                            report.assignment));
+    EXPECT_EQ(report.closest_pairs,
+              closest_pairs_same_disk(dec.structure(), report.assignment));
+}
+
+TEST(Declusterer, RunMatchesDirectDecluster) {
+    GridStructure gs = sample_structure();
+    Declusterer dec(gs);
+    for (Method m : all_methods()) {
+        DeclusterOptions opt;
+        opt.seed = 13;
+        DeclusterReport report = dec.run(m, 8, opt);
+        Assignment direct = decluster(gs, m, 8, opt);
+        EXPECT_EQ(report.assignment.disk_of, direct.disk_of) << to_string(m);
+    }
+}
+
+TEST(Declusterer, MinimaxReportShowsItsGuarantees) {
+    Declusterer dec(sample_structure());
+    DeclusterReport report = dec.run(Method::kMinimax, 16, {.seed = 21});
+    std::size_t n = dec.structure().bucket_count();
+    double perfect = static_cast<double>((n + 15) / 16) * 16 /
+                     static_cast<double>(n);
+    EXPECT_LE(report.data_balance, perfect + 1e-12);
+    EXPECT_LE(report.closest_pairs, n / 20);
+}
+
+TEST(Declusterer, StructureAccessorReturnsTheSnapshot) {
+    GridStructure gs = sample_structure();
+    std::size_t buckets = gs.bucket_count();
+    Declusterer dec(std::move(gs));
+    EXPECT_EQ(dec.structure().bucket_count(), buckets);
+}
+
+}  // namespace
+}  // namespace pgf

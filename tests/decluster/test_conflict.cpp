@@ -1,0 +1,174 @@
+#include "pgf/decluster/conflict.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+/// Structure with `merged` buckets of one cell-strip each plus filler
+/// single-cell buckets, handy for exercising the heuristics directly.
+GridStructure strip_structure(std::uint32_t strips, std::uint32_t cols) {
+    GridStructure gs;
+    gs.shape = {strips, cols};
+    gs.domain_lo = {0.0, 0.0};
+    gs.domain_hi = {static_cast<double>(strips), static_cast<double>(cols)};
+    for (std::uint32_t i = 0; i < strips; ++i) {
+        BucketInfo b;
+        b.cell_lo = {i, 0};
+        b.cell_hi = {i + 1, cols};
+        b.region_lo = {static_cast<double>(i), 0.0};
+        b.region_hi = {static_cast<double>(i) + 1.0,
+                       static_cast<double>(cols)};
+        b.record_count = 1;
+        gs.buckets.push_back(std::move(b));
+    }
+    gs.validate();
+    return gs;
+}
+
+CandidateSet singleton(std::uint32_t d) { return {{d}, {1}}; }
+
+TEST(ResolveConflicts, SingletonsKeepTheirDisk) {
+    auto gs = strip_structure(3, 1);
+    std::vector<CandidateSet> cands{singleton(2), singleton(0), singleton(1)};
+    Rng rng(1);
+    for (auto h : {ConflictHeuristic::kRandom, ConflictHeuristic::kMostFrequent,
+                   ConflictHeuristic::kDataBalance,
+                   ConflictHeuristic::kAreaBalance}) {
+        Assignment a = resolve_conflicts(gs, cands, 3, h, rng);
+        EXPECT_EQ(a.disk_of, (std::vector<std::uint32_t>{2, 0, 1}))
+            << to_string(h);
+    }
+}
+
+TEST(ResolveConflicts, ResultAlwaysWithinCandidates) {
+    auto gs = strip_structure(4, 3);
+    std::vector<CandidateSet> cands{
+        {{0, 1}, {2, 1}}, {{1, 2}, {1, 2}}, {{0, 2}, {1, 1}}, {{2}, {3}}};
+    Rng rng(7);
+    for (auto h : {ConflictHeuristic::kRandom, ConflictHeuristic::kMostFrequent,
+                   ConflictHeuristic::kDataBalance,
+                   ConflictHeuristic::kAreaBalance}) {
+        Assignment a = resolve_conflicts(gs, cands, 3, h, rng);
+        for (std::size_t b = 0; b < cands.size(); ++b) {
+            EXPECT_TRUE(std::find(cands[b].disks.begin(), cands[b].disks.end(),
+                                  a.disk_of[b]) != cands[b].disks.end())
+                << to_string(h) << " bucket " << b;
+        }
+    }
+}
+
+TEST(ResolveConflicts, MostFrequentPicksHighestMultiplicity) {
+    auto gs = strip_structure(1, 4);
+    std::vector<CandidateSet> cands{{{0, 3}, {3, 1}}};
+    Rng rng(3);
+    Assignment a = resolve_conflicts(gs, cands, 4,
+                                     ConflictHeuristic::kMostFrequent, rng);
+    EXPECT_EQ(a.disk_of[0], 0u);  // multiplicity 3 beats 1
+}
+
+TEST(ResolveConflicts, MostFrequentBreaksTiesWithinTiedSet) {
+    auto gs = strip_structure(1, 4);
+    std::vector<CandidateSet> cands{{{1, 2}, {2, 2}}};
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+        Rng rng(seed);
+        Assignment a = resolve_conflicts(
+            gs, cands, 4, ConflictHeuristic::kMostFrequent, rng);
+        EXPECT_TRUE(a.disk_of[0] == 1 || a.disk_of[0] == 2);
+    }
+}
+
+TEST(ResolveConflicts, DataBalanceAlgorithm1Order) {
+    // Algorithm 1: singletons commit first, then conflicting buckets pick
+    // the least-loaded candidate in bucket order.
+    auto gs = strip_structure(4, 2);
+    std::vector<CandidateSet> cands{
+        singleton(0),          // load(0) = 1
+        singleton(0),          // load(0) = 2
+        {{0, 1}, {1, 1}},      // picks 1 (load 0 < 2)
+        {{0, 1}, {1, 1}},      // picks 1 (load 1 < 2)
+    };
+    Rng rng(5);
+    Assignment a = resolve_conflicts(gs, cands, 2,
+                                     ConflictHeuristic::kDataBalance, rng);
+    EXPECT_EQ(a.disk_of, (std::vector<std::uint32_t>{0, 0, 1, 1}));
+}
+
+TEST(ResolveConflicts, DataBalanceTieGoesToLowerDisk) {
+    auto gs = strip_structure(1, 2);
+    std::vector<CandidateSet> cands{{{1, 2}, {1, 1}}};
+    Rng rng(5);
+    Assignment a = resolve_conflicts(gs, cands, 3,
+                                     ConflictHeuristic::kDataBalance, rng);
+    EXPECT_EQ(a.disk_of[0], 1u);
+}
+
+TEST(ResolveConflicts, AreaBalanceWeighsVolume) {
+    // Bucket 0 (singleton, disk 0) is huge; the conflicting bucket must
+    // avoid disk 0 under area balance even though counts favor neither.
+    GridStructure gs;
+    gs.shape = {2, 1};
+    gs.domain_lo = {0.0, 0.0};
+    gs.domain_hi = {10.0, 1.0};
+    BucketInfo big;
+    big.cell_lo = {0, 0};
+    big.cell_hi = {1, 1};
+    big.region_lo = {0.0, 0.0};
+    big.region_hi = {9.0, 1.0};  // volume 9
+    BucketInfo small;
+    small.cell_lo = {1, 0};
+    small.cell_hi = {2, 1};
+    small.region_lo = {9.0, 0.0};
+    small.region_hi = {10.0, 1.0};  // volume 1
+    gs.buckets = {big, small};
+    gs.validate();
+    std::vector<CandidateSet> cands{singleton(0), {{0, 1}, {1, 1}}};
+    Rng rng(9);
+    Assignment area = resolve_conflicts(gs, cands, 2,
+                                        ConflictHeuristic::kAreaBalance, rng);
+    EXPECT_EQ(area.disk_of[1], 1u);
+}
+
+TEST(ResolveConflicts, RandomIsSeedDeterministic) {
+    auto gs = strip_structure(6, 3);
+    std::vector<CandidateSet> cands(6, CandidateSet{{0, 1, 2}, {1, 1, 1}});
+    Rng r1(42), r2(42), r3(43);
+    auto a1 = resolve_conflicts(gs, cands, 3, ConflictHeuristic::kRandom, r1);
+    auto a2 = resolve_conflicts(gs, cands, 3, ConflictHeuristic::kRandom, r2);
+    auto a3 = resolve_conflicts(gs, cands, 3, ConflictHeuristic::kRandom, r3);
+    EXPECT_EQ(a1.disk_of, a2.disk_of);
+    EXPECT_NE(a1.disk_of, a3.disk_of);  // overwhelmingly likely for 6 picks
+}
+
+TEST(ResolveConflicts, RejectsMalformedInput) {
+    auto gs = strip_structure(2, 1);
+    std::vector<CandidateSet> too_few{singleton(0)};
+    Rng rng(1);
+    EXPECT_THROW(resolve_conflicts(gs, too_few, 2,
+                                   ConflictHeuristic::kDataBalance, rng),
+                 CheckError);
+    std::vector<CandidateSet> empty_set{singleton(0), CandidateSet{}};
+    EXPECT_THROW(resolve_conflicts(gs, empty_set, 2,
+                                   ConflictHeuristic::kDataBalance, rng),
+                 CheckError);
+}
+
+TEST(DeclusterIndexBased, EndToEndOnCartesianMatchesCellDisks) {
+    // On a Cartesian structure there are no conflicts: the assignment must
+    // equal the per-cell mapping regardless of heuristic.
+    auto gs = make_cartesian_structure({6, 6}, {0, 0}, {1, 1});
+    Rng rng(11);
+    auto direct = cell_disks(gs, Method::kFieldwiseXor, 4);
+    Assignment a = decluster_index_based(gs, Method::kFieldwiseXor, 4,
+                                         ConflictHeuristic::kRandom, rng);
+    for (std::size_t b = 0; b < gs.bucket_count(); ++b) {
+        EXPECT_EQ(a.disk_of[b], direct[b]);
+    }
+}
+
+}  // namespace
+}  // namespace pgf

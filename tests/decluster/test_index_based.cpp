@@ -1,0 +1,181 @@
+#include "pgf/decluster/index_based.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/sfc/curve.hpp"
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+GridStructure cartesian(std::uint32_t nx, std::uint32_t ny) {
+    return make_cartesian_structure({nx, ny}, {0.0, 0.0},
+                                    {static_cast<double>(nx),
+                                     static_cast<double>(ny)});
+}
+
+TEST(CellDisks, DiskModuloFormula) {
+    auto gs = cartesian(4, 4);
+    auto disks = cell_disks(gs, Method::kDiskModulo, 3);
+    // Cell (i, j) flattened row-major at i*4+j must be (i+j) mod 3.
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        for (std::uint32_t j = 0; j < 4; ++j) {
+            EXPECT_EQ(disks[i * 4 + j], (i + j) % 3) << i << "," << j;
+        }
+    }
+}
+
+TEST(CellDisks, FieldwiseXorFormula) {
+    auto gs = cartesian(8, 8);
+    auto disks = cell_disks(gs, Method::kFieldwiseXor, 4);
+    for (std::uint32_t i = 0; i < 8; ++i) {
+        for (std::uint32_t j = 0; j < 8; ++j) {
+            EXPECT_EQ(disks[i * 8 + j], (i ^ j) % 4);
+        }
+    }
+}
+
+TEST(CellDisks, ThreeDimensionalFormulas) {
+    auto gs = make_cartesian_structure({2, 3, 2}, {0, 0, 0}, {1, 1, 1});
+    auto dm = cell_disks(gs, Method::kDiskModulo, 5);
+    auto fx = cell_disks(gs, Method::kFieldwiseXor, 5);
+    std::size_t flat = 0;
+    for (std::uint32_t i = 0; i < 2; ++i) {
+        for (std::uint32_t j = 0; j < 3; ++j) {
+            for (std::uint32_t k = 0; k < 2; ++k, ++flat) {
+                EXPECT_EQ(dm[flat], (i + j + k) % 5);
+                EXPECT_EQ(fx[flat], (i ^ j ^ k) % 5);
+            }
+        }
+    }
+}
+
+TEST(CellDisks, CurveMethodsAreStrictRoundRobin) {
+    // On any grid (power-of-two or not), sorting cells along the curve must
+    // give disks 0,1,2,...,M-1,0,1,... — i.e. each disk gets either
+    // floor(C/M) or ceil(C/M) cells.
+    auto gs = make_cartesian_structure({5, 3}, {0, 0}, {1, 1});
+    for (Method m : {Method::kHilbert, Method::kMorton, Method::kGrayCode,
+                     Method::kScan}) {
+        auto disks = cell_disks(gs, m, 4);
+        std::array<std::size_t, 4> count{};
+        for (auto d : disks) ++count[d];
+        for (auto c : count) {
+            EXPECT_GE(c, 15u / 4);
+            EXPECT_LE(c, (15u + 3) / 4);
+        }
+    }
+}
+
+TEST(CellDisks, HilbertNeighborsOnCurveGetConsecutiveDisks) {
+    auto gs = cartesian(8, 8);
+    auto disks = cell_disks(gs, Method::kHilbert, 5);
+    // Walk the Hilbert order; the disk sequence must cycle 0..4.
+    auto order = sfc::curve_order(sfc::CurveKind::kHilbert,
+                                  std::vector<std::uint32_t>{8, 8});
+    for (std::size_t r = 0; r < order.size(); ++r) {
+        std::uint64_t flat = order[r][0] * 8 + order[r][1];
+        EXPECT_EQ(disks[flat], r % 5);
+    }
+}
+
+TEST(CellDisks, RejectsNonIndexMethodsAndZeroDisks) {
+    auto gs = cartesian(2, 2);
+    EXPECT_THROW(cell_disks(gs, Method::kMinimax, 4), CheckError);
+    EXPECT_THROW(cell_disks(gs, Method::kSsp, 4), CheckError);
+    EXPECT_THROW(cell_disks(gs, Method::kDiskModulo, 0), CheckError);
+}
+
+TEST(BucketCandidates, SingleCellBucketsHaveSingletons) {
+    auto gs = cartesian(4, 4);
+    auto cands = index_candidates(gs, Method::kDiskModulo, 3);
+    ASSERT_EQ(cands.size(), 16u);
+    for (const auto& cs : cands) {
+        EXPECT_EQ(cs.disks.size(), 1u);
+        EXPECT_EQ(cs.counts[0], 1u);
+        EXPECT_FALSE(cs.conflicting());
+    }
+}
+
+TEST(BucketCandidates, MergedBucketCollectsAllCellDisks) {
+    // Build a structure with one merged bucket covering a 1x3 strip.
+    GridStructure gs;
+    gs.shape = {1, 3};
+    gs.domain_lo = {0.0, 0.0};
+    gs.domain_hi = {1.0, 3.0};
+    BucketInfo b;
+    b.cell_lo = {0, 0};
+    b.cell_hi = {1, 3};
+    b.region_lo = {0.0, 0.0};
+    b.region_hi = {1.0, 3.0};
+    gs.buckets.push_back(b);
+    gs.validate();
+    // DM on 3 disks assigns cells (0,0),(0,1),(0,2) to disks 0,1,2.
+    auto cands = index_candidates(gs, Method::kDiskModulo, 3);
+    ASSERT_EQ(cands.size(), 1u);
+    EXPECT_EQ(cands[0].disks, (std::vector<std::uint32_t>{0, 1, 2}));
+    EXPECT_EQ(cands[0].counts, (std::vector<std::uint32_t>{1, 1, 1}));
+    EXPECT_TRUE(cands[0].conflicting());
+}
+
+TEST(BucketCandidates, MultiplicitiesAreCorrect) {
+    // 2x2 merged bucket under DM with M=2: diagonal cells agree.
+    GridStructure gs;
+    gs.shape = {2, 2};
+    gs.domain_lo = {0.0, 0.0};
+    gs.domain_hi = {2.0, 2.0};
+    BucketInfo b;
+    b.cell_lo = {0, 0};
+    b.cell_hi = {2, 2};
+    b.region_lo = {0.0, 0.0};
+    b.region_hi = {2.0, 2.0};
+    gs.buckets.push_back(b);
+    auto cands = index_candidates(gs, Method::kDiskModulo, 2);
+    // Cells: (0,0)->0, (0,1)->1, (1,0)->1, (1,1)->0.
+    EXPECT_EQ(cands[0].disks, (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(cands[0].counts, (std::vector<std::uint32_t>{2, 2}));
+}
+
+TEST(BucketCandidates, RealGridFileCandidatesCoverAllBuckets) {
+    Rng rng(5);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 4;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        gf.insert({{rng.uniform() * rng.uniform(), rng.uniform()}}, i);
+    }
+    GridStructure gs = gf.structure();
+    for (Method m : {Method::kDiskModulo, Method::kFieldwiseXor,
+                     Method::kHilbert}) {
+        auto cands = index_candidates(gs, m, 7);
+        ASSERT_EQ(cands.size(), gs.bucket_count());
+        for (std::size_t b = 0; b < cands.size(); ++b) {
+            ASSERT_FALSE(cands[b].disks.empty());
+            // Distinct disks never exceed the bucket's cell count or M.
+            EXPECT_LE(cands[b].disks.size(),
+                      std::min<std::uint64_t>(gs.buckets[b].cell_count(), 7));
+            // Counts sum to the cell count.
+            std::uint64_t sum = 0;
+            for (auto c : cands[b].counts) sum += c;
+            EXPECT_EQ(sum, gs.buckets[b].cell_count());
+            // Disks sorted and unique.
+            std::set<std::uint32_t> unique(cands[b].disks.begin(),
+                                           cands[b].disks.end());
+            EXPECT_EQ(unique.size(), cands[b].disks.size());
+        }
+    }
+}
+
+TEST(BucketCandidates, MismatchedCellDiskVectorThrows) {
+    auto gs = cartesian(2, 2);
+    std::vector<std::uint32_t> wrong(3, 0);
+    EXPECT_THROW(bucket_candidates(gs, wrong), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

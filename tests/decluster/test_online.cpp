@@ -1,0 +1,133 @@
+#include "pgf/decluster/online.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/decluster/minimax.hpp"
+#include "pgf/disksim/metrics.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+GridStructure grid_structure(std::uint64_t seed, std::size_t n_points) {
+    Rng rng(seed);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2> gf(domain, {.bucket_capacity = 5});
+    for (std::uint64_t i = 0; i < n_points; ++i) {
+        gf.insert({{rng.uniform(), rng.uniform()}}, i);
+    }
+    return gf.structure();
+}
+
+/// Streams every bucket of `gs` through an OnlineMinimax in id order.
+Assignment stream_all(const GridStructure& gs, std::uint32_t m) {
+    OnlineMinimax online(gs.domain_lo, gs.domain_hi, m);
+    Assignment a;
+    a.num_disks = m;
+    a.disk_of.reserve(gs.bucket_count());
+    for (const auto& b : gs.buckets) {
+        a.disk_of.push_back(online.place(b));
+    }
+    return a;
+}
+
+TEST(OnlineMinimax, BalanceCapHoldsAtEveryPrefix) {
+    GridStructure gs = grid_structure(3, 600);
+    const std::uint32_t m = 7;
+    OnlineMinimax online(gs.domain_lo, gs.domain_hi, m);
+    for (std::size_t n = 0; n < gs.bucket_count(); ++n) {
+        online.place(gs.buckets[n]);
+        std::size_t cap = (n + 1 + m - 1) / m;
+        for (std::uint32_t d = 0; d < m; ++d) {
+            ASSERT_LE(online.load()[d], cap) << "after " << n + 1;
+        }
+    }
+    EXPECT_EQ(online.placed(), gs.bucket_count());
+}
+
+TEST(OnlineMinimax, FirstPlacementsFillEmptyDisksFirst) {
+    GridStructure gs = grid_structure(5, 200);
+    OnlineMinimax online(gs.domain_lo, gs.domain_hi, 4);
+    std::set<std::uint32_t> used;
+    for (std::size_t b = 0; b < 4; ++b) {
+        used.insert(online.place(gs.buckets[b]));
+    }
+    // Empty disks have weight 0, the global minimum, so the first M
+    // buckets land on M distinct disks.
+    EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(OnlineMinimax, QualityCloseToOffline) {
+    GridStructure gs = grid_structure(7, 800);
+    const std::uint32_t m = 8;
+    Assignment online = stream_all(gs, m);
+    Assignment offline = minimax_decluster(gs, m, {.seed = 3});
+    std::size_t cp_online = closest_pairs_same_disk(gs, online);
+    std::size_t cp_offline = closest_pairs_same_disk(gs, offline);
+    // Streaming loses some freedom but must stay in the same quality
+    // regime (paper-scale offline numbers are near zero).
+    EXPECT_LE(cp_online, cp_offline + gs.bucket_count() / 20);
+}
+
+TEST(OnlineMinimax, SeededFromExistingAssignmentExtendsIt) {
+    GridStructure gs = grid_structure(9, 500);
+    const std::uint32_t m = 6;
+    Assignment offline = minimax_decluster(gs, m, {.seed = 5});
+    OnlineMinimax online(gs, offline);
+    EXPECT_EQ(online.placed(), gs.bucket_count());
+    auto before = online.load();
+    // Place a few synthetic new buckets (as if splits created them).
+    Rng rng(11);
+    for (int k = 0; k < 30; ++k) {
+        double x = rng.uniform(0.0, 0.9), y = rng.uniform(0.0, 0.9);
+        std::uint32_t d = online.place({x, y}, {x + 0.05, y + 0.05});
+        ASSERT_LT(d, m);
+    }
+    std::size_t cap = (gs.bucket_count() + 30 + m - 1) / m;
+    for (std::uint32_t d = 0; d < m; ++d) {
+        EXPECT_LE(online.load()[d], cap);
+        EXPECT_GE(online.load()[d], before[d]);
+    }
+}
+
+TEST(OnlineMinimax, AvoidsTheDiskOfAnIdenticalRegion) {
+    OnlineMinimax online({0.0, 0.0}, {1.0, 1.0}, 3);
+    std::uint32_t first = online.place({0.1, 0.1}, {0.2, 0.2});
+    // The same region again must go to a different disk (max proximity to
+    // its twin is maximal).
+    std::uint32_t second = online.place({0.1, 0.1}, {0.2, 0.2});
+    EXPECT_NE(first, second);
+}
+
+TEST(OnlineMinimax, DeterministicPlacement) {
+    GridStructure gs = grid_structure(13, 300);
+    Assignment a = stream_all(gs, 5);
+    Assignment b = stream_all(gs, 5);
+    EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+TEST(OnlineMinimax, RejectsMalformedInput) {
+    EXPECT_THROW(OnlineMinimax({0.0}, {1.0}, 0), CheckError);
+    EXPECT_THROW(OnlineMinimax({0.0, 0.0}, {1.0}, 2), CheckError);
+    EXPECT_THROW(OnlineMinimax({0.0}, {0.0}, 2), CheckError);
+    OnlineMinimax ok({0.0, 0.0}, {1.0, 1.0}, 2);
+    EXPECT_THROW(ok.place({0.1}, {0.2}), CheckError);
+    GridStructure gs = grid_structure(15, 100);
+    Assignment short_a;
+    short_a.num_disks = 2;
+    short_a.disk_of.assign(1, 0);
+    EXPECT_THROW(OnlineMinimax(gs, short_a), CheckError);
+}
+
+TEST(OnlineMinimax, EuclideanWeightVariant) {
+    GridStructure gs = grid_structure(17, 300);
+    OnlineMinimax online(gs.domain_lo, gs.domain_hi, 4,
+                         WeightKind::kCenterSimilarity);
+    for (const auto& b : gs.buckets) online.place(b);
+    std::size_t cap = (gs.bucket_count() + 3) / 4;
+    for (auto l : online.load()) EXPECT_LE(l, cap);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,107 @@
+#include "pgf/decluster/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+GridStructure small_structure() {
+    Rng rng(1);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 4;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        gf.insert({{rng.uniform(), rng.uniform()}}, i);
+    }
+    return gf.structure();
+}
+
+TEST(Registry, MethodNames) {
+    EXPECT_EQ(to_string(Method::kDiskModulo), "DM");
+    EXPECT_EQ(to_string(Method::kFieldwiseXor), "FX");
+    EXPECT_EQ(to_string(Method::kHilbert), "HCAM");
+    EXPECT_EQ(to_string(Method::kSsp), "SSP");
+    EXPECT_EQ(to_string(Method::kMinimax), "MiniMax");
+    EXPECT_EQ(to_string(Method::kMst), "MST");
+}
+
+TEST(Registry, HeuristicAndWeightNames) {
+    EXPECT_EQ(to_string(ConflictHeuristic::kDataBalance), "data-balance");
+    EXPECT_EQ(to_string(ConflictHeuristic::kRandom), "random");
+    EXPECT_EQ(to_string(ConflictHeuristic::kMostFrequent), "most-frequent");
+    EXPECT_EQ(to_string(ConflictHeuristic::kAreaBalance), "area-balance");
+    EXPECT_EQ(to_string(WeightKind::kProximityIndex), "proximity-index");
+    EXPECT_EQ(to_string(WeightKind::kCenterSimilarity), "center-similarity");
+}
+
+TEST(Registry, IsIndexBasedClassification) {
+    EXPECT_TRUE(is_index_based(Method::kDiskModulo));
+    EXPECT_TRUE(is_index_based(Method::kFieldwiseXor));
+    EXPECT_TRUE(is_index_based(Method::kHilbert));
+    EXPECT_TRUE(is_index_based(Method::kMorton));
+    EXPECT_TRUE(is_index_based(Method::kGrayCode));
+    EXPECT_TRUE(is_index_based(Method::kScan));
+    EXPECT_FALSE(is_index_based(Method::kMst));
+    EXPECT_FALSE(is_index_based(Method::kSsp));
+    EXPECT_FALSE(is_index_based(Method::kMinimax));
+}
+
+TEST(Registry, ParseMethodRoundTrip) {
+    EXPECT_EQ(parse_method("dm"), Method::kDiskModulo);
+    EXPECT_EQ(parse_method("fx"), Method::kFieldwiseXor);
+    EXPECT_EQ(parse_method("hcam"), Method::kHilbert);
+    EXPECT_EQ(parse_method("hilbert"), Method::kHilbert);
+    EXPECT_EQ(parse_method("minimax"), Method::kMinimax);
+    EXPECT_EQ(parse_method("ssp"), Method::kSsp);
+    EXPECT_EQ(parse_method("zorder"), Method::kMorton);
+    EXPECT_EQ(parse_method("nope"), std::nullopt);
+}
+
+TEST(Registry, AllMethodsListedOnce) {
+    const auto& ms = all_methods();
+    EXPECT_EQ(ms.size(), 10u);
+}
+
+TEST(Registry, DeclusterDispatchesEveryMethod) {
+    GridStructure gs = small_structure();
+    for (Method m : all_methods()) {
+        Assignment a = decluster(gs, m, 6, {.seed = 5});
+        ASSERT_EQ(a.disk_of.size(), gs.bucket_count()) << to_string(m);
+        ASSERT_EQ(a.num_disks, 6u);
+        for (auto d : a.disk_of) ASSERT_LT(d, 6u) << to_string(m);
+    }
+}
+
+TEST(Registry, DeclusterIsSeedDeterministic) {
+    GridStructure gs = small_structure();
+    for (Method m : all_methods()) {
+        DeclusterOptions opt;
+        opt.seed = 33;
+        Assignment a = decluster(gs, m, 8, opt);
+        Assignment b = decluster(gs, m, 8, opt);
+        EXPECT_EQ(a.disk_of, b.disk_of) << to_string(m);
+    }
+}
+
+TEST(Registry, HeuristicOptionChangesIndexBasedResults) {
+    GridStructure gs = small_structure();
+    // There are merged buckets in this structure, so random vs data-balance
+    // should differ (with overwhelming probability) for FX.
+    DeclusterOptions balanced;
+    balanced.heuristic = ConflictHeuristic::kDataBalance;
+    DeclusterOptions random;
+    random.heuristic = ConflictHeuristic::kRandom;
+    random.seed = 12345;
+    Assignment a = decluster(gs, Method::kFieldwiseXor, 8, balanced);
+    Assignment b = decluster(gs, Method::kFieldwiseXor, 8, random);
+    if (gs.merged_bucket_count() > 3) {
+        EXPECT_NE(a.disk_of, b.disk_of);
+    }
+}
+
+}  // namespace
+}  // namespace pgf

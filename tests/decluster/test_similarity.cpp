@@ -1,0 +1,150 @@
+#include "pgf/decluster/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/decluster/weights.hpp"
+#include "pgf/disksim/metrics.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+GridStructure grid_structure(std::uint64_t seed, std::size_t n_points) {
+    Rng rng(seed);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 5;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < n_points; ++i) {
+        gf.insert({{rng.uniform(), rng.uniform()}}, i);
+    }
+    return gf.structure();
+}
+
+TEST(Ssp, PerfectlyBalanced) {
+    GridStructure gs = grid_structure(3, 500);
+    for (std::uint32_t m : {2u, 3u, 5u, 8u, 16u}) {
+        Assignment a = ssp_decluster(gs, m, {.seed = 1});
+        auto load = a.load();
+        std::size_t cap = (gs.bucket_count() + m - 1) / m;
+        for (auto l : load) EXPECT_LE(l, cap) << "M=" << m;
+    }
+}
+
+TEST(Ssp, DeterministicPerSeed) {
+    GridStructure gs = grid_structure(5, 300);
+    Assignment a = ssp_decluster(gs, 4, {.seed = 10});
+    Assignment b = ssp_decluster(gs, 4, {.seed = 10});
+    EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+TEST(Ssp, PathNeighborsLandOnDifferentDisks) {
+    // Path positions are dealt round-robin, so for M >= 2 any two buckets
+    // adjacent on the spanning path differ in disk; spot-check via the
+    // closest-pair metric being much lower than random.
+    GridStructure gs = grid_structure(7, 600);
+    Assignment ssp = ssp_decluster(gs, 8, {.seed = 3});
+    Rng rng(99);
+    Assignment random;
+    random.num_disks = 8;
+    random.disk_of.resize(gs.bucket_count());
+    for (auto& d : random.disk_of) d = rng.below(8);
+    EXPECT_LT(closest_pairs_same_disk(gs, ssp),
+              closest_pairs_same_disk(gs, random));
+}
+
+TEST(Ssp, SingleDiskAndSingleBucket) {
+    GridStructure gs = grid_structure(9, 300);
+    Assignment one = ssp_decluster(gs, 1, {});
+    for (auto d : one.disk_of) EXPECT_EQ(d, 0u);
+    auto tiny = make_cartesian_structure({1, 1}, {0, 0}, {1, 1});
+    Assignment a = ssp_decluster(tiny, 4, {});
+    EXPECT_EQ(a.disk_of.size(), 1u);
+    EXPECT_EQ(a.disk_of[0], 0u);
+}
+
+TEST(Mst, SeparatesParentChildPairs) {
+    GridStructure gs = grid_structure(11, 400);
+    Assignment a = mst_decluster(gs, 4, {.seed = 6});
+    // The defining property: low closest-pair count (parent in the
+    // max-similarity tree is usually the nearest neighbor).
+    Rng rng(1);
+    Assignment random;
+    random.num_disks = 4;
+    random.disk_of.resize(gs.bucket_count());
+    for (auto& d : random.disk_of) d = rng.below(4);
+    EXPECT_LT(closest_pairs_same_disk(gs, a),
+              closest_pairs_same_disk(gs, random));
+}
+
+TEST(Mst, BalanceNotGuaranteedButBounded) {
+    GridStructure gs = grid_structure(13, 500);
+    Assignment a = mst_decluster(gs, 6, {.seed = 2});
+    auto load = a.load();
+    std::size_t total = 0;
+    for (auto l : load) total += l;
+    EXPECT_EQ(total, gs.bucket_count());
+    // Every disk is used (cyclic cursor guarantees coverage for n >> M).
+    for (auto l : load) EXPECT_GT(l, 0u);
+}
+
+TEST(Mst, SingleDiskDegenerate) {
+    GridStructure gs = grid_structure(17, 200);
+    Assignment a = mst_decluster(gs, 1, {});
+    for (auto d : a.disk_of) EXPECT_EQ(d, 0u);
+}
+
+TEST(SimilarityGraph, PerfectlyBalanced) {
+    GridStructure gs = grid_structure(31, 500);
+    for (std::uint32_t m : {2u, 4u, 8u}) {
+        Assignment a = similarity_graph_decluster(gs, m, {.seed = 2});
+        auto load = a.load();
+        std::size_t cap = (gs.bucket_count() + m - 1) / m;
+        for (auto l : load) EXPECT_LE(l, cap) << "M=" << m;
+    }
+}
+
+TEST(SimilarityGraph, RefinementBeatsItsRandomStart) {
+    // With zero KL passes the result is the balanced random partition;
+    // the refined partition must separate closest pairs strictly better.
+    GridStructure gs = grid_structure(37, 600);
+    Assignment raw = similarity_graph_decluster(gs, 8, {.seed = 4},
+                                                /*max_passes=*/0);
+    Assignment refined = similarity_graph_decluster(gs, 8, {.seed = 4});
+    EXPECT_LT(closest_pairs_same_disk(gs, refined),
+              closest_pairs_same_disk(gs, raw));
+}
+
+TEST(SimilarityGraph, DeterministicPerSeed) {
+    GridStructure gs = grid_structure(41, 300);
+    Assignment a = similarity_graph_decluster(gs, 5, {.seed = 9});
+    Assignment b = similarity_graph_decluster(gs, 5, {.seed = 9});
+    EXPECT_EQ(a.disk_of, b.disk_of);
+}
+
+TEST(SimilarityGraph, SingleDiskDegenerate) {
+    GridStructure gs = grid_structure(43, 100);
+    Assignment a = similarity_graph_decluster(gs, 1, {});
+    for (auto d : a.disk_of) EXPECT_EQ(d, 0u);
+}
+
+TEST(SimilarityMethods, RejectZeroDisks) {
+    GridStructure gs = grid_structure(19, 100);
+    EXPECT_THROW(ssp_decluster(gs, 0, {}), CheckError);
+    EXPECT_THROW(mst_decluster(gs, 0, {}), CheckError);
+    EXPECT_THROW(similarity_graph_decluster(gs, 0, {}), CheckError);
+}
+
+TEST(SimilarityMethods, EuclideanWeightVariant) {
+    GridStructure gs = grid_structure(23, 300);
+    SimilarityOptions opt;
+    opt.weight = WeightKind::kCenterSimilarity;
+    Assignment s = ssp_decluster(gs, 4, opt);
+    Assignment m = mst_decluster(gs, 4, opt);
+    EXPECT_EQ(s.disk_of.size(), gs.bucket_count());
+    EXPECT_EQ(m.disk_of.size(), gs.bucket_count());
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,97 @@
+#include "pgf/decluster/weights.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/geom/proximity.hpp"
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+/// Rebuilds Rect<2>s from a structure bucket for the reference formulas.
+Rect<2> rect_of(const BucketInfo& b) {
+    return Rect<2>{{{b.region_lo[0], b.region_lo[1]}},
+                   {{b.region_hi[0], b.region_hi[1]}}};
+}
+
+GridStructure random_structure(std::uint64_t seed, std::size_t n_points) {
+    Rng rng(seed);
+    Rect<2> domain{{{0.0, 0.0}}, {{100.0, 50.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 4;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < n_points; ++i) {
+        gf.insert({{rng.uniform(0.0, 100.0), rng.uniform(0.0, 50.0)}}, i);
+    }
+    return gf.structure();
+}
+
+TEST(BucketWeights, MatchesProximityIndexExactly) {
+    GridStructure gs = random_structure(3, 400);
+    BucketWeights w(gs, WeightKind::kProximityIndex);
+    Rect<2> domain{{{0.0, 0.0}}, {{100.0, 50.0}}};
+    ASSERT_EQ(w.size(), gs.bucket_count());
+    for (std::size_t i = 0; i < gs.bucket_count(); i += 3) {
+        for (std::size_t j = 0; j < gs.bucket_count(); j += 5) {
+            double expected = proximity_index(rect_of(gs.buckets[i]),
+                                              rect_of(gs.buckets[j]), domain);
+            ASSERT_DOUBLE_EQ(w(i, j), expected) << i << "," << j;
+        }
+    }
+}
+
+TEST(BucketWeights, MatchesCenterSimilarityExactly) {
+    GridStructure gs = random_structure(7, 300);
+    BucketWeights w(gs, WeightKind::kCenterSimilarity);
+    Rect<2> domain{{{0.0, 0.0}}, {{100.0, 50.0}}};
+    for (std::size_t i = 0; i < gs.bucket_count(); i += 4) {
+        for (std::size_t j = 0; j < gs.bucket_count(); j += 7) {
+            double expected = center_similarity(rect_of(gs.buckets[i]),
+                                                rect_of(gs.buckets[j]), domain);
+            ASSERT_NEAR(w(i, j), expected, 1e-12);
+        }
+    }
+}
+
+TEST(BucketWeights, SymmetricPositiveBounded) {
+    GridStructure gs = random_structure(11, 500);
+    for (WeightKind kind : {WeightKind::kProximityIndex,
+                            WeightKind::kCenterSimilarity}) {
+        BucketWeights w(gs, kind);
+        for (std::size_t i = 0; i < w.size(); i += 6) {
+            for (std::size_t j = i; j < w.size(); j += 9) {
+                double v = w(i, j);
+                ASSERT_DOUBLE_EQ(v, w(j, i));
+                ASSERT_GT(v, 0.0);
+                ASSERT_LE(v, 1.0);
+            }
+        }
+    }
+}
+
+TEST(BucketWeights, SelfWeightDominatesRow) {
+    GridStructure gs = random_structure(13, 350);
+    BucketWeights w(gs, WeightKind::kProximityIndex);
+    for (std::size_t i = 0; i < w.size(); i += 5) {
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            if (j != i) {
+                ASSERT_GE(w(i, i), w(i, j));
+            }
+        }
+    }
+}
+
+TEST(BucketWeights, AdjacentBucketsOutweighDistantOnes) {
+    // Cartesian structure: neighbor (0,1) of bucket (0,0) must be closer
+    // than the far corner.
+    auto gs = make_cartesian_structure({8, 8}, {0.0, 0.0}, {8.0, 8.0});
+    BucketWeights w(gs);
+    std::size_t origin = 0;        // cell (0,0)
+    std::size_t neighbor = 1;      // cell (0,1)
+    std::size_t corner = 63;       // cell (7,7)
+    EXPECT_GT(w(origin, neighbor), w(origin, corner));
+}
+
+}  // namespace
+}  // namespace pgf

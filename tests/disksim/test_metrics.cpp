@@ -1,0 +1,126 @@
+#include "pgf/disksim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+Assignment assign(std::initializer_list<std::uint32_t> disks,
+                  std::uint32_t m) {
+    return Assignment{std::vector<std::uint32_t>(disks), m};
+}
+
+TEST(ResponseTime, MaxPerDiskCount) {
+    Assignment a = assign({0, 1, 0, 2, 1, 0}, 3);
+    // Query touches buckets 0,1,2,3: disks 0,1,0,2 -> disk 0 serves 2.
+    EXPECT_EQ(response_time({0, 1, 2, 3}, a), 2u);
+    // All buckets: disk 0 has 3.
+    EXPECT_EQ(response_time({0, 1, 2, 3, 4, 5}, a), 3u);
+    EXPECT_EQ(response_time({}, a), 0u);
+    EXPECT_EQ(response_time({3}, a), 1u);
+}
+
+TEST(ResponseTime, UnknownBucketThrows) {
+    Assignment a = assign({0, 1}, 2);
+    EXPECT_THROW(response_time({5}, a), CheckError);
+}
+
+TEST(OptimalResponse, AverageOverDisks) {
+    EXPECT_DOUBLE_EQ(optimal_response(12.0, 4), 3.0);
+    EXPECT_DOUBLE_EQ(optimal_response(10.0, 4), 2.5);
+    EXPECT_THROW(optimal_response(10.0, 0), CheckError);
+}
+
+TEST(DataBalance, PerfectDistributionIsOne) {
+    Assignment a = assign({0, 1, 2, 0, 1, 2}, 3);
+    EXPECT_DOUBLE_EQ(degree_of_data_balance(a), 1.0);
+}
+
+TEST(DataBalance, SkewDetected) {
+    Assignment a = assign({0, 0, 0, 1}, 2);
+    // B_max = 3, M = 2, B_sum = 4 -> 1.5.
+    EXPECT_DOUBLE_EQ(degree_of_data_balance(a), 1.5);
+}
+
+TEST(DataBalance, UnusedDiskCountsAgainstBalance) {
+    Assignment a = assign({0, 0}, 2);
+    EXPECT_DOUBLE_EQ(degree_of_data_balance(a), 2.0);
+}
+
+TEST(DataBalance, EmptyAssignmentThrows) {
+    Assignment a;
+    a.num_disks = 2;
+    EXPECT_THROW(degree_of_data_balance(a), CheckError);
+}
+
+TEST(AreaBalance, WeighsVolumeNotCount) {
+    // Two buckets on disk 0 with tiny volume, one big on disk 1.
+    GridStructure gs;
+    gs.shape = {3};
+    gs.domain_lo = {0.0};
+    gs.domain_hi = {10.0};
+    auto add = [&](double lo, double hi, std::uint32_t c0, std::uint32_t c1) {
+        BucketInfo b;
+        b.cell_lo = {c0};
+        b.cell_hi = {c1};
+        b.region_lo = {lo};
+        b.region_hi = {hi};
+        gs.buckets.push_back(b);
+    };
+    add(0.0, 1.0, 0, 1);
+    add(1.0, 2.0, 1, 2);
+    add(2.0, 10.0, 2, 3);
+    Assignment a = assign({0, 0, 1}, 2);
+    // Volumes: disk0 = 2, disk1 = 8, total 10 -> 8*2/10 = 1.6.
+    EXPECT_DOUBLE_EQ(degree_of_area_balance(gs, a), 1.6);
+    // Count balance would report perfect-ish: B_max*M/B_sum = 2*2/3.
+    EXPECT_NEAR(degree_of_data_balance(a), 4.0 / 3.0, 1e-12);
+}
+
+TEST(NearestNeighbors, ChainStructure) {
+    // 1-d Cartesian row: each bucket's nearest neighbor is an adjacent one.
+    auto gs = make_cartesian_structure({6}, {0.0}, {6.0});
+    BucketWeights w(gs);
+    auto nn = nearest_neighbors(w);
+    ASSERT_EQ(nn.size(), 6u);
+    EXPECT_EQ(nn[0], 1u);
+    EXPECT_EQ(nn[5], 4u);
+    for (std::size_t i = 1; i < 5; ++i) {
+        EXPECT_TRUE(nn[i] == i - 1 || nn[i] == i + 1) << i;
+    }
+}
+
+TEST(ClosestPairs, AllSeparatedGivesZero) {
+    auto gs = make_cartesian_structure({4}, {0.0}, {4.0});
+    // Alternating disks: neighbors always differ.
+    Assignment a = assign({0, 1, 0, 1}, 2);
+    EXPECT_EQ(closest_pairs_same_disk(gs, a), 0u);
+}
+
+TEST(ClosestPairs, AllTogetherCountsDistinctPairs) {
+    auto gs = make_cartesian_structure({4}, {0.0}, {4.0});
+    Assignment a = assign({0, 0, 0, 0}, 2);
+    // nn: 0->1, 1->0 or 2, 2->1 or 3, 3->2. Distinct pairs are at most 3
+    // and at least 2 (mutual pairs dedup).
+    std::size_t pairs = closest_pairs_same_disk(gs, a);
+    EXPECT_GE(pairs, 2u);
+    EXPECT_LE(pairs, 3u);
+}
+
+TEST(ClosestPairs, SingleBucketIsZero) {
+    auto gs = make_cartesian_structure({1}, {0.0}, {1.0});
+    Assignment a = assign({0}, 2);
+    EXPECT_EQ(closest_pairs_same_disk(gs, a), 0u);
+}
+
+TEST(ClosestPairs, MismatchedAssignmentThrows) {
+    auto gs = make_cartesian_structure({4}, {0.0}, {4.0});
+    Assignment a = assign({0, 1}, 2);
+    EXPECT_THROW(closest_pairs_same_disk(gs, a), CheckError);
+    EXPECT_THROW(degree_of_area_balance(gs, a), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,88 @@
+#include "pgf/disksim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/decluster/registry.hpp"
+#include "pgf/util/rng.hpp"
+#include "pgf/workload/query_gen.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(EvaluateWorkload, HandComputedAverages) {
+    Assignment a{{0, 1, 0, 1}, 2};
+    std::vector<std::vector<std::uint32_t>> queries{
+        {0, 1},        // response 1, buckets 2
+        {0, 2},        // both disk 0: response 2, buckets 2
+        {0, 1, 2, 3},  // response 2, buckets 4
+    };
+    WorkloadStats s = evaluate_workload(queries, a);
+    EXPECT_EQ(s.queries, 3u);
+    EXPECT_DOUBLE_EQ(s.avg_response, (1.0 + 2.0 + 2.0) / 3.0);
+    EXPECT_DOUBLE_EQ(s.max_response, 2.0);
+    EXPECT_DOUBLE_EQ(s.avg_buckets, (2.0 + 2.0 + 4.0) / 3.0);
+    EXPECT_DOUBLE_EQ(s.optimal, s.avg_buckets / 2.0);
+    EXPECT_DOUBLE_EQ(s.data_balance, 1.0);
+}
+
+TEST(EvaluateWorkload, EmptyWorkload) {
+    Assignment a{{0, 1}, 2};
+    WorkloadStats s = evaluate_workload({}, a);
+    EXPECT_EQ(s.queries, 0u);
+    EXPECT_DOUBLE_EQ(s.avg_response, 0.0);
+    EXPECT_DOUBLE_EQ(s.data_balance, 1.0);
+}
+
+TEST(EvaluateWorkload, ResponseNeverBelowOptimal) {
+    Rng rng(3);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 5;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+        gf.insert({{rng.uniform(), rng.uniform()}}, i);
+    }
+    auto queries = square_queries(domain, 0.05, 200, rng);
+    auto qb = collect_query_buckets(gf, queries);
+    GridStructure gs = gf.structure();
+    for (Method m : {Method::kDiskModulo, Method::kHilbert, Method::kMinimax}) {
+        Assignment a = decluster(gs, m, 8, {.seed = 4});
+        WorkloadStats s = evaluate_workload(qb, a);
+        EXPECT_GE(s.avg_response, s.optimal) << to_string(m);
+        EXPECT_GE(s.max_response, s.avg_response) << to_string(m);
+    }
+}
+
+TEST(CollectQueryBuckets, MatchesDirectQueries) {
+    Rng rng(7);
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 4;
+    GridFile<2> gf(domain, cfg);
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        gf.insert({{rng.uniform(), rng.uniform()}}, i);
+    }
+    auto queries = square_queries(domain, 0.1, 50, rng);
+    auto collected = collect_query_buckets(gf, queries);
+    ASSERT_EQ(collected.size(), queries.size());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+        EXPECT_EQ(collected[i], gf.query_buckets(queries[i]));
+    }
+}
+
+TEST(EvaluateWorkload, MoreDisksNeverHurtOptimal) {
+    // The optimal reference halves when M doubles; sanity for the sweep
+    // logic used by every figure bench.
+    std::vector<std::vector<std::uint32_t>> queries{{0, 1, 2, 3, 4, 5, 6, 7}};
+    Assignment a4{{0, 1, 2, 3, 0, 1, 2, 3}, 4};
+    Assignment a8{{0, 1, 2, 3, 4, 5, 6, 7}, 8};
+    WorkloadStats s4 = evaluate_workload(queries, a4);
+    WorkloadStats s8 = evaluate_workload(queries, a8);
+    EXPECT_DOUBLE_EQ(s4.optimal, 2.0);
+    EXPECT_DOUBLE_EQ(s8.optimal, 1.0);
+    EXPECT_DOUBLE_EQ(s4.avg_response, 2.0);
+    EXPECT_DOUBLE_EQ(s8.avg_response, 1.0);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,128 @@
+#include "pgf/geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(Point, DefaultIsOrigin) {
+    Point<3> p;
+    EXPECT_EQ(p[0], 0.0);
+    EXPECT_EQ(p[1], 0.0);
+    EXPECT_EQ(p[2], 0.0);
+}
+
+TEST(Point, IndexingAndEquality) {
+    Point<2> a{{1.0, 2.0}};
+    Point<2> b{{1.0, 2.0}};
+    Point<2> c{{1.0, 2.5}};
+    EXPECT_EQ(a, b);
+    EXPECT_NE(a, c);
+    a[1] = 2.5;
+    EXPECT_EQ(a, c);
+}
+
+TEST(Point, DistanceMatchesPythagoras) {
+    Point<2> a{{0.0, 0.0}};
+    Point<2> b{{3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(squared_distance(a, b), 25.0);
+    EXPECT_DOUBLE_EQ(distance(a, b), 5.0);
+}
+
+TEST(Point, StreamFormat) {
+    Point<3> p{{1.0, 2.0, 3.0}};
+    std::ostringstream os;
+    os << p;
+    EXPECT_EQ(os.str(), "(1, 2, 3)");
+}
+
+TEST(Rect, FromBoundsValidates) {
+    Point<2> lo{{0.0, 0.0}}, hi{{1.0, 2.0}};
+    auto r = Rect<2>::from_bounds(lo, hi);
+    EXPECT_DOUBLE_EQ(r.extent(0), 1.0);
+    EXPECT_DOUBLE_EQ(r.extent(1), 2.0);
+    Point<2> bad{{2.0, 0.0}};
+    EXPECT_THROW(Rect<2>::from_bounds(bad, hi), CheckError);
+}
+
+TEST(Rect, VolumeAndCenter) {
+    Rect<3> r{{{0.0, 0.0, 0.0}}, {{2.0, 3.0, 4.0}}};
+    EXPECT_DOUBLE_EQ(r.volume(), 24.0);
+    Point<3> c = r.center();
+    EXPECT_DOUBLE_EQ(c[0], 1.0);
+    EXPECT_DOUBLE_EQ(c[1], 1.5);
+    EXPECT_DOUBLE_EQ(c[2], 2.0);
+}
+
+TEST(Rect, ContainsIsHalfOpen) {
+    Rect<2> r{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    EXPECT_TRUE(r.contains(Point<2>{{0.0, 0.0}}));
+    EXPECT_TRUE(r.contains(Point<2>{{0.999, 0.999}}));
+    EXPECT_FALSE(r.contains(Point<2>{{1.0, 0.5}}));  // upper bound excluded
+    EXPECT_FALSE(r.contains(Point<2>{{0.5, 1.0}}));
+    EXPECT_FALSE(r.contains(Point<2>{{-0.001, 0.5}}));
+}
+
+TEST(Rect, IntersectsOverlapping) {
+    Rect<2> a{{{0.0, 0.0}}, {{2.0, 2.0}}};
+    Rect<2> b{{{1.0, 1.0}}, {{3.0, 3.0}}};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+}
+
+TEST(Rect, TouchingFacesDoNotIntersect) {
+    Rect<2> a{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    Rect<2> b{{{1.0, 0.0}}, {{2.0, 1.0}}};
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_FALSE(b.intersects(a));
+}
+
+TEST(Rect, DisjointOnOneAxisOnly) {
+    // Projections intersect on y but not x: the boxes are "partially
+    // overlapped" in the paper's terminology, and must NOT intersect.
+    Rect<2> a{{{0.0, 0.0}}, {{1.0, 5.0}}};
+    Rect<2> b{{{2.0, 1.0}}, {{3.0, 4.0}}};
+    EXPECT_FALSE(a.intersects(b));
+    EXPECT_GT(a.overlap_extent(1, b), 0.0);
+    EXPECT_DOUBLE_EQ(a.overlap_extent(0, b), 0.0);
+}
+
+TEST(Rect, OverlapExtentValues) {
+    Rect<2> a{{{0.0, 0.0}}, {{2.0, 2.0}}};
+    Rect<2> b{{{1.0, -1.0}}, {{3.0, 1.5}}};
+    EXPECT_DOUBLE_EQ(a.overlap_extent(0, b), 1.0);
+    EXPECT_DOUBLE_EQ(a.overlap_extent(1, b), 1.5);
+}
+
+TEST(Rect, GapExtentValues) {
+    Rect<1> a{{{0.0}}, {{1.0}}};
+    Rect<1> b{{{3.0}}, {{4.0}}};
+    EXPECT_DOUBLE_EQ(a.gap_extent(0, b), 2.0);
+    EXPECT_DOUBLE_EQ(b.gap_extent(0, a), 2.0);
+    Rect<1> c{{{0.5}}, {{2.0}}};
+    EXPECT_DOUBLE_EQ(a.gap_extent(0, c), 0.0);  // overlapping => no gap
+}
+
+TEST(Rect, ContainedRectIntersects) {
+    Rect<2> outer{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> inner{{{4.0, 4.0}}, {{5.0, 5.0}}};
+    EXPECT_TRUE(outer.intersects(inner));
+    EXPECT_TRUE(inner.intersects(outer));
+}
+
+TEST(Rect, HighDimensionalBasics) {
+    Rect<5> r;
+    for (std::size_t i = 0; i < 5; ++i) {
+        r.lo[i] = 0.0;
+        r.hi[i] = static_cast<double>(i + 1);
+    }
+    EXPECT_DOUBLE_EQ(r.volume(), 120.0);
+    EXPECT_TRUE(r.contains(Point<5>{{0.5, 0.5, 0.5, 0.5, 0.5}}));
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,146 @@
+#include "pgf/geom/proximity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(IntervalProximity, IdenticalIntervalsSpanningDomain) {
+    // Full overlap: delta = 1, proximity = (1+2)/3 = 1.
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 10, 0, 10, 10), 1.0);
+}
+
+TEST(IntervalProximity, PartialOverlap) {
+    // Overlap of length 2 in a domain of 10: (1 + 2*0.2)/3.
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 5, 3, 9, 10), (1.0 + 0.4) / 3.0);
+}
+
+TEST(IntervalProximity, TouchingIntervals) {
+    // Gap 0 (disjoint branch): (1-0)^2/3 = 1/3.
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 5, 5, 9, 10), 1.0 / 3.0);
+}
+
+TEST(IntervalProximity, DisjointDecaysQuadratically) {
+    // Gap of 4 in domain 10: (1-0.4)^2 / 3 = 0.12.
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 2, 6, 8, 10), 0.36 / 3.0);
+}
+
+TEST(IntervalProximity, MaximalGapGivesZero) {
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 0, 10, 10, 10), 0.0);
+}
+
+TEST(IntervalProximity, SymmetricInArguments) {
+    EXPECT_DOUBLE_EQ(interval_proximity(0, 3, 5, 9, 12),
+                     interval_proximity(5, 9, 0, 3, 12));
+    EXPECT_DOUBLE_EQ(interval_proximity(1, 4, 2, 6, 12),
+                     interval_proximity(2, 6, 1, 4, 12));
+}
+
+TEST(IntervalProximity, MonotoneInGap) {
+    double prev = 1.0;
+    for (double gap = 0.0; gap <= 8.0; gap += 1.0) {
+        double p = interval_proximity(0, 1, 1 + gap, 2 + gap, 10);
+        EXPECT_LE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(IntervalProximity, MonotoneInOverlap) {
+    double prev = 0.0;
+    for (double ov = 0.5; ov <= 5.0; ov += 0.5) {
+        double p = interval_proximity(0, 5, 5 - ov, 10 - ov, 10);
+        EXPECT_GE(p, prev);
+        prev = p;
+    }
+}
+
+TEST(IntervalProximity, InvalidDomainThrows) {
+    EXPECT_THROW(interval_proximity(0, 1, 2, 3, 0), CheckError);
+    EXPECT_THROW(interval_proximity(0, 1, 2, 3, -5), CheckError);
+}
+
+TEST(ProximityIndex, ProductOverDimensions) {
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> r{{{0.0, 0.0}}, {{5.0, 5.0}}};
+    Rect<2> s{{{3.0, 6.0}}, {{9.0, 8.0}}};
+    double px = interval_proximity(0, 5, 3, 9, 10);
+    double py = interval_proximity(0, 5, 6, 8, 10);
+    EXPECT_DOUBLE_EQ(proximity_index(r, s, domain), px * py);
+}
+
+TEST(ProximityIndex, SelfProximityIsMaximal) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{4.0, 4.0, 4.0}}};
+    Rect<3> r{{{1.0, 1.0, 1.0}}, {{2.0, 2.0, 2.0}}};
+    double self = proximity_index(r, r, domain);
+    Rect<3> other{{{2.0, 1.0, 1.0}}, {{3.0, 2.0, 2.0}}};
+    EXPECT_GT(self, proximity_index(r, other, domain));
+}
+
+TEST(ProximityIndex, AdjacentCloserThanDiagonal) {
+    // The proximity index must rank a face-adjacent neighbor above a
+    // diagonal one — the property Euclidean center distance also has, but
+    // proximity additionally separates overlap configurations.
+    Rect<2> domain{{{0.0, 0.0}}, {{4.0, 4.0}}};
+    Rect<2> r{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    Rect<2> face{{{1.0, 0.0}}, {{2.0, 1.0}}};
+    Rect<2> diag{{{1.0, 1.0}}, {{2.0, 2.0}}};
+    EXPECT_GT(proximity_index(r, face, domain),
+              proximity_index(r, diag, domain));
+}
+
+TEST(ProximityIndex, PartiallyOverlappedRanksAboveFullyDisjoint) {
+    // Two boxes whose x-projections intersect but y-projections do not
+    // ("partially overlapped") vs. one disjoint on both axes at the same
+    // gap: partial overlap must score higher — the distinction the paper
+    // gives for preferring the proximity index over Euclidean distance.
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> r{{{0.0, 0.0}}, {{2.0, 2.0}}};
+    Rect<2> partial{{{0.0, 4.0}}, {{2.0, 6.0}}};   // same x-range, y gap 2
+    Rect<2> disjoint{{{4.0, 4.0}}, {{6.0, 6.0}}};  // gap 2 on both axes
+    EXPECT_GT(proximity_index(r, partial, domain),
+              proximity_index(r, disjoint, domain));
+}
+
+TEST(ProximityIndex, SymmetricAndPositive) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{8.0, 8.0, 8.0}}};
+    Rect<3> a{{{0.0, 1.0, 2.0}}, {{1.0, 3.0, 4.0}}};
+    Rect<3> b{{{5.0, 5.0, 0.0}}, {{7.0, 8.0, 1.0}}};
+    EXPECT_DOUBLE_EQ(proximity_index(a, b, domain),
+                     proximity_index(b, a, domain));
+    EXPECT_GT(proximity_index(a, b, domain), 0.0);
+    EXPECT_LE(proximity_index(a, b, domain), 1.0);
+}
+
+TEST(CenterSimilarity, OneForCoincidentCenters) {
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> a{{{1.0, 1.0}}, {{3.0, 3.0}}};
+    Rect<2> b{{{0.0, 0.0}}, {{4.0, 4.0}}};  // same center (2,2)
+    EXPECT_DOUBLE_EQ(center_similarity(a, b, domain), 1.0);
+}
+
+TEST(CenterSimilarity, DecreasesWithDistance) {
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> a{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    Rect<2> near{{{1.0, 0.0}}, {{2.0, 1.0}}};
+    Rect<2> far{{{8.0, 0.0}}, {{9.0, 1.0}}};
+    EXPECT_GT(center_similarity(a, near, domain),
+              center_similarity(a, far, domain));
+}
+
+TEST(CenterSimilarity, CannotDistinguishOverlapStructure) {
+    // Documents the weakness the paper cites: equal center distances give
+    // equal similarity regardless of overlap.
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rect<2> thin{{{0.0, 0.0}}, {{0.2, 4.0}}};   // center (0.1, 2)
+    Rect<2> wide{{{0.0, 1.9}}, {{0.2, 2.1}}};   // same center
+    Rect<2> probe{{{3.0, 1.0}}, {{4.0, 3.0}}};
+    EXPECT_DOUBLE_EQ(center_similarity(thin, probe, domain),
+                     center_similarity(wide, probe, domain));
+    EXPECT_NE(proximity_index(thin, probe, domain),
+              proximity_index(wide, probe, domain));
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,146 @@
+#include "pgf/graph/kernighan_lin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+using Weight = std::function<double(std::size_t, std::size_t)>;
+
+TEST(InternalWeight, CountsOnlySameDiskEdges) {
+    Weight unit = [](std::size_t, std::size_t) { return 1.0; };
+    std::vector<std::uint32_t> disks{0, 0, 1, 1};
+    // Same-disk pairs: (0,1) and (2,3).
+    EXPECT_DOUBLE_EQ(internal_weight(disks, unit), 2.0);
+    std::vector<std::uint32_t> all_same{0, 0, 0};
+    EXPECT_DOUBLE_EQ(internal_weight(all_same, unit), 3.0);
+    std::vector<std::uint32_t> all_diff{0, 1, 2};
+    EXPECT_DOUBLE_EQ(internal_weight(all_diff, unit), 0.0);
+}
+
+TEST(KlRefine, FixesAnObviouslyBadBisection) {
+    // Two tight clusters {0,1} and {2,3} (weight 10 inside, 0.1 across).
+    // Declustering wants the clusters SPLIT across disks; the worst start
+    // puts each cluster on one disk.
+    Weight w = [](std::size_t i, std::size_t j) {
+        bool same_cluster = (i < 2) == (j < 2);
+        return same_cluster ? 10.0 : 0.1;
+    };
+    std::vector<std::uint32_t> disks{0, 0, 1, 1};
+    KlResult r = kl_refine(disks, 2, w);
+    EXPECT_GT(r.swaps, 0u);
+    EXPECT_LT(r.internal_after, r.internal_before);
+    // Optimal: each disk holds one vertex of each cluster.
+    EXPECT_NE(disks[0], disks[1]);
+    EXPECT_NE(disks[2], disks[3]);
+    EXPECT_NEAR(r.internal_after, 0.2, 1e-9);
+    EXPECT_NEAR(r.internal_after, internal_weight(disks, w), 1e-9);
+}
+
+TEST(KlRefine, LeavesOptimumAlone) {
+    Weight w = [](std::size_t i, std::size_t j) {
+        bool same_cluster = (i < 2) == (j < 2);
+        return same_cluster ? 10.0 : 0.1;
+    };
+    std::vector<std::uint32_t> disks{0, 1, 0, 1};
+    KlResult r = kl_refine(disks, 2, w);
+    EXPECT_EQ(r.swaps, 0u);
+    EXPECT_DOUBLE_EQ(r.internal_after, r.internal_before);
+    EXPECT_EQ(r.passes, 1u);
+}
+
+TEST(KlRefine, PreservesPartitionSizes) {
+    Rng rng(13);
+    const std::size_t n = 40;
+    std::vector<double> pos(n);
+    for (auto& p : pos) p = rng.uniform();
+    Weight w = [&](std::size_t i, std::size_t j) {
+        return 1.0 / (1.0 + 10.0 * std::abs(pos[i] - pos[j]));
+    };
+    std::vector<std::uint32_t> disks(n);
+    for (std::size_t i = 0; i < n; ++i) disks[i] = i < n / 2 ? 0 : 1;
+    auto count = [&](std::uint32_t d) {
+        std::size_t c = 0;
+        for (auto x : disks) c += x == d ? 1 : 0;
+        return c;
+    };
+    std::size_t before0 = count(0);
+    kl_refine(disks, 2, w);
+    EXPECT_EQ(count(0), before0);  // swaps keep sizes
+}
+
+TEST(KlRefine, NeverIncreasesInternalWeight) {
+    Rng rng(17);
+    for (int trial = 0; trial < 5; ++trial) {
+        const std::size_t n = 30;
+        std::vector<std::pair<double, double>> pts(n);
+        for (auto& p : pts) p = {rng.uniform(), rng.uniform()};
+        Weight w = [&](std::size_t i, std::size_t j) {
+            double dx = pts[i].first - pts[j].first;
+            double dy = pts[i].second - pts[j].second;
+            return 1.0 / (1.0 + 5.0 * (dx * dx + dy * dy));
+        };
+        std::vector<std::uint32_t> disks(n);
+        for (std::size_t i = 0; i < n; ++i) {
+            disks[i] = static_cast<std::uint32_t>(rng.below(4));
+        }
+        double before = internal_weight(disks, w);
+        KlResult r = kl_refine(disks, 4, w);
+        EXPECT_LE(r.internal_after, before + 1e-12);
+        EXPECT_NEAR(r.internal_after, internal_weight(disks, w), 1e-9);
+    }
+}
+
+TEST(KlRefine, IncrementalBookkeepingMatchesRecomputation) {
+    Rng rng(19);
+    const std::size_t n = 25;
+    std::vector<double> pos(n);
+    for (auto& p : pos) p = rng.uniform();
+    Weight w = [&](std::size_t i, std::size_t j) {
+        return 0.5 + 0.5 / (1.0 + std::abs(pos[i] - pos[j]));
+    };
+    std::vector<std::uint32_t> disks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        disks[i] = static_cast<std::uint32_t>(i % 3);
+    }
+    KlResult r = kl_refine(disks, 3, w, 4);
+    EXPECT_NEAR(r.internal_after, internal_weight(disks, w), 1e-9);
+}
+
+TEST(KlRefine, SingleDiskIsNoop) {
+    Weight unit = [](std::size_t, std::size_t) { return 1.0; };
+    std::vector<std::uint32_t> disks{0, 0, 0};
+    KlResult r = kl_refine(disks, 1, unit);
+    EXPECT_EQ(r.swaps, 0u);
+    EXPECT_DOUBLE_EQ(r.internal_before, 3.0);
+}
+
+TEST(KlRefine, RespectsMaxPasses) {
+    Rng rng(23);
+    const std::size_t n = 20;
+    std::vector<double> pos(n);
+    for (auto& p : pos) p = rng.uniform();
+    Weight w = [&](std::size_t i, std::size_t j) {
+        return 1.0 / (1.0 + std::abs(pos[i] - pos[j]));
+    };
+    std::vector<std::uint32_t> disks(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        disks[i] = static_cast<std::uint32_t>(rng.below(5));
+    }
+    KlResult r = kl_refine(disks, 5, w, 1);
+    EXPECT_EQ(r.passes, 1u);
+}
+
+TEST(KlRefine, RejectsOutOfRangeDisks) {
+    Weight unit = [](std::size_t, std::size_t) { return 1.0; };
+    std::vector<std::uint32_t> disks{0, 5};
+    EXPECT_THROW(kl_refine(disks, 2, unit), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,164 @@
+#include "pgf/graph/prim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+/// Dense cost matrix wrapper.
+struct Matrix {
+    std::size_t n;
+    std::vector<double> w;
+    double operator()(std::size_t i, std::size_t j) const {
+        return w[i * n + j];
+    }
+};
+
+Matrix random_symmetric(std::size_t n, Rng& rng) {
+    Matrix m{n, std::vector<double>(n * n, 0.0)};
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double c = rng.uniform(0.1, 10.0);
+            m.w[i * n + j] = c;
+            m.w[j * n + i] = c;
+        }
+    }
+    return m;
+}
+
+/// Kruskal MST total cost via union-find, for cross-checking Prim.
+double kruskal_cost(const Matrix& m) {
+    struct Edge {
+        std::size_t a, b;
+        double c;
+    };
+    std::vector<Edge> edges;
+    for (std::size_t i = 0; i < m.n; ++i) {
+        for (std::size_t j = i + 1; j < m.n; ++j) {
+            edges.push_back({i, j, m(i, j)});
+        }
+    }
+    std::sort(edges.begin(), edges.end(),
+              [](const Edge& x, const Edge& y) { return x.c < y.c; });
+    std::vector<std::size_t> root(m.n);
+    std::iota(root.begin(), root.end(), std::size_t{0});
+    std::function<std::size_t(std::size_t)> find = [&](std::size_t x) {
+        while (root[x] != x) x = root[x] = root[root[x]];
+        return x;
+    };
+    double total = 0.0;
+    std::size_t joined = 0;
+    for (const Edge& e : edges) {
+        std::size_t ra = find(e.a), rb = find(e.b);
+        if (ra == rb) continue;
+        root[ra] = rb;
+        total += e.c;
+        if (++joined == m.n - 1) break;
+    }
+    return total;
+}
+
+TEST(Prim, SingleVertexTree) {
+    auto parent = prim_mst(1, 0, [](std::size_t, std::size_t) { return 1.0; });
+    ASSERT_EQ(parent.size(), 1u);
+    EXPECT_EQ(parent[0], 0u);
+}
+
+TEST(Prim, TwoVertices) {
+    auto parent = prim_mst(2, 0, [](std::size_t, std::size_t) { return 3.0; });
+    EXPECT_EQ(parent[0], 0u);
+    EXPECT_EQ(parent[1], 0u);
+}
+
+TEST(Prim, KnownSmallGraph) {
+    // Path-shaped optimum: 0-1 (1), 1-2 (1), everything else expensive.
+    Matrix m{3, {0, 1, 9,
+                 1, 0, 1,
+                 9, 1, 0}};
+    auto parent = prim_mst(3, 0, m);
+    auto cost = tree_cost(parent, [&](std::size_t i, std::size_t j) {
+        return m(i, j);
+    });
+    EXPECT_DOUBLE_EQ(cost, 2.0);
+}
+
+TEST(Prim, MatchesKruskalOnRandomGraphs) {
+    Rng rng(5);
+    for (std::size_t n : {2u, 3u, 5u, 10u, 25u, 60u}) {
+        Matrix m = random_symmetric(n, rng);
+        auto parent = prim_mst(n, 0, m);
+        double prim_total = tree_cost(
+            parent, [&](std::size_t i, std::size_t j) { return m(i, j); });
+        EXPECT_NEAR(prim_total, kruskal_cost(m), 1e-9) << "n=" << n;
+    }
+}
+
+TEST(Prim, ParentArrayIsSpanningTree) {
+    Rng rng(7);
+    Matrix m = random_symmetric(30, rng);
+    auto parent = prim_mst(30, 4, m);
+    EXPECT_EQ(parent[4], 4u);  // root self-parents
+    // Every vertex reaches the root without cycles.
+    for (std::size_t v = 0; v < 30; ++v) {
+        std::size_t cur = v, hops = 0;
+        while (cur != 4) {
+            cur = parent[cur];
+            ASSERT_LT(++hops, 31u) << "cycle from " << v;
+        }
+    }
+}
+
+TEST(Prim, RootChoiceDoesNotChangeCost) {
+    Rng rng(11);
+    Matrix m = random_symmetric(20, rng);
+    auto cost_fn = [&](std::size_t i, std::size_t j) { return m(i, j); };
+    double c0 = tree_cost(prim_mst(20, 0, m), cost_fn);
+    double c7 = tree_cost(prim_mst(20, 7, m), cost_fn);
+    double c19 = tree_cost(prim_mst(20, 19, m), cost_fn);
+    EXPECT_NEAR(c0, c7, 1e-9);
+    EXPECT_NEAR(c0, c19, 1e-9);
+}
+
+TEST(Prim, RejectsBadArguments) {
+    auto unit = [](std::size_t, std::size_t) { return 1.0; };
+    EXPECT_THROW(prim_mst(0, 0, unit), CheckError);
+    EXPECT_THROW(prim_mst(3, 3, unit), CheckError);
+}
+
+TEST(Preorder, VisitsRootFirstParentsBeforeChildren) {
+    // Tree: 2 <- 0, 2 <- 4, 0 <- 1, 0 <- 3 (root 2).
+    std::vector<std::size_t> parent{2, 0, 2, 0, 2};
+    auto order = preorder(parent);
+    ASSERT_EQ(order.size(), 5u);
+    EXPECT_EQ(order[0], 2u);
+    std::vector<std::size_t> pos(5);
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (std::size_t v = 0; v < 5; ++v) {
+        if (v != 2) {
+            EXPECT_LT(pos[parent[v]], pos[v]) << "vertex " << v;
+        }
+    }
+}
+
+TEST(Preorder, ChildrenVisitedInIncreasingOrder) {
+    std::vector<std::size_t> parent{0, 0, 0, 1, 1};
+    auto order = preorder(parent);
+    // DFS preorder with ascending children: 0, 1, 3, 4, 2.
+    EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 3, 4, 2}));
+}
+
+TEST(Preorder, RejectsMultipleRootsOrForests) {
+    std::vector<std::size_t> two_roots{0, 1};
+    EXPECT_THROW(preorder(two_roots), CheckError);
+    std::vector<std::size_t> cycle{1, 0};  // no root at all
+    EXPECT_THROW(preorder(cycle), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,90 @@
+#include "pgf/graph/spanning_path.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(SpanningPath, SingleVertex) {
+    auto path = greedy_spanning_path(
+        1, 0, [](std::size_t, std::size_t) { return 1.0; });
+    EXPECT_EQ(path, (std::vector<std::size_t>{0}));
+}
+
+TEST(SpanningPath, IsPermutationStartingAtStart) {
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 40; ++i) xs.push_back(rng.uniform());
+    auto sim = [&](std::size_t i, std::size_t j) {
+        return 1.0 / (1.0 + std::abs(xs[i] - xs[j]));
+    };
+    auto path = greedy_spanning_path(40, 7, sim);
+    ASSERT_EQ(path.size(), 40u);
+    EXPECT_EQ(path.front(), 7u);
+    std::set<std::size_t> unique(path.begin(), path.end());
+    EXPECT_EQ(unique.size(), 40u);
+}
+
+TEST(SpanningPath, FollowsLineInOrder) {
+    // Points on a line with similarity decreasing in distance: the greedy
+    // path from one end must walk the line monotonically.
+    constexpr std::size_t n = 12;
+    auto sim = [](std::size_t i, std::size_t j) {
+        return 1.0 / (1.0 + std::abs(static_cast<double>(i) -
+                                     static_cast<double>(j)));
+    };
+    auto path = greedy_spanning_path(n, 0, sim);
+    for (std::size_t k = 0; k < n; ++k) EXPECT_EQ(path[k], k);
+    // From the middle it first exhausts one side before jumping.
+    auto mid = greedy_spanning_path(n, 5, sim);
+    EXPECT_EQ(mid.front(), 5u);
+    std::set<std::size_t> unique(mid.begin(), mid.end());
+    EXPECT_EQ(unique.size(), n);
+}
+
+TEST(SpanningPath, GreedyBeatsRandomOrder) {
+    Rng rng(9);
+    std::vector<std::pair<double, double>> pts;
+    for (int i = 0; i < 60; ++i) {
+        pts.emplace_back(rng.uniform(), rng.uniform());
+    }
+    auto sim = [&](std::size_t i, std::size_t j) {
+        double dx = pts[i].first - pts[j].first;
+        double dy = pts[i].second - pts[j].second;
+        return 1.0 / (1.0 + std::sqrt(dx * dx + dy * dy));
+    };
+    std::function<double(std::size_t, std::size_t)> sim_fn = sim;
+    auto greedy = greedy_spanning_path(60, 0, sim);
+    std::vector<std::size_t> random_order(60);
+    std::iota(random_order.begin(), random_order.end(), std::size_t{0});
+    rng.shuffle(random_order);
+    EXPECT_GT(path_similarity(greedy, sim_fn),
+              path_similarity(random_order, sim_fn));
+}
+
+TEST(SpanningPath, RejectsBadArguments) {
+    auto unit = [](std::size_t, std::size_t) { return 1.0; };
+    EXPECT_THROW(greedy_spanning_path(0, 0, unit), CheckError);
+    EXPECT_THROW(greedy_spanning_path(3, 5, unit), CheckError);
+}
+
+TEST(PathSimilarity, SumsConsecutiveEdges) {
+    std::function<double(std::size_t, std::size_t)> sim =
+        [](std::size_t i, std::size_t j) {
+            return static_cast<double>(i + j);
+        };
+    std::vector<std::size_t> path{0, 1, 2};
+    EXPECT_DOUBLE_EQ(path_similarity(path, sim), 1.0 + 3.0);
+    std::vector<std::size_t> single{4};
+    EXPECT_DOUBLE_EQ(path_similarity(single, sim), 0.0);
+}
+
+}  // namespace
+}  // namespace pgf

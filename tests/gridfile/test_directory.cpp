@@ -1,0 +1,129 @@
+#include "pgf/gridfile/directory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(CellBox, CountAndExtent) {
+    CellBox<3> box{{1, 0, 2}, {4, 2, 3}};
+    EXPECT_EQ(box.cell_count(), 3u * 2 * 1);
+    EXPECT_EQ(box.extent(0), 3u);
+    EXPECT_EQ(box.extent(1), 2u);
+    EXPECT_EQ(box.extent(2), 1u);
+}
+
+TEST(CellBox, Contains) {
+    CellBox<2> box{{1, 1}, {3, 3}};
+    EXPECT_TRUE(box.contains({1, 1}));
+    EXPECT_TRUE(box.contains({2, 2}));
+    EXPECT_FALSE(box.contains({3, 2}));  // hi is exclusive
+    EXPECT_FALSE(box.contains({0, 1}));
+}
+
+TEST(ForEachCell, RowMajorOrder) {
+    CellBox<2> box{{0, 0}, {2, 3}};
+    std::vector<std::array<std::uint32_t, 2>> visited;
+    for_each_cell(box, [&](const std::array<std::uint32_t, 2>& c) {
+        visited.push_back(c);
+    });
+    std::vector<std::array<std::uint32_t, 2>> expected{
+        {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+    EXPECT_EQ(visited, expected);
+}
+
+TEST(ForEachCell, EmptyBoxVisitsNothing) {
+    CellBox<2> box{{1, 1}, {1, 3}};
+    int visits = 0;
+    for_each_cell(box, [&](const auto&) { ++visits; });
+    EXPECT_EQ(visits, 0);
+}
+
+TEST(ForEachCell, SingleCell) {
+    CellBox<4> box{{2, 3, 4, 5}, {3, 4, 5, 6}};
+    int visits = 0;
+    for_each_cell(box, [&](const std::array<std::uint32_t, 4>& c) {
+        EXPECT_EQ(c, (std::array<std::uint32_t, 4>{2, 3, 4, 5}));
+        ++visits;
+    });
+    EXPECT_EQ(visits, 1);
+}
+
+TEST(GridDirectory, StartsAsSingleCell) {
+    GridDirectory<2> dir(7);
+    EXPECT_EQ(dir.cell_count(), 1u);
+    EXPECT_EQ(dir.shape(), (std::array<std::uint32_t, 2>{1, 1}));
+    EXPECT_EQ(dir.at({0, 0}), 7u);
+}
+
+TEST(GridDirectory, SetAndGet) {
+    GridDirectory<2> dir(0);
+    dir.expand(0, 0);
+    dir.expand(1, 0);
+    dir.set({1, 0}, 42);
+    EXPECT_EQ(dir.at({1, 0}), 42u);
+    EXPECT_EQ(dir.at({0, 0}), 0u);
+}
+
+TEST(GridDirectory, ExpandDuplicatesSlice) {
+    GridDirectory<2> dir(0);
+    dir.expand(0, 0);       // shape 2x1
+    dir.set({0, 0}, 10);
+    dir.set({1, 0}, 20);
+    dir.expand(1, 0);       // shape 2x2: both columns copy the old one
+    EXPECT_EQ(dir.at({0, 0}), 10u);
+    EXPECT_EQ(dir.at({0, 1}), 10u);
+    EXPECT_EQ(dir.at({1, 0}), 20u);
+    EXPECT_EQ(dir.at({1, 1}), 20u);
+}
+
+TEST(GridDirectory, ExpandMiddleIntervalShiftsUpper) {
+    GridDirectory<1> dir(0);
+    dir.expand(0, 0);  // [A, A] -> set distinct
+    dir.set({0}, 1);
+    dir.set({1}, 2);
+    dir.expand(0, 0);  // duplicate interval 0: [1, 1, 2]
+    EXPECT_EQ(dir.shape()[0], 3u);
+    EXPECT_EQ(dir.at({0}), 1u);
+    EXPECT_EQ(dir.at({1}), 1u);
+    EXPECT_EQ(dir.at({2}), 2u);
+    dir.expand(0, 2);  // duplicate last: [1, 1, 2, 2]
+    EXPECT_EQ(dir.at({3}), 2u);
+}
+
+TEST(GridDirectory, ExpandThreeDimensional) {
+    GridDirectory<3> dir(5);
+    dir.expand(1, 0);
+    dir.expand(2, 0);
+    EXPECT_EQ(dir.shape(), (std::array<std::uint32_t, 3>{1, 2, 2}));
+    EXPECT_EQ(dir.cell_count(), 4u);
+    for (std::uint32_t y = 0; y < 2; ++y) {
+        for (std::uint32_t z = 0; z < 2; ++z) {
+            EXPECT_EQ(dir.at({0, y, z}), 5u);
+        }
+    }
+}
+
+TEST(GridDirectory, OutOfRangeAccessThrows) {
+    GridDirectory<2> dir(0);
+    EXPECT_THROW(dir.at({1, 0}), CheckError);
+    EXPECT_THROW(dir.expand(2, 0), CheckError);
+    EXPECT_THROW(dir.expand(0, 1), CheckError);
+}
+
+TEST(GridDirectory, FlattenIsRowMajor) {
+    GridDirectory<2> dir(0);
+    dir.expand(0, 0);
+    dir.expand(1, 0);  // 2x2
+    EXPECT_EQ(dir.flatten({0, 0}), 0u);
+    EXPECT_EQ(dir.flatten({0, 1}), 1u);
+    EXPECT_EQ(dir.flatten({1, 0}), 2u);
+    EXPECT_EQ(dir.flatten({1, 1}), 3u);
+}
+
+}  // namespace
+}  // namespace pgf

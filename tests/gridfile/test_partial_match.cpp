@@ -1,0 +1,123 @@
+#include "pgf/gridfile/partial_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(PartialMatch, CountsAndValidity) {
+    auto q = make_partial_match(std::optional<double>(1.0),
+                                std::optional<double>(),
+                                std::optional<double>(3.0));
+    EXPECT_EQ(q.specified_count(), 2u);
+    EXPECT_EQ(q.unspecified_count(), 1u);
+    EXPECT_TRUE(q.valid());
+
+    PartialMatch<2> exact;
+    exact.key = {1.0, 2.0};
+    EXPECT_FALSE(exact.valid());
+
+    PartialMatch<2> open;
+    EXPECT_TRUE(open.valid());
+    EXPECT_EQ(open.unspecified_count(), 2u);
+}
+
+struct LoadedFile {
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    GridFile<2> gf;
+    std::vector<Point<2>> pts;
+
+    LoadedFile() : gf(domain, {.bucket_capacity = 4}) {
+        Rng rng(3);
+        for (std::uint64_t i = 0; i < 800; ++i) {
+            // Snap x to a lattice so exact-match predicates have hits.
+            Point<2> p{{static_cast<double>(rng.uniform_int(0, 9)) + 0.5,
+                        rng.uniform(0.0, 10.0)}};
+            pts.push_back(p);
+            gf.insert(p, i);
+        }
+    }
+};
+
+TEST(PartialMatch, RecordsMatchBruteForce) {
+    LoadedFile f;
+    for (double x = 0.5; x < 10.0; x += 1.0) {
+        PartialMatch<2> q;
+        q.key[0] = x;  // A_1 = x, A_2 unspecified
+        auto got = f.gf.query_records(q);
+        std::size_t expected = 0;
+        for (const auto& p : f.pts) expected += p[0] == x ? 1u : 0u;
+        EXPECT_EQ(got.size(), expected) << "x=" << x;
+        for (const auto& rec : got) EXPECT_EQ(rec.point[0], x);
+    }
+}
+
+TEST(PartialMatch, FullyUnspecifiedTouchesEveryBucket) {
+    LoadedFile f;
+    PartialMatch<2> q;  // both axes unspecified
+    auto buckets = f.gf.query_buckets(q);
+    EXPECT_EQ(buckets.size(), f.gf.bucket_count());
+    EXPECT_EQ(f.gf.query_records(q).size(), f.pts.size());
+}
+
+TEST(PartialMatch, SpecifiedAxisRestrictsBuckets) {
+    LoadedFile f;
+    PartialMatch<2> q;
+    q.key[0] = 2.5;
+    auto buckets = f.gf.query_buckets(q);
+    EXPECT_LT(buckets.size(), f.gf.bucket_count());
+    // Every returned bucket's region must contain x = 2.5.
+    for (auto b : buckets) {
+        Rect<2> region = f.gf.bucket_region(b);
+        EXPECT_LE(region.lo[0], 2.5);
+        EXPECT_GT(region.hi[0], 2.5);
+    }
+}
+
+TEST(PartialMatch, BucketsAreDeduplicated) {
+    LoadedFile f;
+    PartialMatch<2> q;
+    q.key[1] = 5.0;
+    auto buckets = f.gf.query_buckets(q);
+    std::sort(buckets.begin(), buckets.end());
+    EXPECT_TRUE(std::adjacent_find(buckets.begin(), buckets.end()) ==
+                buckets.end());
+}
+
+TEST(PartialMatch, ExactMatchQueryRejected) {
+    LoadedFile f;
+    PartialMatch<2> q;
+    q.key = {1.0, 2.0};
+    EXPECT_THROW(f.gf.query_buckets(q), CheckError);
+}
+
+TEST(PartialMatch, ThreeDimensionalTwoSpecified) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{4.0, 4.0, 4.0}}};
+    GridFile<3> gf(domain, {.bucket_capacity = 3});
+    Rng rng(7);
+    std::vector<Point<3>> pts;
+    for (std::uint64_t i = 0; i < 400; ++i) {
+        Point<3> p{{static_cast<double>(rng.uniform_int(0, 3)) + 0.5,
+                    static_cast<double>(rng.uniform_int(0, 3)) + 0.5,
+                    rng.uniform(0.0, 4.0)}};
+        pts.push_back(p);
+        gf.insert(p, i);
+    }
+    PartialMatch<3> q;
+    q.key[0] = 1.5;
+    q.key[1] = 2.5;
+    auto got = gf.query_records(q);
+    std::size_t expected = 0;
+    for (const auto& p : pts) {
+        expected += (p[0] == 1.5 && p[1] == 2.5) ? 1u : 0u;
+    }
+    EXPECT_EQ(got.size(), expected);
+}
+
+}  // namespace
+}  // namespace pgf

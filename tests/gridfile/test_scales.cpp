@@ -1,0 +1,116 @@
+#include "pgf/gridfile/scales.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(LinearScale, StartsWithOneInterval) {
+    LinearScale s(0.0, 100.0);
+    EXPECT_EQ(s.intervals(), 1u);
+    EXPECT_DOUBLE_EQ(s.interval_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.interval_hi(0), 100.0);
+}
+
+TEST(LinearScale, RejectsEmptyDomain) {
+    EXPECT_THROW(LinearScale(5.0, 5.0), CheckError);
+    EXPECT_THROW(LinearScale(5.0, 1.0), CheckError);
+}
+
+TEST(LinearScale, LocateWithinSingleInterval) {
+    LinearScale s(0.0, 10.0);
+    EXPECT_EQ(s.locate(0.0), 0u);
+    EXPECT_EQ(s.locate(9.99), 0u);
+}
+
+TEST(LinearScale, LocateClampsOutOfDomain) {
+    LinearScale s(0.0, 10.0);
+    std::uint32_t idx;
+    s.insert_split(5.0, &idx);
+    EXPECT_EQ(s.locate(-3.0), 0u);
+    EXPECT_EQ(s.locate(10.0), 1u);   // at hi -> last interval
+    EXPECT_EQ(s.locate(42.0), 1u);
+}
+
+TEST(LinearScale, SplitCreatesHalfOpenIntervals) {
+    LinearScale s(0.0, 10.0);
+    std::uint32_t idx;
+    ASSERT_TRUE(s.insert_split(4.0, &idx));
+    EXPECT_EQ(idx, 0u);
+    EXPECT_EQ(s.intervals(), 2u);
+    EXPECT_EQ(s.locate(3.999), 0u);
+    EXPECT_EQ(s.locate(4.0), 1u);  // boundary belongs to the upper interval
+    EXPECT_DOUBLE_EQ(s.interval_hi(0), 4.0);
+    EXPECT_DOUBLE_EQ(s.interval_lo(1), 4.0);
+}
+
+TEST(LinearScale, SplitsKeepSortedOrder) {
+    LinearScale s(0.0, 100.0);
+    std::uint32_t idx;
+    ASSERT_TRUE(s.insert_split(50.0, &idx));
+    EXPECT_EQ(idx, 0u);
+    ASSERT_TRUE(s.insert_split(25.0, &idx));
+    EXPECT_EQ(idx, 0u);  // splits the first interval
+    ASSERT_TRUE(s.insert_split(75.0, &idx));
+    EXPECT_EQ(idx, 2u);  // splits what is now the third interval
+    EXPECT_EQ(s.intervals(), 4u);
+    EXPECT_DOUBLE_EQ(s.interval_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(s.interval_lo(1), 25.0);
+    EXPECT_DOUBLE_EQ(s.interval_lo(2), 50.0);
+    EXPECT_DOUBLE_EQ(s.interval_lo(3), 75.0);
+    EXPECT_DOUBLE_EQ(s.interval_hi(3), 100.0);
+}
+
+TEST(LinearScale, DuplicateSplitRejectedWithoutChange) {
+    LinearScale s(0.0, 10.0);
+    std::uint32_t idx;
+    ASSERT_TRUE(s.insert_split(5.0, &idx));
+    EXPECT_FALSE(s.insert_split(5.0, &idx));
+    EXPECT_EQ(s.intervals(), 2u);
+}
+
+TEST(LinearScale, SplitMustBeStrictlyInterior) {
+    LinearScale s(0.0, 10.0);
+    EXPECT_THROW(s.insert_split(0.0, nullptr), CheckError);
+    EXPECT_THROW(s.insert_split(10.0, nullptr), CheckError);
+    EXPECT_THROW(s.insert_split(-1.0, nullptr), CheckError);
+}
+
+TEST(LinearScale, SplitWithNullOutParameter) {
+    LinearScale s(0.0, 10.0);
+    EXPECT_TRUE(s.insert_split(2.0, nullptr));
+    EXPECT_EQ(s.intervals(), 2u);
+}
+
+TEST(LinearScale, IntervalAccessorsOutOfRangeThrow) {
+    LinearScale s(0.0, 10.0);
+    EXPECT_THROW(s.interval_lo(1), CheckError);
+    EXPECT_THROW(s.interval_hi(1), CheckError);
+}
+
+TEST(LinearScale, IntervalsPartitionDomain) {
+    LinearScale s(-5.0, 5.0);
+    for (double x : {-2.0, 1.5, 3.0, -4.0}) s.insert_split(x, nullptr);
+    double cursor = -5.0;
+    for (std::uint32_t i = 0; i < s.intervals(); ++i) {
+        EXPECT_DOUBLE_EQ(s.interval_lo(i), cursor);
+        EXPECT_GT(s.interval_hi(i), s.interval_lo(i));
+        cursor = s.interval_hi(i);
+    }
+    EXPECT_DOUBLE_EQ(cursor, 5.0);
+}
+
+TEST(LinearScale, LocateConsistentWithIntervalBounds) {
+    LinearScale s(0.0, 1.0);
+    for (double x : {0.31, 0.77, 0.12, 0.55}) s.insert_split(x, nullptr);
+    for (std::uint32_t i = 0; i < s.intervals(); ++i) {
+        EXPECT_EQ(s.locate(s.interval_lo(i)), i);
+        double mid = 0.5 * (s.interval_lo(i) + s.interval_hi(i));
+        EXPECT_EQ(s.locate(mid), i);
+    }
+}
+
+}  // namespace
+}  // namespace pgf

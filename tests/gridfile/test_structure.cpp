@@ -1,0 +1,101 @@
+#include "pgf/gridfile/structure.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(BucketInfo, CellCountMergedVolume) {
+    BucketInfo b;
+    b.cell_lo = {0, 2};
+    b.cell_hi = {2, 3};
+    b.region_lo = {0.0, 1.0};
+    b.region_hi = {2.0, 4.0};
+    EXPECT_EQ(b.cell_count(), 2u);
+    EXPECT_TRUE(b.merged());
+    EXPECT_DOUBLE_EQ(b.volume(), 6.0);
+}
+
+TEST(BucketInfo, SingleCellNotMerged) {
+    BucketInfo b;
+    b.cell_lo = {1};
+    b.cell_hi = {2};
+    EXPECT_FALSE(b.merged());
+}
+
+TEST(CartesianStructure, EveryCellItsOwnBucket) {
+    auto gs = make_cartesian_structure({4, 3}, {0.0, 0.0}, {8.0, 6.0});
+    EXPECT_EQ(gs.bucket_count(), 12u);
+    EXPECT_EQ(gs.cell_count(), 12u);
+    EXPECT_EQ(gs.merged_bucket_count(), 0u);
+    for (const auto& b : gs.buckets) {
+        EXPECT_EQ(b.cell_count(), 1u);
+        EXPECT_DOUBLE_EQ(b.volume(), 2.0 * 2.0);  // 8/4 x 6/3
+    }
+}
+
+TEST(CartesianStructure, RowMajorBucketOrder) {
+    auto gs = make_cartesian_structure({2, 3}, {0.0, 0.0}, {2.0, 3.0});
+    // Bucket index = i * 3 + j, regions are unit cells.
+    EXPECT_DOUBLE_EQ(gs.buckets[0].region_lo[0], 0.0);
+    EXPECT_DOUBLE_EQ(gs.buckets[0].region_lo[1], 0.0);
+    EXPECT_DOUBLE_EQ(gs.buckets[1].region_lo[1], 1.0);  // (0,1)
+    EXPECT_DOUBLE_EQ(gs.buckets[3].region_lo[0], 1.0);  // (1,0)
+    EXPECT_DOUBLE_EQ(gs.buckets[3].region_lo[1], 0.0);
+}
+
+TEST(CartesianStructure, RecordsPerCell) {
+    auto gs = make_cartesian_structure({2, 2}, {0.0, 0.0}, {1.0, 1.0}, 7);
+    for (const auto& b : gs.buckets) EXPECT_EQ(b.record_count, 7u);
+}
+
+TEST(CartesianStructure, RejectsDimensionMismatch) {
+    EXPECT_THROW(make_cartesian_structure({2, 2}, {0.0}, {1.0, 1.0}),
+                 CheckError);
+}
+
+TEST(GridStructureValidate, DetectsUncoveredCells) {
+    auto gs = make_cartesian_structure({2, 2}, {0.0, 0.0}, {1.0, 1.0});
+    gs.buckets.pop_back();
+    EXPECT_THROW(gs.validate(), CheckError);
+}
+
+TEST(GridStructureValidate, DetectsDoubleCoverage) {
+    auto gs = make_cartesian_structure({2, 2}, {0.0, 0.0}, {1.0, 1.0});
+    gs.buckets.push_back(gs.buckets.back());
+    EXPECT_THROW(gs.validate(), CheckError);
+}
+
+TEST(GridStructureValidate, DetectsOutOfGridBoxes) {
+    auto gs = make_cartesian_structure({2, 2}, {0.0, 0.0}, {1.0, 1.0});
+    gs.buckets[0].cell_hi[0] = 5;
+    EXPECT_THROW(gs.validate(), CheckError);
+}
+
+TEST(GridStructureValidate, DetectsEmptyRegion) {
+    auto gs = make_cartesian_structure({2, 2}, {0.0, 0.0}, {1.0, 1.0});
+    gs.buckets[0].region_hi[0] = gs.buckets[0].region_lo[0];
+    EXPECT_THROW(gs.validate(), CheckError);
+}
+
+TEST(GridStructure, DomainExtent) {
+    auto gs = make_cartesian_structure({3}, {-2.0}, {4.0});
+    EXPECT_DOUBLE_EQ(gs.domain_extent(0), 6.0);
+    EXPECT_EQ(gs.dims(), 1u);
+}
+
+TEST(CartesianStructure, ThreeDimensional) {
+    auto gs = make_cartesian_structure({2, 3, 4}, {0.0, 0.0, 0.0},
+                                       {2.0, 3.0, 4.0});
+    EXPECT_EQ(gs.bucket_count(), 24u);
+    EXPECT_NO_THROW(gs.validate());
+    // Last bucket is cell (1, 2, 3).
+    const auto& last = gs.buckets.back();
+    EXPECT_EQ(last.cell_lo, (std::vector<std::uint32_t>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(last.region_hi[2], 4.0);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,111 @@
+#include "pgf/parallel/disk_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+DiskParams no_cache() {
+    DiskParams p;
+    p.cache_blocks = 0;
+    return p;
+}
+
+TEST(SimulatedDisk, ColdRandomReadPaysSeekRotationTransfer) {
+    DiskParams p = no_cache();
+    SimulatedDisk d(p);
+    double t = d.read(100);
+    double expected = p.avg_seek_s + p.avg_rotation_s +
+                      static_cast<double>(p.block_bytes) /
+                          p.transfer_bytes_per_s;
+    EXPECT_DOUBLE_EQ(t, expected);
+    EXPECT_EQ(d.physical_reads(), 1u);
+    EXPECT_EQ(d.cache_hits(), 0u);
+}
+
+TEST(SimulatedDisk, SequentialReadSkipsPositioning) {
+    DiskParams p = no_cache();
+    SimulatedDisk d(p);
+    d.read(100);
+    double t = d.read(101);
+    EXPECT_DOUBLE_EQ(t, static_cast<double>(p.block_bytes) /
+                            p.transfer_bytes_per_s);
+    // Non-adjacent block seeks again.
+    double t2 = d.read(50);
+    EXPECT_GT(t2, t);
+}
+
+TEST(SimulatedDisk, CacheHitIsCheapAndCounted) {
+    DiskParams p;
+    p.cache_blocks = 8;
+    SimulatedDisk d(p);
+    double cold = d.read(5);
+    double hot = d.read(5);
+    EXPECT_DOUBLE_EQ(hot, p.cache_hit_s);
+    EXPECT_LT(hot, cold);
+    EXPECT_EQ(d.physical_reads(), 1u);
+    EXPECT_EQ(d.cache_hits(), 1u);
+}
+
+TEST(SimulatedDisk, LruEvictsLeastRecentlyUsed) {
+    DiskParams p;
+    p.cache_blocks = 2;
+    SimulatedDisk d(p);
+    d.read(1);
+    d.read(2);
+    d.read(1);  // refresh 1; LRU order now [1, 2]
+    d.read(3);  // evicts 2
+    d.reset_counters();
+    d.read(1);
+    EXPECT_EQ(d.cache_hits(), 1u);
+    d.read(3);
+    EXPECT_EQ(d.cache_hits(), 2u);
+    d.read(2);  // was evicted -> physical
+    EXPECT_EQ(d.physical_reads(), 1u);
+}
+
+TEST(SimulatedDisk, DropCacheForcesPhysicalReads) {
+    DiskParams p;
+    p.cache_blocks = 16;
+    SimulatedDisk d(p);
+    d.read(7);
+    d.drop_cache();
+    d.reset_counters();
+    d.read(7);
+    EXPECT_EQ(d.physical_reads(), 1u);
+    EXPECT_EQ(d.cache_hits(), 0u);
+}
+
+TEST(SimulatedDisk, DropCacheAlsoResetsSequentialState) {
+    DiskParams p = no_cache();
+    SimulatedDisk d(p);
+    d.read(10);
+    d.drop_cache();
+    double t = d.read(11);  // would be sequential without the drop
+    EXPECT_GT(t, static_cast<double>(p.block_bytes) / p.transfer_bytes_per_s);
+}
+
+TEST(SimulatedDisk, RejectsNonsenseParams) {
+    DiskParams p;
+    p.transfer_bytes_per_s = 0.0;
+    EXPECT_THROW(SimulatedDisk{p}, CheckError);
+    DiskParams q;
+    q.block_bytes = 0;
+    EXPECT_THROW(SimulatedDisk{q}, CheckError);
+}
+
+TEST(SimulatedDisk, CounterResetKeepsCacheContents) {
+    DiskParams p;
+    p.cache_blocks = 4;
+    SimulatedDisk d(p);
+    d.read(1);
+    d.reset_counters();
+    d.read(1);
+    EXPECT_EQ(d.cache_hits(), 1u);
+    EXPECT_EQ(d.physical_reads(), 0u);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,44 @@
+#include "pgf/parallel/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(Network, LatencyPlusBandwidthModel) {
+    NetworkParams p;
+    p.latency_s = 1e-4;
+    p.bandwidth_bytes_per_s = 1e6;
+    Network net(p);
+    EXPECT_DOUBLE_EQ(net.transfer_time(0), 1e-4);
+    EXPECT_DOUBLE_EQ(net.transfer_time(1'000'000), 1e-4 + 1.0);
+}
+
+TEST(Network, LocalMessagesAreFree) {
+    Network net;
+    EXPECT_DOUBLE_EQ(net.transfer_time(123456, /*remote=*/false), 0.0);
+}
+
+TEST(Network, TimeMonotoneInSize) {
+    Network net;
+    double prev = 0.0;
+    for (std::size_t bytes = 0; bytes < 100000; bytes += 10000) {
+        double t = net.transfer_time(bytes);
+        EXPECT_GE(t, prev);
+        prev = t;
+    }
+}
+
+TEST(Network, RejectsNonsenseParams) {
+    NetworkParams p;
+    p.bandwidth_bytes_per_s = 0.0;
+    EXPECT_THROW(Network{p}, CheckError);
+    NetworkParams q;
+    q.latency_s = -1.0;
+    EXPECT_THROW(Network{q}, CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,117 @@
+#include "pgf/sfc/curve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf::sfc {
+namespace {
+
+const std::vector<CurveKind> kAllCurves{CurveKind::kHilbert, CurveKind::kMorton,
+                                        CurveKind::kGray, CurveKind::kScan};
+
+TEST(Curve, Names) {
+    EXPECT_EQ(to_string(CurveKind::kHilbert), "hilbert");
+    EXPECT_EQ(to_string(CurveKind::kMorton), "morton");
+    EXPECT_EQ(to_string(CurveKind::kGray), "gray");
+    EXPECT_EQ(to_string(CurveKind::kScan), "scan");
+}
+
+TEST(Curve, ScanIsRowMajor) {
+    std::vector<std::uint32_t> shape{3, 4};
+    std::vector<std::uint32_t> c{2, 1};
+    EXPECT_EQ(linearize(CurveKind::kScan, c, shape), 2u * 4 + 1);
+    std::vector<std::uint32_t> c2{0, 0};
+    EXPECT_EQ(linearize(CurveKind::kScan, c2, shape), 0u);
+    std::vector<std::uint32_t> c3{2, 3};
+    EXPECT_EQ(linearize(CurveKind::kScan, c3, shape), 11u);
+}
+
+TEST(Curve, RanksDistinctOnNonPowerOfTwoShape) {
+    std::vector<std::uint32_t> shape{5, 3};
+    for (CurveKind kind : kAllCurves) {
+        std::set<std::uint64_t> ranks;
+        for (std::uint32_t x = 0; x < shape[0]; ++x) {
+            for (std::uint32_t y = 0; y < shape[1]; ++y) {
+                std::vector<std::uint32_t> c{x, y};
+                ranks.insert(linearize(kind, c, shape));
+            }
+        }
+        EXPECT_EQ(ranks.size(), 15u) << to_string(kind);
+    }
+}
+
+TEST(Curve, RejectsOutOfGridCoordinates) {
+    std::vector<std::uint32_t> shape{4, 4};
+    std::vector<std::uint32_t> c{4, 0};
+    for (CurveKind kind : kAllCurves) {
+        EXPECT_THROW(linearize(kind, c, shape), CheckError) << to_string(kind);
+    }
+}
+
+TEST(Curve, RejectsDimensionMismatch) {
+    std::vector<std::uint32_t> shape{4, 4};
+    std::vector<std::uint32_t> c{1, 1, 1};
+    EXPECT_THROW(linearize(CurveKind::kScan, c, shape), CheckError);
+}
+
+TEST(CurveOrder, EnumeratesAllCellsOnce) {
+    std::vector<std::uint32_t> shape{4, 3, 2};
+    for (CurveKind kind : kAllCurves) {
+        auto order = curve_order(kind, shape);
+        ASSERT_EQ(order.size(), 24u) << to_string(kind);
+        std::set<std::vector<std::uint32_t>> unique(order.begin(), order.end());
+        EXPECT_EQ(unique.size(), 24u) << to_string(kind);
+    }
+}
+
+TEST(CurveOrder, IsSortedByRank) {
+    std::vector<std::uint32_t> shape{6, 5};
+    for (CurveKind kind : kAllCurves) {
+        auto order = curve_order(kind, shape);
+        std::uint64_t prev = 0;
+        bool first = true;
+        for (const auto& cell : order) {
+            std::uint64_t rank = linearize(kind, cell, shape);
+            if (!first) {
+                ASSERT_GT(rank, prev) << to_string(kind);
+            }
+            prev = rank;
+            first = false;
+        }
+    }
+}
+
+TEST(CurveOrder, HilbertOrderOnSquareGridIsContiguous) {
+    // On a power-of-two square grid the Hilbert order must step to a unit
+    // neighbor each time (dense curve, no gaps).
+    std::vector<std::uint32_t> shape{8, 8};
+    auto order = curve_order(CurveKind::kHilbert, shape);
+    for (std::size_t i = 1; i < order.size(); ++i) {
+        int dx = static_cast<int>(order[i][0]) - static_cast<int>(order[i - 1][0]);
+        int dy = static_cast<int>(order[i][1]) - static_cast<int>(order[i - 1][1]);
+        ASSERT_EQ(std::abs(dx) + std::abs(dy), 1) << "step " << i;
+    }
+}
+
+TEST(CurveOrder, ScanOrderMatchesOdometer) {
+    std::vector<std::uint32_t> shape{2, 3};
+    auto order = curve_order(CurveKind::kScan, shape);
+    std::vector<std::vector<std::uint32_t>> expected{
+        {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1}, {1, 2}};
+    EXPECT_EQ(order, expected);
+}
+
+TEST(CurveOrder, SingleCellGrid) {
+    std::vector<std::uint32_t> shape{1, 1, 1};
+    for (CurveKind kind : kAllCurves) {
+        auto order = curve_order(kind, shape);
+        ASSERT_EQ(order.size(), 1u);
+        EXPECT_EQ(order[0], (std::vector<std::uint32_t>{0, 0, 0}));
+    }
+}
+
+}  // namespace
+}  // namespace pgf::sfc

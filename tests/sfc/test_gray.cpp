@@ -1,0 +1,70 @@
+#include "pgf/sfc/gray.hpp"
+
+#include <gtest/gtest.h>
+
+#include "pgf/sfc/zorder.hpp"
+
+#include <bit>
+#include <set>
+
+namespace pgf::sfc {
+namespace {
+
+TEST(Gray, EncodeKnownValues) {
+    EXPECT_EQ(gray_encode(0), 0u);
+    EXPECT_EQ(gray_encode(1), 1u);
+    EXPECT_EQ(gray_encode(2), 3u);
+    EXPECT_EQ(gray_encode(3), 2u);
+    EXPECT_EQ(gray_encode(4), 6u);
+}
+
+TEST(Gray, DecodeInvertsEncode) {
+    for (std::uint64_t v = 0; v < 4096; ++v) {
+        EXPECT_EQ(gray_decode(gray_encode(v)), v);
+        EXPECT_EQ(gray_encode(gray_decode(v)), v);
+    }
+    // Large values, including the top bits.
+    for (std::uint64_t v : {0x8000000000000000ULL, 0xffffffffffffffffULL,
+                            0x123456789abcdef0ULL}) {
+        EXPECT_EQ(gray_decode(gray_encode(v)), v);
+    }
+}
+
+TEST(Gray, ConsecutiveCodesDifferInOneBit) {
+    for (std::uint64_t v = 0; v + 1 < 4096; ++v) {
+        std::uint64_t diff = gray_encode(v) ^ gray_encode(v + 1);
+        EXPECT_EQ(std::popcount(diff), 1) << "v=" << v;
+    }
+}
+
+TEST(GrayIndex, BijectiveOverGrid) {
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t x = 0; x < 16; ++x) {
+        for (std::uint32_t y = 0; y < 16; ++y) {
+            std::vector<std::uint32_t> c{x, y};
+            seen.insert(gray_index(c, 4));
+        }
+    }
+    EXPECT_EQ(seen.size(), 256u);
+    EXPECT_EQ(*seen.rbegin(), 255u);
+}
+
+TEST(GrayIndex, ConsecutiveRanksDifferInOneInterleavedBit) {
+    // Along the Gray-code curve, the interleaved coordinate word changes by
+    // exactly one bit — the curve's defining locality property.
+    constexpr unsigned bits = 3;
+    std::vector<std::uint64_t> morton_by_rank(64);
+    for (std::uint32_t x = 0; x < 8; ++x) {
+        for (std::uint32_t y = 0; y < 8; ++y) {
+            std::vector<std::uint32_t> c{x, y};
+            morton_by_rank[gray_index(c, bits)] = morton_index(c, bits);
+        }
+    }
+    for (std::size_t r = 0; r + 1 < morton_by_rank.size(); ++r) {
+        EXPECT_EQ(std::popcount(morton_by_rank[r] ^ morton_by_rank[r + 1]), 1)
+            << "rank " << r;
+    }
+}
+
+}  // namespace
+}  // namespace pgf::sfc

@@ -1,0 +1,68 @@
+#include "pgf/sfc/zorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf::sfc {
+namespace {
+
+TEST(Morton, TwoDimensionalKnownValues) {
+    // With dim 0 most significant per plane: (x,y) -> interleave(x,y).
+    std::vector<std::uint32_t> c00{0, 0}, c01{0, 1}, c10{1, 0}, c11{1, 1};
+    EXPECT_EQ(morton_index(c00, 1), 0u);
+    EXPECT_EQ(morton_index(c01, 1), 1u);
+    EXPECT_EQ(morton_index(c10, 1), 2u);
+    EXPECT_EQ(morton_index(c11, 1), 3u);
+}
+
+TEST(Morton, InterleavingStructure) {
+    // x = 0b101, y = 0b011 -> index bits x2 y2 x1 y1 x0 y0 = 0b100111.
+    std::vector<std::uint32_t> c{0b101, 0b011};
+    EXPECT_EQ(morton_index(c, 3), 0b100111u);
+}
+
+TEST(Morton, RoundTrip) {
+    for (unsigned dims = 1; dims <= 4; ++dims) {
+        unsigned bits = dims <= 2 ? 5 : 3;
+        std::uint64_t total = 1ULL << (dims * bits);
+        for (std::uint64_t i = 0; i < total; ++i) {
+            auto coords = morton_coords(i, dims, bits);
+            ASSERT_EQ(morton_index(coords, bits), i)
+                << "dims=" << dims << " bits=" << bits;
+        }
+    }
+}
+
+TEST(Morton, Bijective) {
+    std::set<std::uint64_t> seen;
+    for (std::uint32_t x = 0; x < 8; ++x) {
+        for (std::uint32_t y = 0; y < 8; ++y) {
+            for (std::uint32_t z = 0; z < 8; ++z) {
+                std::vector<std::uint32_t> c{x, y, z};
+                seen.insert(morton_index(c, 3));
+            }
+        }
+    }
+    EXPECT_EQ(seen.size(), 512u);
+    EXPECT_EQ(*seen.rbegin(), 511u);
+}
+
+TEST(Morton, MonotoneInEachCoordinate) {
+    for (std::uint32_t x = 0; x + 1 < 16; ++x) {
+        std::vector<std::uint32_t> a{x, 5}, b{x + 1, 5};
+        EXPECT_LT(morton_index(a, 4), morton_index(b, 4));
+    }
+}
+
+TEST(Morton, RejectsBadArguments) {
+    std::vector<std::uint32_t> c{0, 0};
+    EXPECT_THROW(morton_index(c, 0), CheckError);
+    std::vector<std::uint32_t> big{8, 0};
+    EXPECT_THROW(morton_index(big, 3), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf::sfc

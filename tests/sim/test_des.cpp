@@ -1,0 +1,95 @@
+#include "pgf/sim/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroEmpty) {
+    Simulator s;
+    EXPECT_DOUBLE_EQ(s.now(), 0.0);
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.run(), 0u);
+}
+
+TEST(Simulator, EventsFireInTimeOrder) {
+    Simulator s;
+    std::vector<int> order;
+    s.schedule_at(3.0, [&] { order.push_back(3); });
+    s.schedule_at(1.0, [&] { order.push_back(1); });
+    s.schedule_at(2.0, [&] { order.push_back(2); });
+    EXPECT_EQ(s.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(s.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimesFifo) {
+    Simulator s;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i) {
+        s.schedule_at(5.0, [&, i] { order.push_back(i); });
+    }
+    s.run();
+    for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(order[i], static_cast<int>(i));
+}
+
+TEST(Simulator, HandlersCanScheduleMoreEvents) {
+    Simulator s;
+    std::vector<double> times;
+    std::function<void()> tick = [&] {
+        times.push_back(s.now());
+        if (times.size() < 5) s.schedule_in(1.5, tick);
+    };
+    s.schedule_at(0.0, tick);
+    s.run();
+    ASSERT_EQ(times.size(), 5u);
+    EXPECT_DOUBLE_EQ(times.back(), 6.0);
+}
+
+TEST(Simulator, ScheduleInUsesCurrentTime) {
+    Simulator s;
+    double fired_at = -1.0;
+    s.schedule_at(2.0, [&] {
+        s.schedule_in(0.5, [&] { fired_at = s.now(); });
+    });
+    s.run();
+    EXPECT_DOUBLE_EQ(fired_at, 2.5);
+}
+
+TEST(Simulator, RejectsPastSchedulingAndNegativeDelay) {
+    Simulator s;
+    s.schedule_at(10.0, [&] {
+        EXPECT_THROW(s.schedule_at(5.0, [] {}), CheckError);
+        EXPECT_THROW(s.schedule_in(-1.0, [] {}), CheckError);
+    });
+    s.run();
+}
+
+TEST(Simulator, MaxEventsGuardStopsRunaways) {
+    Simulator s;
+    std::size_t fired = 0;
+    std::function<void()> loop = [&] {
+        ++fired;
+        s.schedule_in(1.0, loop);
+    };
+    s.schedule_at(0.0, loop);
+    EXPECT_EQ(s.run(100), 100u);
+    EXPECT_EQ(fired, 100u);
+    EXPECT_FALSE(s.empty());
+}
+
+TEST(Simulator, PendingCount) {
+    Simulator s;
+    s.schedule_at(1.0, [] {});
+    s.schedule_at(2.0, [] {});
+    EXPECT_EQ(s.pending(), 2u);
+    s.run();
+    EXPECT_EQ(s.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace pgf::sim

@@ -1,0 +1,134 @@
+#include "pgf/storage/buffer_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+protected:
+    std::filesystem::path path_ =
+        std::filesystem::temp_directory_path() / "pgf_bufpool_test.db";
+
+    void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(BufferPoolTest, AllocateWriteReadThroughCache) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 4);
+    std::uint64_t id;
+    {
+        auto page = pool.allocate();
+        id = page.page_id();
+        page.data()[0] = std::byte{0xAB};
+        page.mark_dirty();
+    }
+    auto page = pool.fetch(id);
+    EXPECT_EQ(page.data()[0], std::byte{0xAB});
+    EXPECT_EQ(pool.hits(), 1u);  // still resident
+}
+
+TEST_F(BufferPoolTest, DirtyPagesSurviveEviction) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 2);
+    for (int i = 0; i < 6; ++i) {
+        auto page = pool.allocate();
+        page.data()[0] = static_cast<std::byte>(0x10 + i);
+        page.mark_dirty();
+    }
+    // Capacity 2 with 6 pages: four evictions + writebacks happened.
+    EXPECT_GE(pool.evictions(), 4u);
+    EXPECT_GE(pool.writebacks(), 4u);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+        auto page = pool.fetch(i);
+        EXPECT_EQ(page.data()[0], static_cast<std::byte>(0x10 + i)) << i;
+    }
+}
+
+TEST_F(BufferPoolTest, LruKeepsHotPages) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 2);
+    for (int i = 0; i < 3; ++i) pf.allocate();
+    (void)pool.fetch(0);
+    (void)pool.fetch(1);
+    (void)pool.fetch(0);  // refresh 0
+    (void)pool.fetch(2);  // evicts 1
+    std::uint64_t misses_before = pool.misses();
+    (void)pool.fetch(0);
+    EXPECT_EQ(pool.misses(), misses_before);  // 0 still resident
+    (void)pool.fetch(1);
+    EXPECT_EQ(pool.misses(), misses_before + 1);  // 1 was evicted
+}
+
+TEST_F(BufferPoolTest, PinnedPagesCannotBeEvicted) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 2);
+    for (int i = 0; i < 3; ++i) pf.allocate();
+    auto p0 = pool.fetch(0);
+    auto p1 = pool.fetch(1);
+    // Both frames pinned: the third fetch has no victim.
+    EXPECT_THROW(pool.fetch(2), CheckError);
+}
+
+TEST_F(BufferPoolTest, FlushAllWritesDirtyResidentPages) {
+    auto pf = PageFile::create(path_.string(), 128);
+    {
+        BufferPool pool(pf, 8);
+        auto page = pool.allocate();
+        page.data()[5] = std::byte{0x77};
+        page.mark_dirty();
+        pool.flush_all();
+        EXPECT_GE(pool.writebacks(), 1u);
+    }
+    std::vector<std::byte> out(128);
+    pf.read(0, out);
+    EXPECT_EQ(out[5], std::byte{0x77});
+}
+
+TEST_F(BufferPoolTest, DestructorFlushes) {
+    auto pf = PageFile::create(path_.string(), 128);
+    {
+        BufferPool pool(pf, 8);
+        auto page = pool.allocate();
+        page.data()[9] = std::byte{0x3C};
+        page.mark_dirty();
+    }
+    std::vector<std::byte> out(128);
+    pf.read(0, out);
+    EXPECT_EQ(out[9], std::byte{0x3C});
+}
+
+TEST_F(BufferPoolTest, StatsStartAtZero) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 3);
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.misses(), 0u);
+    EXPECT_EQ(pool.evictions(), 0u);
+    EXPECT_EQ(pool.resident(), 0u);
+    EXPECT_EQ(pool.capacity(), 3u);
+    EXPECT_THROW(BufferPool(pf, 0), CheckError);
+}
+
+TEST_F(BufferPoolTest, MoveOfPageRefTransfersPin) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 1);
+    pf.allocate();
+    {
+        auto p = pool.fetch(0);
+        auto q = std::move(p);
+        EXPECT_EQ(q.page_id(), 0u);
+        // Still pinned exactly once: with capacity 1, fetching another page
+        // must fail while q lives.
+        pf.allocate();
+        EXPECT_THROW(pool.fetch(1), CheckError);
+    }
+    // After q's destruction the frame is evictable again.
+    EXPECT_NO_THROW(pool.fetch(1));
+}
+
+}  // namespace
+}  // namespace pgf

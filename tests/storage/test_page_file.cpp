@@ -1,0 +1,122 @@
+#include "pgf/storage/page_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+class PageFileTest : public ::testing::Test {
+protected:
+    std::filesystem::path path_ =
+        std::filesystem::temp_directory_path() / "pgf_pagefile_test.db";
+
+    void TearDown() override { std::filesystem::remove(path_); }
+};
+
+std::vector<std::byte> pattern(std::size_t size, std::uint8_t seed) {
+    std::vector<std::byte> buf(size);
+    for (std::size_t i = 0; i < size; ++i) {
+        buf[i] = static_cast<std::byte>((seed + i * 7) & 0xff);
+    }
+    return buf;
+}
+
+TEST_F(PageFileTest, CreateAllocateRoundTrip) {
+    auto pf = PageFile::create(path_.string(), 256);
+    EXPECT_EQ(pf.page_size(), 256u);
+    EXPECT_EQ(pf.page_count(), 0u);
+    std::uint64_t a = pf.allocate();
+    std::uint64_t b = pf.allocate();
+    EXPECT_EQ(a, 0u);
+    EXPECT_EQ(b, 1u);
+    auto data = pattern(256, 42);
+    pf.write(a, data);
+    std::vector<std::byte> out(256);
+    pf.read(a, out);
+    EXPECT_EQ(out, data);
+    // The other page stays zeroed.
+    pf.read(b, out);
+    for (std::byte x : out) EXPECT_EQ(x, std::byte{0});
+}
+
+TEST_F(PageFileTest, PersistsAcrossReopen) {
+    {
+        auto pf = PageFile::create(path_.string(), 128);
+        pf.allocate();
+        pf.allocate();
+        pf.write(1, pattern(128, 9));
+        pf.sync();
+    }
+    auto pf = PageFile::open(path_.string());
+    EXPECT_EQ(pf.page_size(), 128u);
+    EXPECT_EQ(pf.page_count(), 2u);
+    std::vector<std::byte> out(128);
+    pf.read(1, out);
+    EXPECT_EQ(out, pattern(128, 9));
+}
+
+TEST_F(PageFileTest, DestructorPersistsSuperblock) {
+    {
+        auto pf = PageFile::create(path_.string(), 128);
+        pf.allocate();
+        // no explicit sync
+    }
+    auto pf = PageFile::open(path_.string());
+    EXPECT_EQ(pf.page_count(), 1u);
+}
+
+TEST_F(PageFileTest, RejectsBadAccess) {
+    auto pf = PageFile::create(path_.string(), 128);
+    std::vector<std::byte> buf(128);
+    EXPECT_THROW(pf.read(0, buf), CheckError);  // nothing allocated
+    pf.allocate();
+    std::vector<std::byte> wrong(64);
+    EXPECT_THROW(pf.read(0, wrong), CheckError);
+    EXPECT_THROW(pf.write(0, wrong), CheckError);
+    EXPECT_THROW(pf.write(5, buf), CheckError);
+}
+
+TEST_F(PageFileTest, RejectsTinyPagesAndBadMagic) {
+    EXPECT_THROW(PageFile::create(path_.string(), 8), CheckError);
+    {
+        std::ofstream out(path_);
+        out << "this is not a page file at all, sorry";
+    }
+    EXPECT_THROW(PageFile::open(path_.string()), CheckError);
+    EXPECT_THROW(PageFile::open("/nonexistent-dir/nope.db"), CheckError);
+}
+
+TEST_F(PageFileTest, ManyPagesRandomAccess) {
+    auto pf = PageFile::create(path_.string(), 64);
+    constexpr std::size_t kPages = 200;
+    for (std::size_t i = 0; i < kPages; ++i) pf.allocate();
+    Rng rng(3);
+    // Random write/read interleaving; -1 marks a never-written page, which
+    // must read back as zeros.
+    std::vector<int> seeds(kPages, -1);
+    for (int op = 0; op < 1000; ++op) {
+        auto page = static_cast<std::uint64_t>(rng.below(kPages));
+        if (rng.uniform() < 0.5) {
+            seeds[page] = static_cast<int>(rng.below(256));
+            pf.write(page, pattern(64, static_cast<std::uint8_t>(seeds[page])));
+        } else {
+            std::vector<std::byte> out(64);
+            pf.read(page, out);
+            std::vector<std::byte> expected =
+                seeds[page] < 0
+                    ? std::vector<std::byte>(64, std::byte{0})
+                    : pattern(64, static_cast<std::uint8_t>(seeds[page]));
+            ASSERT_EQ(out, expected) << "page " << page;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,122 @@
+#include "pgf/storage/serializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <limits>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+class SerializerTest : public ::testing::Test {
+protected:
+    std::filesystem::path path_ =
+        std::filesystem::temp_directory_path() / "pgf_serializer_test.db";
+
+    void TearDown() override { std::filesystem::remove(path_); }
+};
+
+TEST_F(SerializerTest, ScalarRoundTrip) {
+    auto pf = PageFile::create(path_.string(), 64);
+    BufferPool pool(pf, 4);
+    ByteWriter w(pool);
+    w.put_u8(0xAB);
+    w.put_u32(0xDEADBEEF);
+    w.put_u64(0x0123456789ABCDEFULL);
+    w.put_f64(-12345.6789);
+    w.put_string("grid files");
+    w.finish();
+
+    ByteReader r(pool, w.first_page());
+    EXPECT_EQ(r.get_u8(), 0xAB);
+    EXPECT_EQ(r.get_u32(), 0xDEADBEEFu);
+    EXPECT_EQ(r.get_u64(), 0x0123456789ABCDEFULL);
+    EXPECT_DOUBLE_EQ(r.get_f64(), -12345.6789);
+    EXPECT_EQ(r.get_string(), "grid files");
+    EXPECT_EQ(r.bytes_read(), w.bytes_written());
+}
+
+TEST_F(SerializerTest, SpansManyPages) {
+    auto pf = PageFile::create(path_.string(), 64);
+    BufferPool pool(pf, 3);  // smaller than the stream: forces eviction
+    ByteWriter w(pool);
+    Rng rng(5);
+    std::vector<std::uint64_t> values;
+    for (int i = 0; i < 500; ++i) {
+        values.push_back(rng.next_u64());
+        w.put_u64(values.back());
+    }
+    w.finish();
+    EXPECT_GT(pf.page_count(), 50u);  // 4000 bytes over 64-byte pages
+
+    ByteReader r(pool, w.first_page());
+    for (std::uint64_t v : values) {
+        ASSERT_EQ(r.get_u64(), v);
+    }
+}
+
+TEST_F(SerializerTest, SpecialFloatValues) {
+    auto pf = PageFile::create(path_.string(), 64);
+    BufferPool pool(pf, 4);
+    ByteWriter w(pool);
+    w.put_f64(0.0);
+    w.put_f64(-0.0);
+    w.put_f64(std::numeric_limits<double>::infinity());
+    w.put_f64(std::numeric_limits<double>::denorm_min());
+    w.put_f64(std::numeric_limits<double>::quiet_NaN());
+    w.finish();
+    ByteReader r(pool, w.first_page());
+    EXPECT_EQ(r.get_f64(), 0.0);
+    double neg_zero = r.get_f64();
+    EXPECT_EQ(neg_zero, 0.0);
+    EXPECT_TRUE(std::signbit(neg_zero));
+    EXPECT_TRUE(std::isinf(r.get_f64()));
+    EXPECT_EQ(r.get_f64(), std::numeric_limits<double>::denorm_min());
+    EXPECT_TRUE(std::isnan(r.get_f64()));
+}
+
+TEST_F(SerializerTest, EmptyStringAndZeroValues) {
+    auto pf = PageFile::create(path_.string(), 64);
+    BufferPool pool(pf, 4);
+    ByteWriter w(pool);
+    w.put_string("");
+    w.put_u32(0);
+    w.finish();
+    ByteReader r(pool, w.first_page());
+    EXPECT_EQ(r.get_string(), "");
+    EXPECT_EQ(r.get_u32(), 0u);
+}
+
+TEST_F(SerializerTest, WriteAfterFinishThrows) {
+    auto pf = PageFile::create(path_.string(), 64);
+    BufferPool pool(pf, 4);
+    ByteWriter w(pool);
+    w.put_u8(1);
+    w.finish();
+    EXPECT_THROW(w.put_u8(2), CheckError);
+}
+
+TEST_F(SerializerTest, StreamPersistsAcrossReopen) {
+    std::uint64_t first_page;
+    {
+        auto pf = PageFile::create(path_.string(), 64);
+        BufferPool pool(pf, 4);
+        ByteWriter w(pool);
+        first_page = w.first_page();
+        w.put_string("persistent payload");
+        w.put_u64(777);
+        w.finish();
+        pf.sync();
+    }
+    auto pf = PageFile::open(path_.string());
+    BufferPool pool(pf, 4);
+    ByteReader r(pool, first_page);
+    EXPECT_EQ(r.get_string(), "persistent payload");
+    EXPECT_EQ(r.get_u64(), 777u);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,53 @@
+#include "pgf/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace pgf {
+namespace {
+
+TEST(Check, PassingConditionIsSilent) {
+    EXPECT_NO_THROW(PGF_CHECK(1 + 1 == 2, "math"));
+    EXPECT_NO_THROW(PGF_REQUIRE(true));
+}
+
+TEST(Check, FailingConditionThrowsCheckError) {
+    EXPECT_THROW(PGF_CHECK(false, "nope"), CheckError);
+    EXPECT_THROW(PGF_REQUIRE(false), CheckError);
+}
+
+TEST(Check, MessageContainsExpressionLocationAndText) {
+    try {
+        PGF_CHECK(2 > 3, "two is not bigger");
+        FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("2 > 3"), std::string::npos);
+        EXPECT_NE(what.find("test_check.cpp"), std::string::npos);
+        EXPECT_NE(what.find("two is not bigger"), std::string::npos);
+    }
+}
+
+TEST(Check, IsLogicError) {
+    try {
+        PGF_CHECK(false, "x");
+    } catch (const std::logic_error&) {
+        SUCCEED();
+        return;
+    }
+    FAIL() << "CheckError must derive from std::logic_error";
+}
+
+TEST(Check, ConditionEvaluatedOnce) {
+    int calls = 0;
+    auto counted = [&]() {
+        ++calls;
+        return true;
+    };
+    PGF_CHECK(counted(), "side effects");
+    EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace pgf

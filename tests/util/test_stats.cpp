@@ -1,0 +1,153 @@
+#include "pgf/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(OnlineStats, EmptyAccessorsThrow) {
+    OnlineStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_THROW(s.mean(), CheckError);
+    EXPECT_THROW(s.min(), CheckError);
+    EXPECT_THROW(s.max(), CheckError);
+}
+
+TEST(OnlineStats, SingleValue) {
+    OnlineStats s;
+    s.add(4.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.5);
+    EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(OnlineStats, KnownSmallSample) {
+    OnlineStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of this classic example is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MatchesTwoPassComputation) {
+    Rng rng(5);
+    std::vector<double> xs;
+    OnlineStats s;
+    for (int i = 0; i < 5000; ++i) {
+        double x = rng.normal(100.0, 17.0);
+        xs.push_back(x);
+        s.add(x);
+    }
+    double mean = 0.0;
+    for (double x : xs) mean += x;
+    mean /= static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs) var += (x - mean) * (x - mean);
+    var /= static_cast<double>(xs.size() - 1);
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(OnlineStats, MergeEqualsSequential) {
+    Rng rng(9);
+    OnlineStats whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = rng.uniform(-10, 10);
+        whole.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+    OnlineStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Quantile, MedianAndExtremes) {
+    std::vector<double> v{5, 1, 4, 2, 3};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(v, 1.0), 5.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+    EXPECT_DOUBLE_EQ(quantile(v, 0.75), 7.5);
+}
+
+TEST(Quantile, RejectsBadInput) {
+    EXPECT_THROW(quantile({}, 0.5), CheckError);
+    EXPECT_THROW(quantile({1.0}, -0.1), CheckError);
+    EXPECT_THROW(quantile({1.0}, 1.1), CheckError);
+}
+
+TEST(Histogram, BinsAndBoundaries) {
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_EQ(h.bins(), 5u);
+    EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins) {
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);   // bin 0
+    h.add(1.99);  // bin 0
+    h.add(2.0);   // bin 1
+    h.add(9.99);  // bin 4
+    EXPECT_EQ(h.bin_count(0), 2u);
+    EXPECT_EQ(h.bin_count(1), 1u);
+    EXPECT_EQ(h.bin_count(4), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdgeBins) {
+    Histogram h(0.0, 1.0, 4);
+    h.add(-100.0);
+    h.add(100.0);
+    h.add(1.0);  // exactly hi clamps into the last bin
+    EXPECT_EQ(h.bin_count(0), 1u);
+    EXPECT_EQ(h.bin_count(3), 2u);
+}
+
+TEST(Histogram, AsciiRendersOneLinePerBin) {
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    std::string art = h.ascii(10);
+    EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 2);
+    EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Histogram, RejectsDegenerateConstruction) {
+    EXPECT_THROW(Histogram(1.0, 1.0, 4), CheckError);
+    EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

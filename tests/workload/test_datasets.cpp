@@ -1,0 +1,215 @@
+#include "pgf/workload/datasets.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "pgf/util/stats.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(Uniform2d, CountDomainAndSpread) {
+    Rng rng(1);
+    auto ds = make_uniform2d(rng, 5000);
+    EXPECT_EQ(ds.name, "uniform.2d");
+    EXPECT_EQ(ds.points.size(), 5000u);
+    OnlineStats x, y;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        x.add(p[0]);
+        y.add(p[1]);
+    }
+    EXPECT_NEAR(x.mean(), 1000.0, 25.0);
+    EXPECT_NEAR(y.mean(), 1000.0, 25.0);
+    // Uniform stddev over [0,2000] is 2000/sqrt(12) ~ 577.
+    EXPECT_NEAR(x.stddev(), 577.0, 25.0);
+}
+
+TEST(Hotspot2d, CenterIsDenser) {
+    Rng rng(2);
+    auto ds = make_hotspot2d(rng, 10000);
+    EXPECT_EQ(ds.points.size(), 10000u);
+    std::size_t central = 0;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        if (std::abs(p[0] - 1000.0) < 200.0 && std::abs(p[1] - 1000.0) < 200.0)
+            ++central;
+    }
+    // The central 4% of the area should hold far more than 4% of the
+    // points (half the dataset is a sigma=200 Gaussian there).
+    EXPECT_GT(central, 10000u / 5);
+}
+
+TEST(Correl2d, PointsHugTheDiagonal) {
+    Rng rng(3);
+    auto ds = make_correl2d(rng, 8000);
+    OnlineStats diag_offset;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        diag_offset.add((p[0] - p[1]) / std::numbers::sqrt2);
+    }
+    EXPECT_NEAR(diag_offset.mean(), 0.0, 5.0);
+    // Perpendicular spread should be the configured sigma (2000/25 = 80),
+    // modulo clamping at the domain edges.
+    EXPECT_LT(diag_offset.stddev(), 100.0);
+    EXPECT_GT(diag_offset.stddev(), 50.0);
+}
+
+TEST(Dsmc3d, NonUniformWithCompressionFront) {
+    Rng rng(4);
+    auto ds = make_dsmc3d(rng, 20000);
+    EXPECT_EQ(ds.points.size(), 20000u);
+    std::size_t front = 0, wake = 0;
+    double front_vol = 0.15 * 0.4 * 0.4, wake_vol = 0.15 * 0.4 * 0.4;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        bool footprint = p[1] >= 0.3 && p[1] < 0.7 && p[2] >= 0.3 && p[2] < 0.7;
+        if (footprint && p[0] >= 0.40 && p[0] < 0.55) ++front;
+        if (footprint && p[0] >= 0.55 && p[0] < 0.70) ++wake;
+    }
+    // Compression zone denser than the wake by a large factor.
+    double front_density = static_cast<double>(front) / front_vol;
+    double wake_density = static_cast<double>(wake) / wake_vol;
+    EXPECT_GT(front_density, 2.0 * wake_density);
+}
+
+TEST(Stock3d, ExactCountAndAxisStructure) {
+    Rng rng(5);
+    auto ds = make_stock3d(rng, 30000, 100);
+    EXPECT_EQ(ds.points.size(), 30000u);
+    std::set<double> ids;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        ids.insert(p[0]);
+        ASSERT_GE(p[1], 1.0);           // price clamp
+        ASSERT_LT(p[1], 500.0);
+        ASSERT_GE(p[2], 0.0);           // day range
+        ASSERT_LT(p[2], 520.0);
+    }
+    // Many distinct stock ids used (wraps around the 100 stocks; random
+    // span lengths leave a few stocks unreached at this reduced count).
+    EXPECT_GE(ids.size(), 75u);
+}
+
+TEST(Stock3d, PerStockPricesAreAutocorrelated) {
+    // A random walk stays near its start: per-stock price stddev must be
+    // far below the global cross-stock spread — the per-stock hot-spot
+    // structure the paper describes.
+    Rng rng(6);
+    auto ds = make_stock3d(rng, 40000, 120);
+    std::map<double, OnlineStats> per_stock;
+    OnlineStats global;
+    for (const auto& p : ds.points) {
+        per_stock[p[0]].add(p[1]);
+        global.add(p[1]);
+    }
+    OnlineStats within;
+    for (auto& [id, s] : per_stock) {
+        if (s.count() > 10) within.add(s.stddev());
+    }
+    EXPECT_LT(within.mean(), 0.5 * global.stddev());
+}
+
+TEST(Dsmc4d, SnapshotTimestampsAndDrift) {
+    Rng rng(7);
+    auto ds = make_dsmc4d(rng, 6, 3000);
+    EXPECT_EQ(ds.points.size(), 6u * 3000u);
+    // t coordinates are snapshot-centered values i + 0.5.
+    std::set<double> ts;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        ts.insert(p[0]);
+    }
+    EXPECT_EQ(ts.size(), 6u);
+    EXPECT_DOUBLE_EQ(*ts.begin(), 0.5);
+    EXPECT_DOUBLE_EQ(*ts.rbegin(), 5.5);
+    // The dense front advects: mean x of in-footprint particles grows.
+    auto mean_x = [&](double t) {
+        OnlineStats s;
+        for (const auto& p : ds.points) {
+            if (p[0] == t && p[2] >= 0.3 && p[2] < 0.7 && p[3] >= 0.3 &&
+                p[3] < 0.7) {
+                s.add(p[1]);
+            }
+        }
+        return s.mean();
+    };
+    EXPECT_LT(mean_x(0.5), mean_x(5.5));
+}
+
+TEST(Mhd3d, SheathDenseCavityEmptyObstacleVoid) {
+    Rng rng(21);
+    auto ds = make_mhd3d(rng, 30000);
+    EXPECT_EQ(ds.points.size(), 30000u);
+    std::size_t in_obstacle = 0, in_cavity = 0, in_sheath = 0, upstream = 0;
+    for (const auto& p : ds.points) {
+        ASSERT_TRUE(ds.domain.contains(p));
+        double dx = p[0] - 0.35, dy = p[1] - 0.5, dz = p[2] - 0.5;
+        double r = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (r < 0.08) ++in_obstacle;
+        if (dx > 0.05 && dx < 0.3 && dy * dy + dz * dz < 0.0064 / 2)
+            ++in_cavity;
+        if (p[0] > 0.25 && p[0] < 0.35 && dy * dy + dz * dz < 0.01)
+            ++in_sheath;
+        if (p[0] < 0.15) ++upstream;
+    }
+    EXPECT_EQ(in_obstacle, 0u);  // no plasma inside the planet
+    // Sheath sampling density beats the shadowed cavity by a wide margin.
+    double sheath_vol = 0.1 * 0.01 * 3.14159;
+    double cavity_vol = 0.25 * (0.0064 / 2) * 3.14159;
+    EXPECT_GT(static_cast<double>(in_sheath) / sheath_vol,
+              2.0 * static_cast<double>(in_cavity) / cavity_vol);
+    // Upstream solar wind stays close to uniform (15% of the volume).
+    EXPECT_NEAR(static_cast<double>(upstream) / 30000.0, 0.15 * 0.8, 0.06);
+}
+
+TEST(Mhd3d, BuildsAQueryableGridFile) {
+    Rng rng(23);
+    auto ds = make_mhd3d(rng, 20000);
+    GridFile<3> gf = ds.build();
+    EXPECT_EQ(gf.record_count(), 20000u);
+    EXPECT_GT(gf.merged_bucket_count(), 0u);  // skewed => merged buckets
+    EXPECT_EQ(gf.query_records(ds.domain).size(), 20000u);
+}
+
+TEST(Datasets, DeterministicPerSeed) {
+    Rng a(42), b(42);
+    auto da = make_hotspot2d(a, 2000);
+    auto db = make_hotspot2d(b, 2000);
+    ASSERT_EQ(da.points.size(), db.points.size());
+    for (std::size_t i = 0; i < da.points.size(); ++i) {
+        ASSERT_EQ(da.points[i], db.points[i]);
+    }
+}
+
+TEST(Datasets, BuildProducesQueryableGridFiles) {
+    Rng rng(8);
+    auto ds = make_uniform2d(rng, 3000);
+    GridFile<2> gf = ds.build();
+    EXPECT_EQ(gf.record_count(), 3000u);
+    EXPECT_GT(gf.bucket_count(), 10u);
+    EXPECT_EQ(gf.query_records(ds.domain).size(), 3000u);
+}
+
+TEST(Datasets, BucketCountsRoughlyMatchPaper) {
+    // Paper (Sec. 2.2): ~250 buckets for the 10k-point 2-d datasets. The
+    // generators and capacities must land in the same regime (hundreds of
+    // buckets, not tens or thousands).
+    Rng rng(9);
+    auto uniform = make_uniform2d(rng).build();
+    EXPECT_GT(uniform.bucket_count(), 120u);
+    EXPECT_LT(uniform.bucket_count(), 700u);
+    auto hot = make_hotspot2d(rng).build();
+    EXPECT_GT(hot.bucket_count(), 120u);
+    EXPECT_LT(hot.bucket_count(), 700u);
+    // hot.2d must have far more merged buckets than uniform.2d
+    // (paper: 169/241 vs 4/252).
+    EXPECT_GT(hot.merged_bucket_count() * 4,
+              uniform.merged_bucket_count() * 4 + hot.bucket_count());
+}
+
+}  // namespace
+}  // namespace pgf

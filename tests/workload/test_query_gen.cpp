@@ -1,0 +1,163 @@
+#include "pgf/workload/query_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/stats.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(QuerySideFraction, MatchesClosedForm) {
+    EXPECT_DOUBLE_EQ(query_side_fraction(0.25, 2), 0.5);
+    EXPECT_DOUBLE_EQ(query_side_fraction(0.01, 2), 0.1);
+    EXPECT_NEAR(query_side_fraction(0.05, 3), std::cbrt(0.05), 1e-12);
+    EXPECT_DOUBLE_EQ(query_side_fraction(0.5, 1), 0.5);
+}
+
+TEST(QuerySideFraction, RejectsBadRatio) {
+    EXPECT_THROW(query_side_fraction(0.0, 2), CheckError);
+    EXPECT_THROW(query_side_fraction(1.0, 2), CheckError);
+    EXPECT_THROW(query_side_fraction(-0.1, 2), CheckError);
+    EXPECT_THROW(query_side_fraction(0.5, 0), CheckError);
+}
+
+TEST(SquareQueries, CountAndVolumeRatio) {
+    Rect<2> domain{{{0.0, 0.0}}, {{2000.0, 2000.0}}};
+    Rng rng(3);
+    auto queries = square_queries(domain, 0.05, 500, rng);
+    ASSERT_EQ(queries.size(), 500u);
+    const double expected_volume = 0.05 * domain.volume();
+    for (const auto& q : queries) {
+        EXPECT_NEAR(q.volume(), expected_volume, expected_volume * 1e-9);
+    }
+}
+
+TEST(SquareQueries, SidesScaleWithDomainAnisotropy) {
+    Rect<2> domain{{{0.0, 0.0}}, {{100.0, 400.0}}};
+    Rng rng(5);
+    auto queries = square_queries(domain, 0.04, 10, rng);
+    // l_k = sqrt(0.04) * L_k = 0.2 * L_k.
+    for (const auto& q : queries) {
+        EXPECT_NEAR(q.extent(0), 20.0, 1e-9);
+        EXPECT_NEAR(q.extent(1), 80.0, 1e-9);
+    }
+}
+
+TEST(SquareQueries, CentersUniformOverDomain) {
+    Rect<2> domain{{{0.0, 0.0}}, {{10.0, 10.0}}};
+    Rng rng(7);
+    auto queries = square_queries(domain, 0.01, 20000, rng);
+    OnlineStats cx, cy;
+    for (const auto& q : queries) {
+        cx.add(0.5 * (q.lo[0] + q.hi[0]));
+        cy.add(0.5 * (q.lo[1] + q.hi[1]));
+    }
+    EXPECT_NEAR(cx.mean(), 5.0, 0.1);
+    EXPECT_NEAR(cy.mean(), 5.0, 0.1);
+    // Centers can put query edges outside the domain (the paper's model).
+    bool overhang = false;
+    for (const auto& q : queries) {
+        if (q.lo[0] < 0.0 || q.hi[0] > 10.0) overhang = true;
+    }
+    EXPECT_TRUE(overhang);
+}
+
+TEST(SquareQueries, DeterministicPerSeed) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{1.0, 1.0, 1.0}}};
+    Rng r1(11), r2(11);
+    auto a = square_queries(domain, 0.05, 50, r1);
+    auto b = square_queries(domain, 0.05, 50, r2);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(AnimationQueries, SlabsPerTimeStep) {
+    Rect<4> domain{{{0.0, 0.0, 0.0, 0.0}}, {{4.0, 1.0, 1.0, 1.0}}};
+    auto queries = animation_queries(domain, 4, 0.5);
+    // ceil(1/0.5) = 2 slab queries per step, 4 steps (paper: ~10 x 59).
+    ASSERT_EQ(queries.size(), 8u);
+    for (const auto& q : queries) {
+        // Time slabs are unit width and aligned.
+        EXPECT_DOUBLE_EQ(q.lo[0], std::floor(q.lo[0]));
+        EXPECT_DOUBLE_EQ(q.hi[0] - q.lo[0], 1.0);
+        // Slab spans half of axis 1 and ALL of axes 2 and 3 (r L_x x L_y x
+        // L_z x 1, the paper's query size).
+        EXPECT_NEAR(q.hi[1] - q.lo[1], 0.5, 1e-12);
+        EXPECT_DOUBLE_EQ(q.lo[2], 0.0);
+        EXPECT_DOUBLE_EQ(q.hi[2], 1.0);
+        EXPECT_DOUBLE_EQ(q.lo[3], 0.0);
+        EXPECT_DOUBLE_EQ(q.hi[3], 1.0);
+    }
+}
+
+TEST(AnimationQueries, SlabsCoverTheVolume) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{2.0, 1.0, 1.0}}};
+    auto queries = animation_queries(domain, 1, 0.3);  // 4 slabs
+    ASSERT_EQ(queries.size(), 4u);
+    double covered = 0.0;
+    for (const auto& q : queries) covered += q.hi[1] - q.lo[1];
+    EXPECT_NEAR(covered, 1.0, 1e-9);  // slabs partition axis 1
+}
+
+TEST(AnimationQueries, FractionalTilingClampsAtDomainEdge) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    auto queries = animation_queries(domain, 1, 0.4);  // ceil(1/0.4) = 3 slabs
+    ASSERT_EQ(queries.size(), 3u);
+    EXPECT_DOUBLE_EQ(queries.back().hi[1], 1.0);  // clamped
+    EXPECT_NEAR(queries.back().hi[1] - queries.back().lo[1], 0.2, 1e-9);
+}
+
+TEST(TraceQueries, OneBoxPerTimeStepInsideDomain) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{20.0, 1.0, 1.0}}};
+    Rng rng(3);
+    auto queries = trace_queries(domain, 20, 0.05, rng);
+    ASSERT_EQ(queries.size(), 20u);
+    for (std::size_t t = 0; t < queries.size(); ++t) {
+        const auto& q = queries[t];
+        EXPECT_DOUBLE_EQ(q.lo[0], static_cast<double>(t));
+        EXPECT_DOUBLE_EQ(q.hi[0], static_cast<double>(t) + 1.0);
+        for (std::size_t i = 1; i < 3; ++i) {
+            EXPECT_NEAR(q.hi[i] - q.lo[i], 0.05, 1e-12);
+            // Box centers stay inside the domain (reflection at walls).
+            double c = 0.5 * (q.lo[i] + q.hi[i]);
+            EXPECT_GE(c, 0.0);
+            EXPECT_LT(c, 1.0);
+        }
+    }
+}
+
+TEST(TraceQueries, ConsecutiveBoxesAreSpatiallyCorrelated) {
+    Rect<3> domain{{{0.0, 0.0, 0.0}}, {{50.0, 1.0, 1.0}}};
+    Rng rng(7);
+    auto queries = trace_queries(domain, 50, 0.04, rng);
+    for (std::size_t t = 1; t < queries.size(); ++t) {
+        for (std::size_t i = 1; i < 3; ++i) {
+            double prev = 0.5 * (queries[t - 1].lo[i] + queries[t - 1].hi[i]);
+            double cur = 0.5 * (queries[t].lo[i] + queries[t].hi[i]);
+            // Steps are ~N(0, half a box): 0.3 of the domain is > 10 sigma.
+            EXPECT_LT(std::abs(cur - prev), 0.3) << "step " << t;
+        }
+    }
+}
+
+TEST(TraceQueries, DeterministicPerSeed) {
+    Rect<2> domain{{{0.0, 0.0}}, {{8.0, 1.0}}};
+    Rng a(11), b(11);
+    auto qa = trace_queries(domain, 8, 0.1, a);
+    auto qb = trace_queries(domain, 8, 0.1, b);
+    ASSERT_EQ(qa.size(), qb.size());
+    for (std::size_t i = 0; i < qa.size(); ++i) EXPECT_EQ(qa[i], qb[i]);
+}
+
+TEST(TraceQueries, RejectsBadBoxSide) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    Rng rng(1);
+    EXPECT_THROW(trace_queries(domain, 4, 0.0, rng), CheckError);
+    EXPECT_THROW(trace_queries(domain, 4, 1.0, rng), CheckError);
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,371 @@
+// pgfcli — command-line front end over the pgf library.
+//
+//   pgfcli gen --dataset hot2d --out pts.csv [--points N] [--seed S]
+//       Generate one of the built-in datasets as CSV.
+//   pgfcli build --input pts.csv --out store.pgf [--capacity 56]
+//       Load a CSV of points (1-4 numeric columns) into a grid file and
+//       persist it. The domain is the data's bounding box.
+//   pgfcli info --file store.pgf
+//       Structural summary of a persisted grid file.
+//   pgfcli query --file store.pgf --lo "x,y" --hi "x,y" [--print]
+//       Range query; prints the match count (and rows with --print).
+//   pgfcli decluster --file store.pgf --disks 16 [--method minimax]
+//                    [--out assignment.csv]
+//       Decluster the file's buckets and report the quality metrics; the
+//       optional CSV maps bucket id -> disk.
+//   pgfcli partition --file store.pgf --disks 16 --out prefix
+//                    [--method minimax] [--page-size 4096]
+//       Full deployment: decluster, rebuild the records as one-bucket-per-
+//       page stores, and write one page file per disk (prefix.disk<k>).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "pgf/core/declusterer.hpp"
+#include "pgf/storage/gridfile_io.hpp"
+#include "pgf/storage/paged_grid_file.hpp"
+#include "pgf/storage/partition.hpp"
+#include "pgf/util/cli.hpp"
+#include "pgf/util/points_io.hpp"
+#include "pgf/util/table.hpp"
+#include "pgf/workload/datasets.hpp"
+
+namespace {
+
+using namespace pgf;
+
+int usage() {
+    std::cerr << "usage: pgfcli <gen|build|info|query|decluster|partition> "
+                 "[flags]\n"
+              << "run with a command and no flags for its required flags\n";
+    return 2;
+}
+
+std::vector<double> parse_tuple(const std::string& text, std::size_t dims) {
+    std::vector<double> values;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        std::size_t end = text.find(',', start);
+        if (end == std::string::npos) end = text.size();
+        values.push_back(std::strtod(text.substr(start, end - start).c_str(),
+                                     nullptr));
+        start = end + 1;
+    }
+    PGF_CHECK(values.size() == dims,
+              "expected " + std::to_string(dims) + " comma-separated values "
+              "in '" + text + "'");
+    return values;
+}
+
+int cmd_gen(const Cli& cli) {
+    std::string name = cli.get_string("dataset", "");
+    std::string out = cli.get_string("out", "");
+    if (name.empty() || out.empty()) {
+        std::cerr << "gen requires --dataset <name> --out <csv>\n"
+                  << "datasets: uniform2d hot2d correl2d dsmc3d stock3d "
+                  << "mhd3d\n";
+        return 2;
+    }
+    Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+    auto n = static_cast<std::size_t>(cli.get_int("points", 0));
+    std::vector<std::vector<double>> rows;
+    auto emit2 = [&](const Dataset<2>& ds) {
+        for (const auto& p : ds.points) rows.push_back({p[0], p[1]});
+    };
+    auto emit3 = [&](const Dataset<3>& ds) {
+        for (const auto& p : ds.points) rows.push_back({p[0], p[1], p[2]});
+    };
+    if (name == "uniform2d") {
+        emit2(make_uniform2d(rng, n ? n : 10000));
+    } else if (name == "hot2d") {
+        emit2(make_hotspot2d(rng, n ? n : 10000));
+    } else if (name == "correl2d") {
+        emit2(make_correl2d(rng, n ? n : 10000));
+    } else if (name == "dsmc3d") {
+        emit3(make_dsmc3d(rng, n ? n : 52857));
+    } else if (name == "stock3d") {
+        emit3(make_stock3d(rng, n ? n : 127026));
+    } else if (name == "mhd3d") {
+        emit3(make_mhd3d(rng, n ? n : 60000));
+    } else {
+        std::cerr << "unknown dataset '" << name << "'\n";
+        return 2;
+    }
+    write_csv_points(out, rows);
+    std::cout << "wrote " << rows.size() << " points to " << out << "\n";
+    return 0;
+}
+
+template <std::size_t D>
+int build_impl(const std::vector<std::vector<double>>& rows,
+               const std::string& out, std::size_t capacity) {
+    Rect<D> domain;
+    for (std::size_t i = 0; i < D; ++i) {
+        domain.lo[i] = rows.front()[i];
+        domain.hi[i] = rows.front()[i];
+    }
+    for (const auto& row : rows) {
+        for (std::size_t i = 0; i < D; ++i) {
+            domain.lo[i] = std::min(domain.lo[i], row[i]);
+            domain.hi[i] = std::max(domain.hi[i], row[i]);
+        }
+    }
+    for (std::size_t i = 0; i < D; ++i) {
+        // Half-open domain: pad the upper bound so max points stay inside.
+        double span = domain.hi[i] - domain.lo[i];
+        domain.hi[i] += span > 0 ? span * 1e-9 : 1.0;
+    }
+    typename GridFile<D>::Config cfg;
+    cfg.bucket_capacity = capacity;
+    GridFile<D> gf(domain, cfg);
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        Point<D> p;
+        for (std::size_t i = 0; i < D; ++i) p[i] = rows[r][i];
+        gf.insert(p, r);
+    }
+    std::uint64_t pages = save_grid_file(gf, out);
+    std::cout << "built " << gf.record_count() << " records into "
+              << gf.bucket_count() << " buckets ("
+              << gf.merged_bucket_count() << " merged), saved " << pages
+              << " pages to " << out << "\n";
+    return 0;
+}
+
+int cmd_build(const Cli& cli) {
+    std::string input = cli.get_string("input", "");
+    std::string out = cli.get_string("out", "");
+    if (input.empty() || out.empty()) {
+        std::cerr << "build requires --input <csv> --out <pgf>\n";
+        return 2;
+    }
+    auto rows = read_csv_points(input);
+    PGF_CHECK(!rows.empty(), "no points in " + input);
+    auto capacity = static_cast<std::size_t>(cli.get_int("capacity", 56));
+    switch (rows.front().size()) {
+        case 1: return build_impl<1>(rows, out, capacity);
+        case 2: return build_impl<2>(rows, out, capacity);
+        case 3: return build_impl<3>(rows, out, capacity);
+        case 4: return build_impl<4>(rows, out, capacity);
+        default:
+            std::cerr << "only 1-4 dimensions supported (got "
+                      << rows.front().size() << " columns)\n";
+            return 2;
+    }
+}
+
+template <std::size_t D>
+int info_impl(const std::string& file) {
+    GridFile<D> gf = load_grid_file<D>(file);
+    TextTable t({"property", "value"});
+    t.add("dimensions", D);
+    t.add("records", gf.record_count());
+    t.add("buckets", gf.bucket_count());
+    t.add("merged buckets", gf.merged_bucket_count());
+    t.add("bucket capacity", gf.config().bucket_capacity);
+    std::string shape;
+    for (std::size_t i = 0; i < D; ++i) {
+        if (i) shape += "x";
+        shape += std::to_string(gf.grid_shape()[i]);
+    }
+    t.add("grid", shape);
+    for (std::size_t i = 0; i < D; ++i) {
+        t.add("axis " + std::to_string(i),
+              format_double(gf.domain().lo[i], 4, true) + " .. " +
+                  format_double(gf.domain().hi[i], 4, true));
+    }
+    t.print(std::cout);
+    return 0;
+}
+
+template <std::size_t D>
+int query_impl(const Cli& cli, const std::string& file) {
+    GridFile<D> gf = load_grid_file<D>(file);
+    auto lo = parse_tuple(cli.get_string("lo", ""), D);
+    auto hi = parse_tuple(cli.get_string("hi", ""), D);
+    Rect<D> q;
+    for (std::size_t i = 0; i < D; ++i) {
+        q.lo[i] = lo[i];
+        q.hi[i] = hi[i];
+    }
+    auto buckets = gf.query_buckets(q);
+    auto records = gf.query_records(q);
+    std::cout << records.size() << " records from " << buckets.size()
+              << " buckets\n";
+    if (cli.get_bool("print", false)) {
+        for (const auto& r : records) {
+            std::cout << r.id;
+            for (std::size_t i = 0; i < D; ++i) std::cout << "," << r.point[i];
+            std::cout << "\n";
+        }
+    }
+    return 0;
+}
+
+template <std::size_t D>
+int decluster_impl(const Cli& cli, const std::string& file) {
+    GridFile<D> gf = load_grid_file<D>(file);
+    auto method = parse_method(cli.get_string("method", "minimax"));
+    if (!method) {
+        std::cerr << "unknown method; try dm fx hcam mst ssp simgraph "
+                  << "minimax\n";
+        return 2;
+    }
+    auto disks = static_cast<std::uint32_t>(cli.get_int("disks", 16));
+    Declusterer dec(gf.structure());
+    DeclusterReport report = dec.run(
+        *method, disks,
+        {.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1))});
+    TextTable t({"metric", "value"});
+    t.add("method", to_string(*method));
+    t.add("disks", disks);
+    t.add("data balance", format_double(report.data_balance));
+    t.add("area balance", format_double(report.area_balance));
+    t.add("closest pairs on one disk", report.closest_pairs);
+    t.print(std::cout);
+    std::string out = cli.get_string("out", "");
+    if (!out.empty()) {
+        TextTable a({"bucket", "disk"});
+        for (std::size_t b = 0; b < report.assignment.disk_of.size(); ++b) {
+            a.add(b, report.assignment.disk_of[b]);
+        }
+        PGF_CHECK(a.write_csv(out), "cannot write " + out);
+        std::cout << "assignment written to " << out << "\n";
+    }
+    return 0;
+}
+
+template <std::size_t D>
+int partition_impl(const Cli& cli, const std::string& file) {
+    std::string out = cli.get_string("out", "");
+    if (out.empty()) {
+        std::cerr << "partition requires --out <prefix>\n";
+        return 2;
+    }
+    GridFile<D> gf = load_grid_file<D>(file);
+    auto method = parse_method(cli.get_string("method", "minimax"));
+    if (!method) {
+        std::cerr << "unknown method\n";
+        return 2;
+    }
+    auto disks = static_cast<std::uint32_t>(cli.get_int("disks", 16));
+
+    // Rebuild the records in a one-bucket-per-page store (same insertion
+    // order, so the structure matches the snapshot's behavior closely).
+    std::string staging = out + ".staging";
+    typename PagedGridFile<D>::Config cfg;
+    cfg.page_size = static_cast<std::size_t>(cli.get_int("page-size", 4096));
+    PagedGridFile<D> paged(staging, gf.domain(), cfg);
+    for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
+        for (const auto& rec : gf.bucket(b).records) {
+            paged.insert(rec.point, rec.id);
+        }
+    }
+    paged.flush();
+
+    Assignment assignment = decluster(
+        paged.structure(), *method, disks,
+        {.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1))});
+    std::vector<std::uint64_t> pages;
+    for (std::uint32_t b = 0; b < paged.bucket_count(); ++b) {
+        pages.push_back(paged.bucket_page(b));
+    }
+    PartitionResult result =
+        partition_pages(staging, pages, assignment, out);
+    std::remove(staging.c_str());
+
+    TextTable t({"disk", "file", "pages"});
+    for (std::uint32_t d = 0; d < disks; ++d) {
+        t.add(d, result.paths[d], result.pages_per_disk[d]);
+    }
+    t.print(std::cout);
+    std::cout << paged.bucket_count() << " buckets ("
+              << paged.record_count() << " records) partitioned with "
+              << to_string(*method) << "\n";
+    return 0;
+}
+
+int cmd_partition(const Cli& cli) {
+    std::string file = cli.get_string("file", "");
+    if (file.empty()) {
+        std::cerr << "partition requires --file <pgf> --out <prefix>\n";
+        return 2;
+    }
+    switch (stored_grid_file_dims(file)) {
+        case 1: return partition_impl<1>(cli, file);
+        case 2: return partition_impl<2>(cli, file);
+        case 3: return partition_impl<3>(cli, file);
+        case 4: return partition_impl<4>(cli, file);
+        default: std::cerr << "unsupported dimensionality\n"; return 2;
+    }
+}
+
+template <int (*Fn2)(const Cli&, const std::string&),
+          int (*Fn3)(const Cli&, const std::string&),
+          int (*Fn4)(const Cli&, const std::string&),
+          int (*Fn1)(const Cli&, const std::string&)>
+int dispatch_dims(const Cli& cli, const std::string& file) {
+    switch (stored_grid_file_dims(file)) {
+        case 1: return Fn1(cli, file);
+        case 2: return Fn2(cli, file);
+        case 3: return Fn3(cli, file);
+        case 4: return Fn4(cli, file);
+        default:
+            std::cerr << "unsupported dimensionality in " << file << "\n";
+            return 2;
+    }
+}
+
+int cmd_info(const Cli& cli) {
+    std::string file = cli.get_string("file", "");
+    if (file.empty()) {
+        std::cerr << "info requires --file <pgf>\n";
+        return 2;
+    }
+    switch (stored_grid_file_dims(file)) {
+        case 1: return info_impl<1>(file);
+        case 2: return info_impl<2>(file);
+        case 3: return info_impl<3>(file);
+        case 4: return info_impl<4>(file);
+        default: std::cerr << "unsupported dimensionality\n"; return 2;
+    }
+}
+
+int cmd_query(const Cli& cli) {
+    std::string file = cli.get_string("file", "");
+    if (file.empty() || !cli.has("lo") || !cli.has("hi")) {
+        std::cerr << "query requires --file <pgf> --lo \"..\" --hi \"..\"\n";
+        return 2;
+    }
+    return dispatch_dims<query_impl<2>, query_impl<3>, query_impl<4>,
+                         query_impl<1>>(cli, file);
+}
+
+int cmd_decluster(const Cli& cli) {
+    std::string file = cli.get_string("file", "");
+    if (file.empty()) {
+        std::cerr << "decluster requires --file <pgf> [--disks M]\n";
+        return 2;
+    }
+    return dispatch_dims<decluster_impl<2>, decluster_impl<3>,
+                         decluster_impl<4>, decluster_impl<1>>(cli, file);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    pgf::Cli cli(argc, argv);
+    if (cli.positional().empty()) return usage();
+    const std::string& command = cli.positional().front();
+    try {
+        if (command == "gen") return cmd_gen(cli);
+        if (command == "build") return cmd_build(cli);
+        if (command == "info") return cmd_info(cli);
+        if (command == "query") return cmd_query(cli);
+        if (command == "decluster") return cmd_decluster(cli);
+        if (command == "partition") return cmd_partition(cli);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return usage();
+}
