@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_linearization.dir/ablation_linearization.cpp.o"
+  "CMakeFiles/ablation_linearization.dir/ablation_linearization.cpp.o.d"
+  "ablation_linearization"
+  "ablation_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

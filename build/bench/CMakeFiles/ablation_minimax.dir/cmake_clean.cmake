@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_minimax.dir/ablation_minimax.cpp.o"
+  "CMakeFiles/ablation_minimax.dir/ablation_minimax.cpp.o.d"
+  "ablation_minimax"
+  "ablation_minimax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_minimax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

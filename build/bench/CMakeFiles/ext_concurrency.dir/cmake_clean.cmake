@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_concurrency.dir/ext_concurrency.cpp.o"
+  "CMakeFiles/ext_concurrency.dir/ext_concurrency.cpp.o.d"
+  "ext_concurrency"
+  "ext_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_io_validation.dir/ext_io_validation.cpp.o"
+  "CMakeFiles/ext_io_validation.dir/ext_io_validation.cpp.o.d"
+  "ext_io_validation"
+  "ext_io_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_io_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_mhd_comparison.dir/ext_mhd_comparison.cpp.o"
+  "CMakeFiles/ext_mhd_comparison.dir/ext_mhd_comparison.cpp.o.d"
+  "ext_mhd_comparison"
+  "ext_mhd_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_mhd_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

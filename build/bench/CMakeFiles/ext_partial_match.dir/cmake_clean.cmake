@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_partial_match.dir/ext_partial_match.cpp.o"
+  "CMakeFiles/ext_partial_match.dir/ext_partial_match.cpp.o.d"
+  "ext_partial_match"
+  "ext_partial_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_partial_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

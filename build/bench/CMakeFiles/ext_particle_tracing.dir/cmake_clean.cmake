@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_particle_tracing.dir/ext_particle_tracing.cpp.o"
+  "CMakeFiles/ext_particle_tracing.dir/ext_particle_tracing.cpp.o.d"
+  "ext_particle_tracing"
+  "ext_particle_tracing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_particle_tracing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_conflict_resolution.dir/fig3_conflict_resolution.cpp.o"
+  "CMakeFiles/fig3_conflict_resolution.dir/fig3_conflict_resolution.cpp.o.d"
+  "fig3_conflict_resolution"
+  "fig3_conflict_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_conflict_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

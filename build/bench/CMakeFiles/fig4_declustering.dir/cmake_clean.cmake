@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_declustering.dir/fig4_declustering.cpp.o"
+  "CMakeFiles/fig4_declustering.dir/fig4_declustering.cpp.o.d"
+  "fig4_declustering"
+  "fig4_declustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_declustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

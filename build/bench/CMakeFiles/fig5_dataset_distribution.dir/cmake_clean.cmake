@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dataset_distribution.dir/fig5_dataset_distribution.cpp.o"
+  "CMakeFiles/fig5_dataset_distribution.dir/fig5_dataset_distribution.cpp.o.d"
+  "fig5_dataset_distribution"
+  "fig5_dataset_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dataset_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_comparison.dir/fig6_comparison.cpp.o"
+  "CMakeFiles/fig6_comparison.dir/fig6_comparison.cpp.o.d"
+  "fig6_comparison"
+  "fig6_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_query_size.dir/fig7_query_size.cpp.o"
+  "CMakeFiles/fig7_query_size.dir/fig7_query_size.cpp.o.d"
+  "fig7_query_size"
+  "fig7_query_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgf_bench_common.dir/common.cpp.o"
+  "CMakeFiles/pgf_bench_common.dir/common.cpp.o.d"
+  "libpgf_bench_common.a"
+  "libpgf_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgf_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpgf_bench_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_data_balance.dir/table1_data_balance.cpp.o"
+  "CMakeFiles/table1_data_balance.dir/table1_data_balance.cpp.o.d"
+  "table1_data_balance"
+  "table1_data_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_data_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table23_closest_pairs.dir/table23_closest_pairs.cpp.o"
+  "CMakeFiles/table23_closest_pairs.dir/table23_closest_pairs.cpp.o.d"
+  "table23_closest_pairs"
+  "table23_closest_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table23_closest_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table23_closest_pairs.
+# This may be replaced when dependencies are built.

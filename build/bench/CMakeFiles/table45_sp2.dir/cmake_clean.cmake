@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table45_sp2.dir/table45_sp2.cpp.o"
+  "CMakeFiles/table45_sp2.dir/table45_sp2.cpp.o.d"
+  "table45_sp2"
+  "table45_sp2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table45_sp2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

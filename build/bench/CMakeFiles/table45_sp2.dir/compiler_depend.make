@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table45_sp2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table45_sp2.
+# This may be replaced when dependencies are built.

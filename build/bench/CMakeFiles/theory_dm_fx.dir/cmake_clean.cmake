@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_dm_fx.dir/theory_dm_fx.cpp.o"
+  "CMakeFiles/theory_dm_fx.dir/theory_dm_fx.cpp.o.d"
+  "theory_dm_fx"
+  "theory_dm_fx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_dm_fx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

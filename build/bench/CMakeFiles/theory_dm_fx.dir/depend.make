@@ -1,0 +1,2 @@
+# Empty dependencies file for theory_dm_fx.
+# This may be replaced when dependencies are built.

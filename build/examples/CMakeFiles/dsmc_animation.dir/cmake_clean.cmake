@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsmc_animation.dir/dsmc_animation.cpp.o"
+  "CMakeFiles/dsmc_animation.dir/dsmc_animation.cpp.o.d"
+  "dsmc_animation"
+  "dsmc_animation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsmc_animation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

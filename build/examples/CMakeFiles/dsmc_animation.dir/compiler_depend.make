@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dsmc_animation.
+# This may be replaced when dependencies are built.

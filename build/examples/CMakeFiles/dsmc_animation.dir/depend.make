@@ -1,0 +1,2 @@
+# Empty dependencies file for dsmc_animation.
+# This may be replaced when dependencies are built.

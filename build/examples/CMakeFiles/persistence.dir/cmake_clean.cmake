@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persistence.dir/persistence.cpp.o"
+  "CMakeFiles/persistence.dir/persistence.cpp.o.d"
+  "persistence"
+  "persistence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persistence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stock_queries.dir/stock_queries.cpp.o"
+  "CMakeFiles/stock_queries.dir/stock_queries.cpp.o.d"
+  "stock_queries"
+  "stock_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stock_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for stock_queries.
+# This may be replaced when dependencies are built.

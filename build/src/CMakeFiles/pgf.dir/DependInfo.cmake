@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytic/dm_theory.cpp" "src/CMakeFiles/pgf.dir/analytic/dm_theory.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/analytic/dm_theory.cpp.o.d"
+  "/root/repo/src/analytic/fx_theory.cpp" "src/CMakeFiles/pgf.dir/analytic/fx_theory.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/analytic/fx_theory.cpp.o.d"
+  "/root/repo/src/analytic/optimal.cpp" "src/CMakeFiles/pgf.dir/analytic/optimal.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/analytic/optimal.cpp.o.d"
+  "/root/repo/src/core/declusterer.cpp" "src/CMakeFiles/pgf.dir/core/declusterer.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/core/declusterer.cpp.o.d"
+  "/root/repo/src/decluster/conflict.cpp" "src/CMakeFiles/pgf.dir/decluster/conflict.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/conflict.cpp.o.d"
+  "/root/repo/src/decluster/index_based.cpp" "src/CMakeFiles/pgf.dir/decluster/index_based.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/index_based.cpp.o.d"
+  "/root/repo/src/decluster/minimax.cpp" "src/CMakeFiles/pgf.dir/decluster/minimax.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/minimax.cpp.o.d"
+  "/root/repo/src/decluster/online.cpp" "src/CMakeFiles/pgf.dir/decluster/online.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/online.cpp.o.d"
+  "/root/repo/src/decluster/registry.cpp" "src/CMakeFiles/pgf.dir/decluster/registry.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/registry.cpp.o.d"
+  "/root/repo/src/decluster/similarity.cpp" "src/CMakeFiles/pgf.dir/decluster/similarity.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/decluster/similarity.cpp.o.d"
+  "/root/repo/src/disksim/metrics.cpp" "src/CMakeFiles/pgf.dir/disksim/metrics.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/disksim/metrics.cpp.o.d"
+  "/root/repo/src/disksim/simulator.cpp" "src/CMakeFiles/pgf.dir/disksim/simulator.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/disksim/simulator.cpp.o.d"
+  "/root/repo/src/geom/proximity.cpp" "src/CMakeFiles/pgf.dir/geom/proximity.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/geom/proximity.cpp.o.d"
+  "/root/repo/src/graph/kernighan_lin.cpp" "src/CMakeFiles/pgf.dir/graph/kernighan_lin.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/graph/kernighan_lin.cpp.o.d"
+  "/root/repo/src/graph/prim.cpp" "src/CMakeFiles/pgf.dir/graph/prim.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/graph/prim.cpp.o.d"
+  "/root/repo/src/graph/spanning_path.cpp" "src/CMakeFiles/pgf.dir/graph/spanning_path.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/graph/spanning_path.cpp.o.d"
+  "/root/repo/src/gridfile/scales.cpp" "src/CMakeFiles/pgf.dir/gridfile/scales.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/gridfile/scales.cpp.o.d"
+  "/root/repo/src/gridfile/structure.cpp" "src/CMakeFiles/pgf.dir/gridfile/structure.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/gridfile/structure.cpp.o.d"
+  "/root/repo/src/parallel/disk_model.cpp" "src/CMakeFiles/pgf.dir/parallel/disk_model.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/parallel/disk_model.cpp.o.d"
+  "/root/repo/src/parallel/network.cpp" "src/CMakeFiles/pgf.dir/parallel/network.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/parallel/network.cpp.o.d"
+  "/root/repo/src/sfc/curve.cpp" "src/CMakeFiles/pgf.dir/sfc/curve.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/sfc/curve.cpp.o.d"
+  "/root/repo/src/sfc/gray.cpp" "src/CMakeFiles/pgf.dir/sfc/gray.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/sfc/gray.cpp.o.d"
+  "/root/repo/src/sfc/hilbert.cpp" "src/CMakeFiles/pgf.dir/sfc/hilbert.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/sfc/hilbert.cpp.o.d"
+  "/root/repo/src/sfc/zorder.cpp" "src/CMakeFiles/pgf.dir/sfc/zorder.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/sfc/zorder.cpp.o.d"
+  "/root/repo/src/storage/buffer_pool.cpp" "src/CMakeFiles/pgf.dir/storage/buffer_pool.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/storage/buffer_pool.cpp.o.d"
+  "/root/repo/src/storage/page_file.cpp" "src/CMakeFiles/pgf.dir/storage/page_file.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/storage/page_file.cpp.o.d"
+  "/root/repo/src/storage/partition.cpp" "src/CMakeFiles/pgf.dir/storage/partition.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/storage/partition.cpp.o.d"
+  "/root/repo/src/storage/serializer.cpp" "src/CMakeFiles/pgf.dir/storage/serializer.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/storage/serializer.cpp.o.d"
+  "/root/repo/src/util/check.cpp" "src/CMakeFiles/pgf.dir/util/check.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/check.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/pgf.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/points_io.cpp" "src/CMakeFiles/pgf.dir/util/points_io.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/points_io.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/pgf.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/pgf.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/pgf.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/pgf.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/workload/datasets.cpp" "src/CMakeFiles/pgf.dir/workload/datasets.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/workload/datasets.cpp.o.d"
+  "/root/repo/src/workload/query_gen.cpp" "src/CMakeFiles/pgf.dir/workload/query_gen.cpp.o" "gcc" "src/CMakeFiles/pgf.dir/workload/query_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

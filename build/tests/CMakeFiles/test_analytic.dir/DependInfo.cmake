@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analytic/test_dm_theory.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/test_dm_theory.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/test_dm_theory.cpp.o.d"
+  "/root/repo/tests/analytic/test_fx_theory.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/test_fx_theory.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/test_fx_theory.cpp.o.d"
+  "/root/repo/tests/analytic/test_optimal.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/test_optimal.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/test_optimal.cpp.o.d"
+  "/root/repo/tests/analytic/test_partial_match_theory.cpp" "tests/CMakeFiles/test_analytic.dir/analytic/test_partial_match_theory.cpp.o" "gcc" "tests/CMakeFiles/test_analytic.dir/analytic/test_partial_match_theory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

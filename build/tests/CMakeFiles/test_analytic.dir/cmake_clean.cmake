@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analytic.dir/analytic/test_dm_theory.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_dm_theory.cpp.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/test_fx_theory.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_fx_theory.cpp.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/test_optimal.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_optimal.cpp.o.d"
+  "CMakeFiles/test_analytic.dir/analytic/test_partial_match_theory.cpp.o"
+  "CMakeFiles/test_analytic.dir/analytic/test_partial_match_theory.cpp.o.d"
+  "test_analytic"
+  "test_analytic.pdb"
+  "test_analytic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analytic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

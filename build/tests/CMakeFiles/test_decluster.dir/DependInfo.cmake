@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/decluster/test_conflict.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_conflict.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_conflict.cpp.o.d"
+  "/root/repo/tests/decluster/test_index_based.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_index_based.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_index_based.cpp.o.d"
+  "/root/repo/tests/decluster/test_minimax.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_minimax.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_minimax.cpp.o.d"
+  "/root/repo/tests/decluster/test_online.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_online.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_online.cpp.o.d"
+  "/root/repo/tests/decluster/test_properties.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_properties.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_properties.cpp.o.d"
+  "/root/repo/tests/decluster/test_registry.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_registry.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_registry.cpp.o.d"
+  "/root/repo/tests/decluster/test_similarity.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_similarity.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_similarity.cpp.o.d"
+  "/root/repo/tests/decluster/test_weights.cpp" "tests/CMakeFiles/test_decluster.dir/decluster/test_weights.cpp.o" "gcc" "tests/CMakeFiles/test_decluster.dir/decluster/test_weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

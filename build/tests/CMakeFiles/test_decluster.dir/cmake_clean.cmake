@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decluster.dir/decluster/test_conflict.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_conflict.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_index_based.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_index_based.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_minimax.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_minimax.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_online.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_online.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_properties.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_properties.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_registry.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_registry.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_similarity.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_similarity.cpp.o.d"
+  "CMakeFiles/test_decluster.dir/decluster/test_weights.cpp.o"
+  "CMakeFiles/test_decluster.dir/decluster/test_weights.cpp.o.d"
+  "test_decluster"
+  "test_decluster.pdb"
+  "test_decluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

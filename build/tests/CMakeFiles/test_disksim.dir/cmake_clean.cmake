@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disksim.dir/disksim/test_metrics.cpp.o"
+  "CMakeFiles/test_disksim.dir/disksim/test_metrics.cpp.o.d"
+  "CMakeFiles/test_disksim.dir/disksim/test_simulator.cpp.o"
+  "CMakeFiles/test_disksim.dir/disksim/test_simulator.cpp.o.d"
+  "test_disksim"
+  "test_disksim.pdb"
+  "test_disksim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disksim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/geom/test_point.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_point.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_point.cpp.o.d"
+  "/root/repo/tests/geom/test_proximity.cpp" "tests/CMakeFiles/test_geom.dir/geom/test_proximity.cpp.o" "gcc" "tests/CMakeFiles/test_geom.dir/geom/test_proximity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_kernighan_lin.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_kernighan_lin.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_kernighan_lin.cpp.o.d"
+  "/root/repo/tests/graph/test_prim.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_prim.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_prim.cpp.o.d"
+  "/root/repo/tests/graph/test_spanning_path.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_spanning_path.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_spanning_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gridfile/test_cartesian_file.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_cartesian_file.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_cartesian_file.cpp.o.d"
+  "/root/repo/tests/gridfile/test_directory.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_directory.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_directory.cpp.o.d"
+  "/root/repo/tests/gridfile/test_fuzz.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_fuzz.cpp.o.d"
+  "/root/repo/tests/gridfile/test_grid_file.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_grid_file.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_grid_file.cpp.o.d"
+  "/root/repo/tests/gridfile/test_partial_match.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_partial_match.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_partial_match.cpp.o.d"
+  "/root/repo/tests/gridfile/test_scales.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_scales.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_scales.cpp.o.d"
+  "/root/repo/tests/gridfile/test_structure.cpp" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_structure.cpp.o" "gcc" "tests/CMakeFiles/test_gridfile.dir/gridfile/test_structure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

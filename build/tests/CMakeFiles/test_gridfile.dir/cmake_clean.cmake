@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridfile.dir/gridfile/test_cartesian_file.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_cartesian_file.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_directory.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_directory.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_fuzz.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_fuzz.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_grid_file.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_grid_file.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_partial_match.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_partial_match.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_scales.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_scales.cpp.o.d"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_structure.cpp.o"
+  "CMakeFiles/test_gridfile.dir/gridfile/test_structure.cpp.o.d"
+  "test_gridfile"
+  "test_gridfile.pdb"
+  "test_gridfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

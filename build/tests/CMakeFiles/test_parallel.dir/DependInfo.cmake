@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel/test_disk_model.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_disk_model.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_disk_model.cpp.o.d"
+  "/root/repo/tests/parallel/test_network.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_network.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_network.cpp.o.d"
+  "/root/repo/tests/parallel/test_pgf_server.cpp" "tests/CMakeFiles/test_parallel.dir/parallel/test_pgf_server.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/parallel/test_pgf_server.cpp.o.d"
+  "/root/repo/tests/sim/test_des.cpp" "tests/CMakeFiles/test_parallel.dir/sim/test_des.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/sim/test_des.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

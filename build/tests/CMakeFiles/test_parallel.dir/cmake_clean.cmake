@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/parallel/test_disk_model.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_disk_model.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_network.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_network.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_pgf_server.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_pgf_server.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/sim/test_des.cpp.o"
+  "CMakeFiles/test_parallel.dir/sim/test_des.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+  "test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

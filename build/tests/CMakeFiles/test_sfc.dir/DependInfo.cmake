@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sfc/test_curve.cpp" "tests/CMakeFiles/test_sfc.dir/sfc/test_curve.cpp.o" "gcc" "tests/CMakeFiles/test_sfc.dir/sfc/test_curve.cpp.o.d"
+  "/root/repo/tests/sfc/test_gray.cpp" "tests/CMakeFiles/test_sfc.dir/sfc/test_gray.cpp.o" "gcc" "tests/CMakeFiles/test_sfc.dir/sfc/test_gray.cpp.o.d"
+  "/root/repo/tests/sfc/test_hilbert.cpp" "tests/CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o" "gcc" "tests/CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o.d"
+  "/root/repo/tests/sfc/test_zorder.cpp" "tests/CMakeFiles/test_sfc.dir/sfc/test_zorder.cpp.o" "gcc" "tests/CMakeFiles/test_sfc.dir/sfc/test_zorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sfc.dir/sfc/test_curve.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_curve.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_gray.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_gray.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_hilbert.cpp.o.d"
+  "CMakeFiles/test_sfc.dir/sfc/test_zorder.cpp.o"
+  "CMakeFiles/test_sfc.dir/sfc/test_zorder.cpp.o.d"
+  "test_sfc"
+  "test_sfc.pdb"
+  "test_sfc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sfc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/test_buffer_pool.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_buffer_pool.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_buffer_pool.cpp.o.d"
+  "/root/repo/tests/storage/test_gridfile_io.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_gridfile_io.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_gridfile_io.cpp.o.d"
+  "/root/repo/tests/storage/test_page_file.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_page_file.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_page_file.cpp.o.d"
+  "/root/repo/tests/storage/test_paged_grid_file.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_paged_grid_file.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_paged_grid_file.cpp.o.d"
+  "/root/repo/tests/storage/test_partition.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_partition.cpp.o.d"
+  "/root/repo/tests/storage/test_serializer.cpp" "tests/CMakeFiles/test_storage.dir/storage/test_serializer.cpp.o" "gcc" "tests/CMakeFiles/test_storage.dir/storage/test_serializer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

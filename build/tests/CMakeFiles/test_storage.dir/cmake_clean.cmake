@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage.dir/storage/test_buffer_pool.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_buffer_pool.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/test_gridfile_io.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_gridfile_io.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/test_page_file.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_page_file.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/test_paged_grid_file.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_paged_grid_file.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/test_partition.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_partition.cpp.o.d"
+  "CMakeFiles/test_storage.dir/storage/test_serializer.cpp.o"
+  "CMakeFiles/test_storage.dir/storage/test_serializer.cpp.o.d"
+  "test_storage"
+  "test_storage.pdb"
+  "test_storage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

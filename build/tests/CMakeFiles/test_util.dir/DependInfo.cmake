@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/test_check.cpp" "tests/CMakeFiles/test_util.dir/util/test_check.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_check.cpp.o.d"
+  "/root/repo/tests/util/test_cli.cpp" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "/root/repo/tests/util/test_points_io.cpp" "tests/CMakeFiles/test_util.dir/util/test_points_io.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_points_io.cpp.o.d"
+  "/root/repo/tests/util/test_rng.cpp" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "/root/repo/tests/util/test_stats.cpp" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "/root/repo/tests/util/test_table.cpp" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "/root/repo/tests/util/test_thread_pool.cpp" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pgf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

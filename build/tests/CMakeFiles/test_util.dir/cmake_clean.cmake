@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/util/test_check.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_check.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_cli.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_points_io.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_points_io.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_table.cpp.o.d"
+  "CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o"
+  "CMakeFiles/test_util.dir/util/test_thread_pool.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgfcli.dir/pgfcli.cpp.o"
+  "CMakeFiles/pgfcli.dir/pgfcli.cpp.o.d"
+  "pgfcli"
+  "pgfcli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgfcli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

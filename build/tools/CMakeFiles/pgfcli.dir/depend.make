@@ -1,0 +1,2 @@
+# Empty dependencies file for pgfcli.
+# This may be replaced when dependencies are built.
