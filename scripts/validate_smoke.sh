@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for `pgfcli validate`.
+#
+# Usage: scripts/validate_smoke.sh <path-to-pgfcli>
+#
+# Generates a dataset, builds a grid file, and checks that:
+#   1. a healthy file passes a deep audit (exit 0),
+#   2. a complete round-robin assignment passes (exit 0),
+#   3. a truncated assignment is flagged as incomplete (exit 1),
+#   4. an assignment naming an out-of-range disk is flagged (exit 1),
+#   5. a truncated .pgf fails loudly rather than validating (exit != 0).
+set -u
+
+PGFCLI="${1:?usage: validate_smoke.sh <path-to-pgfcli>}"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/pgf-validate-smoke.XXXXXX")"
+trap 'rm -rf "${WORK}"' EXIT
+
+fail() {
+    echo "validate_smoke: FAIL — $1" >&2
+    exit 1
+}
+
+"${PGFCLI}" gen --dataset hot2d --points 4000 --seed 7 \
+    --out "${WORK}/pts.csv" > /dev/null || fail "gen"
+"${PGFCLI}" build --input "${WORK}/pts.csv" --out "${WORK}/data.pgf" \
+    --capacity 32 > /dev/null || fail "build"
+
+# 1. Healthy file, deepest audit.
+"${PGFCLI}" validate --file "${WORK}/data.pgf" --level deep \
+    || fail "healthy file did not validate"
+
+# 2. Complete round-robin assignment over 8 disks.
+buckets=$("${PGFCLI}" info --file "${WORK}/data.pgf" \
+    | sed -n 's/.*buckets *\([0-9][0-9]*\).*/\1/p' | head -1)
+[ -n "${buckets}" ] || fail "could not read bucket count from pgfcli info"
+{
+    echo "bucket,disk"
+    for ((b = 0; b < buckets; ++b)); do echo "${b},$((b % 8))"; done
+} > "${WORK}/assign.csv"
+"${PGFCLI}" validate --file "${WORK}/data.pgf" --level standard \
+    --assignment "${WORK}/assign.csv" --disks 8 \
+    || fail "complete assignment did not validate"
+
+# 3. Truncated assignment: the audit must flag it incomplete.
+head -n "$((buckets / 2))" "${WORK}/assign.csv" > "${WORK}/short.csv"
+if "${PGFCLI}" validate --file "${WORK}/data.pgf" --level standard \
+    --assignment "${WORK}/short.csv" --disks 8 > "${WORK}/short.out" 2>&1; then
+    fail "truncated assignment validated"
+fi
+grep -q 'decluster.assignment.incomplete' "${WORK}/short.out" \
+    || fail "truncated assignment not reported as incomplete"
+
+# 4. Out-of-range disk id.
+sed '2s/,.*/,99/' "${WORK}/assign.csv" > "${WORK}/bad-disk.csv"
+if "${PGFCLI}" validate --file "${WORK}/data.pgf" --level standard \
+    --assignment "${WORK}/bad-disk.csv" --disks 8 > "${WORK}/bad.out" 2>&1; then
+    fail "out-of-range disk validated"
+fi
+grep -q 'decluster.assignment.disk_range' "${WORK}/bad.out" \
+    || fail "out-of-range disk not reported"
+
+# 5. Corrupted (truncated) grid file must not validate.
+cp "${WORK}/data.pgf" "${WORK}/corrupt.pgf"
+truncate -s -200 "${WORK}/corrupt.pgf"
+if "${PGFCLI}" validate --file "${WORK}/corrupt.pgf" > /dev/null 2>&1; then
+    fail "truncated grid file validated"
+fi
+
+echo "validate_smoke: OK"

@@ -1,0 +1,75 @@
+#include "pgf/analysis/sim_audit.hpp"
+
+#include <limits>
+#include <sstream>
+
+namespace pgf::analysis {
+
+namespace {
+std::string time_pair(sim::SimTime a, sim::SimTime b) {
+    std::ostringstream os;
+    os << a << " vs " << b;
+    return os.str();
+}
+}  // namespace
+
+DesAudit::DesAudit(sim::Simulator& sim)
+    : sim_(&sim),
+      report_("sim", ValidationLevel::kStandard),
+      scope_([this] { return "audit context:\n" + report_.summary(); }),
+      last_dispatch_(-std::numeric_limits<sim::SimTime>::infinity()) {
+    sim::Simulator::Observer obs;
+    obs.on_schedule = [this](sim::SimTime when, sim::SimTime now) {
+        on_schedule(when, now);
+    };
+    obs.on_dispatch = [this](sim::SimTime when, std::size_t pending) {
+        on_dispatch(when, pending);
+    };
+    sim_->set_observer(std::move(obs));
+}
+
+DesAudit::~DesAudit() { detach(); }
+
+void DesAudit::detach() {
+    if (attached_) {
+        sim_->clear_observer();
+        attached_ = false;
+    }
+}
+
+void DesAudit::mark_teardown() {
+    torn_down_ = true;
+    report_.require_lazy(sim_->empty(), "sim.teardown.pending", [&] {
+        return std::to_string(sim_->pending()) +
+               " event(s) still queued at teardown";
+    });
+}
+
+void DesAudit::on_schedule(sim::SimTime when, sim::SimTime now) {
+    ++scheduled_;
+    report_.require_lazy(!torn_down_, "sim.teardown.schedule", [&] {
+        std::ostringstream os;
+        os << "event scheduled at t=" << when << " after teardown";
+        return os.str();
+    });
+    report_.require_lazy(when >= now, "sim.causality.schedule", [&] {
+        return "event scheduled into the past: " + time_pair(when, now);
+    });
+}
+
+void DesAudit::on_dispatch(sim::SimTime when, std::size_t /*pending*/) {
+    ++dispatched_;
+    report_.require_lazy(!torn_down_, "sim.teardown.dispatch", [&] {
+        std::ostringstream os;
+        os << "event fired at t=" << when << " after teardown";
+        return os.str();
+    });
+    report_.require_lazy(when >= last_dispatch_, "sim.causality.dispatch",
+                         [&] {
+                             return "dispatch timestamps decreased: " +
+                                    time_pair(last_dispatch_, when);
+                         });
+    last_dispatch_ = when;
+}
+
+}  // namespace pgf::analysis

@@ -1,0 +1,429 @@
+#include "pgf/analysis/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace pgf::analysis {
+
+namespace {
+
+constexpr std::uint32_t kUnowned = std::numeric_limits<std::uint32_t>::max();
+
+/// Cell coordinates of flattened index `idx` (row-major, last axis fastest)
+/// rendered as "(c0, c1, ...)".
+std::string cell_name(std::uint64_t idx,
+                      const std::vector<std::uint32_t>& shape) {
+    std::vector<std::uint64_t> coord(shape.size(), 0);
+    for (std::size_t i = shape.size(); i-- > 0;) {
+        coord[i] = idx % shape[i];
+        idx /= shape[i];
+    }
+    std::ostringstream os;
+    os << "(";
+    for (std::size_t i = 0; i < coord.size(); ++i) {
+        if (i) os << ", ";
+        os << coord[i];
+    }
+    os << ")";
+    return os.str();
+}
+
+/// True when the bucket's vectors have dimensionality `d` and its cell box
+/// is non-empty and inside the grid — the precondition for walking it.
+bool box_walkable(const BucketInfo& b, const GridStructure& gs) {
+    const std::size_t d = gs.dims();
+    if (b.cell_lo.size() != d || b.cell_hi.size() != d) return false;
+    for (std::size_t i = 0; i < d; ++i) {
+        if (b.cell_lo[i] >= b.cell_hi[i] || b.cell_hi[i] > gs.shape[i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Invokes fn(flat_index) for every cell of bucket `b` (which must be
+/// walkable). Row-major odometer, last axis fastest.
+template <typename Fn>
+void for_each_flat_cell(const BucketInfo& b, const GridStructure& gs,
+                        Fn&& fn) {
+    const std::size_t d = gs.dims();
+    std::vector<std::uint32_t> cell(b.cell_lo);
+    for (;;) {
+        std::uint64_t flat = 0;
+        for (std::size_t i = 0; i < d; ++i) {
+            flat = flat * gs.shape[i] + cell[i];
+        }
+        fn(flat);
+        std::size_t axis = d;
+        bool done = true;
+        while (axis-- > 0) {
+            if (++cell[axis] < b.cell_hi[axis]) {
+                done = false;
+                break;
+            }
+            cell[axis] = b.cell_lo[axis];
+        }
+        if (done) return;
+    }
+}
+
+detail::CheckReportScope audit_scope(const ValidationReport& report) {
+    return detail::CheckReportScope(
+        [&report] { return "audit context:\n" + report.summary(); });
+}
+
+void fast_structure_checks(const GridStructure& gs, ValidationReport& r) {
+    const std::size_t d = gs.dims();
+    r.require(d >= 1, "gridfile.dims.empty",
+              "structure has zero dimensions");
+    r.require(gs.domain_lo.size() == d && gs.domain_hi.size() == d,
+              "gridfile.domain.dims",
+              "domain bounds do not match shape dimensionality");
+    if (!r.ok()) return;
+
+    for (std::size_t i = 0; i < d; ++i) {
+        r.require_lazy(gs.shape[i] >= 1, "gridfile.shape.empty", [&] {
+            return "axis " + std::to_string(i) + " has zero cells";
+        });
+        r.require_lazy(gs.domain_lo[i] < gs.domain_hi[i],
+                       "gridfile.domain.empty", [&] {
+                           return "axis " + std::to_string(i) +
+                                  " has an empty domain interval";
+                       });
+    }
+    if (!r.ok()) return;
+
+    std::uint64_t covered = 0;
+    for (std::size_t b = 0; b < gs.buckets.size(); ++b) {
+        const BucketInfo& info = gs.buckets[b];
+        const std::string which = "bucket " + std::to_string(b);
+        r.require(info.cell_lo.size() == d && info.cell_hi.size() == d &&
+                      info.region_lo.size() == d && info.region_hi.size() == d,
+                  "gridfile.bucket.dims", which + " dimensionality mismatch");
+        if (!box_walkable(info, gs)) {
+            r.require(false, "gridfile.bucket.cellbox",
+                      which + " cell box is empty or out of the grid");
+            continue;
+        }
+        ++r.checks_run;  // the walkability check above
+        for (std::size_t i = 0; i < d; ++i) {
+            r.require_lazy(info.region_lo[i] < info.region_hi[i],
+                           "gridfile.bucket.region.empty", [&] {
+                               return which + " axis " + std::to_string(i) +
+                                      " region interval is empty";
+                           });
+            r.require_lazy(info.region_lo[i] >= gs.domain_lo[i] &&
+                               info.region_hi[i] <= gs.domain_hi[i],
+                           "gridfile.bucket.region.domain", [&] {
+                               return which + " axis " + std::to_string(i) +
+                                      " region leaves the domain";
+                           });
+        }
+        covered += info.cell_count();
+    }
+    r.require_lazy(covered == gs.cell_count(), "gridfile.coverage.total", [&] {
+        return "buckets cover " + std::to_string(covered) + " cells, grid has " +
+               std::to_string(gs.cell_count());
+    });
+}
+
+void standard_structure_checks(const GridStructure& gs, ValidationReport& r) {
+    // Exact tiling: rebuild the directory from the cell boxes. Rectangular
+    // *and disjoint* merged regions is equivalent to each cell having
+    // exactly one owner, given each bucket is an axis-aligned box.
+    std::vector<std::uint32_t> owner(gs.cell_count(), kUnowned);
+    for (std::size_t b = 0; b < gs.buckets.size(); ++b) {
+        if (!box_walkable(gs.buckets[b], gs)) continue;  // reported in fast
+        for_each_flat_cell(gs.buckets[b], gs, [&](std::uint64_t flat) {
+            r.require_lazy(owner[flat] == kUnowned,
+                           "gridfile.coverage.overlap", [&] {
+                               return "cell " + cell_name(flat, gs.shape) +
+                                      " owned by both bucket " +
+                                      std::to_string(owner[flat]) +
+                                      " and bucket " + std::to_string(b);
+                           });
+            owner[flat] = static_cast<std::uint32_t>(b);
+        });
+    }
+    for (std::uint64_t c = 0; c < owner.size(); ++c) {
+        r.require_lazy(owner[c] != kUnowned, "gridfile.coverage.hole", [&] {
+            return "cell " + cell_name(c, gs.shape) +
+                   " is mapped to no bucket";
+        });
+    }
+}
+
+void deep_structure_checks(const GridStructure& gs, ValidationReport& r) {
+    // Reconstruct the implied linear scales: grid line k of axis i must
+    // have one consistent data-space coordinate across every bucket whose
+    // region starts or ends there, and the per-axis boundary sequence must
+    // be strictly increasing (i.e. the scales are sorted with unique split
+    // points) and anchored exactly at the domain bounds.
+    const std::size_t d = gs.dims();
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    for (std::size_t i = 0; i < d; ++i) {
+        std::vector<double> boundary(gs.shape[i] + std::size_t{1}, nan);
+        bool consistent = true;
+        auto record = [&](std::uint32_t line, double coord, std::size_t b) {
+            if (std::isnan(boundary[line])) {
+                boundary[line] = coord;
+                return;
+            }
+            r.require_lazy(boundary[line] == coord,
+                           "gridfile.scale.inconsistent", [&] {
+                               std::ostringstream os;
+                               os << "axis " << i << " grid line " << line
+                                  << ": bucket " << b << " places it at "
+                                  << coord << " but it was previously at "
+                                  << boundary[line];
+                               return os.str();
+                           });
+            if (boundary[line] != coord) consistent = false;
+        };
+        for (std::size_t b = 0; b < gs.buckets.size(); ++b) {
+            if (!box_walkable(gs.buckets[b], gs)) continue;
+            record(gs.buckets[b].cell_lo[i], gs.buckets[b].region_lo[i], b);
+            record(gs.buckets[b].cell_hi[i], gs.buckets[b].region_hi[i], b);
+        }
+        if (!consistent) continue;  // ordering checks would only re-report
+        r.require_lazy(std::isnan(boundary.front()) ||
+                           boundary.front() == gs.domain_lo[i],
+                       "gridfile.scale.domain_lo", [&] {
+                           return "axis " + std::to_string(i) +
+                                  " first boundary is not the domain lower "
+                                  "bound";
+                       });
+        r.require_lazy(std::isnan(boundary.back()) ||
+                           boundary.back() == gs.domain_hi[i],
+                       "gridfile.scale.domain_hi", [&] {
+                           return "axis " + std::to_string(i) +
+                                  " last boundary is not the domain upper "
+                                  "bound";
+                       });
+        double prev = nan;
+        std::uint32_t prev_line = 0;
+        for (std::size_t k = 0; k < boundary.size(); ++k) {
+            if (std::isnan(boundary[k])) continue;  // line interior to all
+            if (!std::isnan(prev)) {
+                r.require_lazy(prev < boundary[k], "gridfile.scale.sorted",
+                               [&] {
+                                   std::ostringstream os;
+                                   os << "axis " << i << " boundaries not "
+                                      << "strictly increasing: line "
+                                      << prev_line << " at " << prev
+                                      << " vs line " << k << " at "
+                                      << boundary[k];
+                                   return os.str();
+                               });
+            }
+            prev = boundary[k];
+            prev_line = static_cast<std::uint32_t>(k);
+        }
+    }
+}
+
+}  // namespace
+
+std::string to_string(ValidationLevel level) {
+    switch (level) {
+        case ValidationLevel::kFast: return "fast";
+        case ValidationLevel::kStandard: return "standard";
+        case ValidationLevel::kDeep: return "deep";
+    }
+    return "unknown";
+}
+
+bool parse_validation_level(const std::string& text, ValidationLevel* out) {
+    if (text == "fast") {
+        *out = ValidationLevel::kFast;
+    } else if (text == "standard") {
+        *out = ValidationLevel::kStandard;
+    } else if (text == "deep") {
+        *out = ValidationLevel::kDeep;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+void ValidationReport::merge(const ValidationReport& other) {
+    checks_run += other.checks_run;
+    level = std::max(level, other.level);
+    findings.insert(findings.end(), other.findings.begin(),
+                    other.findings.end());
+}
+
+std::string ValidationReport::summary(std::size_t max_findings) const {
+    std::ostringstream os;
+    os << "[" << subsystem << "] level=" << to_string(level)
+       << " checks=" << checks_run << " findings=" << findings.size();
+    const std::size_t shown = std::min(max_findings, findings.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+        os << "\n  - " << findings[i].invariant << ": " << findings[i].detail;
+    }
+    if (shown < findings.size()) {
+        os << "\n  … and " << findings.size() - shown << " more";
+    }
+    return os.str();
+}
+
+void ValidationReport::enforce() const {
+    PGF_CHECK(ok(), subsystem + " audit found " +
+                        std::to_string(findings.size()) +
+                        " violated invariant(s)\n" + summary());
+}
+
+ValidationReport audit_structure(const GridStructure& gs,
+                                 ValidationLevel level) {
+    ValidationReport r("gridfile.structure", level);
+    auto scope = audit_scope(r);
+    fast_structure_checks(gs, r);
+    if (level >= ValidationLevel::kStandard && gs.dims() >= 1) {
+        standard_structure_checks(gs, r);
+    }
+    if (level >= ValidationLevel::kDeep && gs.dims() >= 1) {
+        deep_structure_checks(gs, r);
+    }
+    return r;
+}
+
+ValidationReport audit_assignment(const GridStructure& gs,
+                                  const Assignment& assignment,
+                                  ValidationLevel level,
+                                  const AssignmentAuditOptions& options) {
+    ValidationReport r("decluster.assignment", level);
+    auto scope = audit_scope(r);
+
+    r.require(assignment.num_disks >= 1, "decluster.disks.none",
+              "assignment declares zero disks");
+    r.require_lazy(assignment.disk_of.size() == gs.bucket_count(),
+                   "decluster.assignment.incomplete", [&] {
+                       return "assignment covers " +
+                              std::to_string(assignment.disk_of.size()) +
+                              " buckets, structure has " +
+                              std::to_string(gs.bucket_count());
+                   });
+    if (assignment.num_disks == 0) return r;
+
+    std::vector<std::size_t> load(assignment.num_disks, 0);
+    std::vector<std::size_t> records(assignment.num_disks, 0);
+    std::size_t total_records = 0;
+    for (std::size_t b = 0; b < assignment.disk_of.size(); ++b) {
+        const std::uint32_t disk = assignment.disk_of[b];
+        r.require_lazy(disk < assignment.num_disks,
+                       "decluster.assignment.disk_range", [&] {
+                           return "bucket " + std::to_string(b) +
+                                  " assigned to unknown disk " +
+                                  std::to_string(disk);
+                       });
+        if (disk >= assignment.num_disks) continue;
+        ++load[disk];
+        if (b < gs.buckets.size()) {
+            records[disk] += gs.buckets[b].record_count;
+            total_records += gs.buckets[b].record_count;
+        }
+    }
+
+    if (level >= ValidationLevel::kStandard) {
+        const std::size_t max_load =
+            load.empty() ? 0 : *std::max_element(load.begin(), load.end());
+        if (options.max_bucket_load > 0) {
+            r.require_lazy(max_load <= options.max_bucket_load,
+                           "decluster.load.bound", [&] {
+                               return "max disk load " +
+                                      std::to_string(max_load) +
+                                      " exceeds declared bound " +
+                                      std::to_string(options.max_bucket_load);
+                           });
+        }
+    }
+
+    if (level >= ValidationLevel::kDeep && options.max_data_imbalance > 0.0 &&
+        total_records > 0) {
+        const std::size_t max_records =
+            *std::max_element(records.begin(), records.end());
+        const double imbalance =
+            static_cast<double>(max_records) *
+            static_cast<double>(assignment.num_disks) /
+            static_cast<double>(total_records);
+        r.require_lazy(imbalance <= options.max_data_imbalance,
+                       "decluster.balance.bound", [&] {
+                           std::ostringstream os;
+                           os << "data imbalance " << imbalance
+                              << " exceeds declared bound "
+                              << options.max_data_imbalance;
+                           return os.str();
+                       });
+    }
+    return r;
+}
+
+ValidationReport audit_conflict_resolution(
+    const GridStructure& gs, const std::vector<CandidateSet>& candidates,
+    const Assignment& assignment) {
+    ValidationReport r("decluster.conflict", ValidationLevel::kStandard);
+    auto scope = audit_scope(r);
+
+    r.require_lazy(candidates.size() == gs.bucket_count(),
+                   "decluster.conflict.candidates", [&] {
+                       return std::to_string(candidates.size()) +
+                              " candidate sets for " +
+                              std::to_string(gs.bucket_count()) + " buckets";
+                   });
+    const std::size_t n =
+        std::min({candidates.size(), gs.bucket_count(),
+                  assignment.disk_of.size()});
+    r.require_lazy(assignment.disk_of.size() == gs.bucket_count(),
+                   "decluster.assignment.incomplete", [&] {
+                       return "assignment covers " +
+                              std::to_string(assignment.disk_of.size()) +
+                              " buckets, structure has " +
+                              std::to_string(gs.bucket_count());
+                   });
+
+    for (std::size_t b = 0; b < n; ++b) {
+        const CandidateSet& c = candidates[b];
+        const std::string which = "bucket " + std::to_string(b);
+        r.require(!c.disks.empty(), "decluster.conflict.empty",
+                  which + " has no candidate disks");
+        r.require(c.disks.size() == c.counts.size(),
+                  "decluster.conflict.counts",
+                  which + " candidate/count arity mismatch");
+        if (c.disks.empty() || c.disks.size() != c.counts.size()) continue;
+
+        bool sorted = true;
+        std::uint64_t multiplicity = c.counts[0];
+        for (std::size_t k = 1; k < c.disks.size(); ++k) {
+            if (c.disks[k - 1] >= c.disks[k]) sorted = false;
+            multiplicity += c.counts[k];
+        }
+        r.require(sorted, "decluster.conflict.sorted",
+                  which + " candidate disks not strictly sorted");
+        r.require_lazy(c.disks.back() < assignment.num_disks,
+                       "decluster.conflict.disk_range", [&] {
+                           return which + " names disk " +
+                                  std::to_string(c.disks.back()) + " of " +
+                                  std::to_string(assignment.num_disks);
+                       });
+        r.require_lazy(multiplicity == gs.buckets[b].cell_count(),
+                       "decluster.conflict.multiplicity", [&] {
+                           return which + " candidate multiplicities sum to " +
+                                  std::to_string(multiplicity) +
+                                  " but the bucket spans " +
+                                  std::to_string(gs.buckets[b].cell_count()) +
+                                  " cells";
+                       });
+        r.require_lazy(std::binary_search(c.disks.begin(), c.disks.end(),
+                                          assignment.disk_of[b]),
+                       "decluster.conflict.postcondition", [&] {
+                           return which + " resolved to disk " +
+                                  std::to_string(assignment.disk_of[b]) +
+                                  " which is not in its candidate set";
+                       });
+    }
+    return r;
+}
+
+}  // namespace pgf::analysis

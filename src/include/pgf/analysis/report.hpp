@@ -1,0 +1,83 @@
+// Validation report vocabulary of the pgf::analysis invariant checkers.
+//
+// Every audit in this subsystem produces a ValidationReport: the list of
+// violated invariants (findings) plus how many checks ran. Audits never
+// throw on a violated invariant — they record it — so a single run can
+// surface *all* corruption in a structure instead of stopping at the first.
+// Callers that want hard-failure semantics call ValidationReport::enforce(),
+// which raises CheckError carrying the full report text.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf::analysis {
+
+/// How much work an audit may spend. Checks are cumulative: every level
+/// includes the cheaper levels' checks.
+enum class ValidationLevel {
+    kFast,      ///< O(buckets): shape, range and bookkeeping checks
+    kStandard,  ///< + O(cells): exact directory tiling / coverage
+    kDeep,      ///< + O(B·D + records): geometry cross-checks, per-record
+                ///  placement, implied-scale reconstruction
+};
+
+std::string to_string(ValidationLevel level);
+
+/// Parses "fast" / "standard" / "deep" (case-sensitive). Returns false and
+/// leaves `out` untouched on unknown names.
+bool parse_validation_level(const std::string& text, ValidationLevel* out);
+
+/// One violated invariant. `invariant` is a stable dotted identifier
+/// (e.g. "gridfile.directory.dangling"); `detail` names the offending
+/// indices/values so the failure is actionable without a debugger.
+struct Finding {
+    std::string invariant;
+    std::string detail;
+};
+
+/// Outcome of one audit (or several merged audits).
+struct ValidationReport {
+    ValidationReport() = default;
+    ValidationReport(std::string subsystem_name, ValidationLevel run_level)
+        : subsystem(std::move(subsystem_name)), level(run_level) {}
+
+    std::string subsystem;  ///< e.g. "gridfile", "decluster", "sim"
+    ValidationLevel level = ValidationLevel::kFast;
+    std::size_t checks_run = 0;
+    std::vector<Finding> findings;
+
+    bool ok() const { return findings.empty(); }
+
+    /// Records one passed/failed check.
+    void require(bool condition, const char* invariant,
+                 const std::string& detail) {
+        ++checks_run;
+        if (!condition) findings.push_back(Finding{invariant, detail});
+    }
+
+    /// Hot-loop variant: `detail_fn()` builds the message only on failure,
+    /// so per-cell checks don't pay string construction when healthy.
+    template <typename DetailFn>
+    void require_lazy(bool condition, const char* invariant,
+                      DetailFn&& detail_fn) {
+        ++checks_run;
+        if (!condition) findings.push_back(Finding{invariant, detail_fn()});
+    }
+
+    /// Folds another audit's outcome into this one (checks and findings
+    /// accumulate; the subsystem label of `this` wins).
+    void merge(const ValidationReport& other);
+
+    /// Multi-line human-readable report. Lists at most `max_findings`
+    /// findings, then an elision count.
+    std::string summary(std::size_t max_findings = 20) const;
+
+    /// Throws CheckError carrying summary() when the audit found violations.
+    void enforce() const;
+};
+
+}  // namespace pgf::analysis

@@ -1,0 +1,63 @@
+// DES audit hook: attaches to a pgf::sim::Simulator and machine-checks the
+// engine invariants the cluster model (paper Sec. 3.5) depends on.
+//
+//   - dispatch timestamps never decrease (causality: the simulated clock
+//     only moves forward);
+//   - no event schedules a successor into the past;
+//   - after mark_teardown(), no further events may be scheduled or fired
+//     (events still pending at teardown are also reported).
+//
+// Violations are recorded as findings, not thrown, so a simulation run can
+// complete and the full report surfaces every breach at once. While a
+// DesAudit is attached it also installs a CheckReportScope: if a PGF_CHECK
+// inside the simulator trips (e.g. scheduling into the past), the raised
+// CheckError carries this audit's partial report.
+#pragma once
+
+#include "pgf/analysis/report.hpp"
+#include "pgf/sim/des.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf::analysis {
+
+class DesAudit {
+public:
+    /// Installs itself as `sim`'s observer. The simulator must outlive the
+    /// audit (or the audit's detach() must run first).
+    explicit DesAudit(sim::Simulator& sim);
+
+    /// Detaches from the simulator (idempotent).
+    ~DesAudit();
+
+    DesAudit(const DesAudit&) = delete;
+    DesAudit& operator=(const DesAudit&) = delete;
+
+    /// Declares the simulation finished: any later schedule or dispatch is
+    /// recorded as a "sim.teardown.*" finding, and events still pending now
+    /// are reported immediately.
+    void mark_teardown();
+
+    /// Stops observing without destroying the collected report.
+    void detach();
+
+    std::size_t events_dispatched() const { return dispatched_; }
+    std::size_t events_scheduled() const { return scheduled_; }
+
+    /// The findings collected so far.
+    const ValidationReport& report() const { return report_; }
+
+private:
+    void on_schedule(sim::SimTime when, sim::SimTime now);
+    void on_dispatch(sim::SimTime when, std::size_t pending);
+
+    sim::Simulator* sim_;
+    ValidationReport report_;
+    detail::CheckReportScope scope_;
+    sim::SimTime last_dispatch_;
+    std::size_t dispatched_ = 0;
+    std::size_t scheduled_ = 0;
+    bool torn_down_ = false;
+    bool attached_ = true;
+};
+
+}  // namespace pgf::analysis

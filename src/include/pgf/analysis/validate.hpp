@@ -1,0 +1,71 @@
+// Deep invariant checkers for the dimension-erased structures: grid-file
+// structural snapshots and declustering assignments.
+//
+// These audits are the machine-checked counterpart of the informal
+// invariants the paper's algorithms rely on: the directory tiles the grid
+// exactly, merged-bucket regions are rectangular and disjoint, every bucket
+// lands on exactly one disk, and conflict resolution only ever picks a disk
+// from the bucket's candidate set. They are callable from tests, from
+// `pgfcli validate`, and from any pipeline stage that wants a paranoia
+// barrier before trusting a structure it was handed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/analysis/report.hpp"
+#include "pgf/decluster/index_based.hpp"
+#include "pgf/decluster/types.hpp"
+#include "pgf/gridfile/structure.hpp"
+
+namespace pgf::analysis {
+
+/// Audits a structural snapshot.
+///
+/// kFast: dimensionality agreement, non-empty domain/shape, per-bucket cell
+///   boxes inside the grid, regions non-empty and inside the domain, and
+///   total bucket cell count == grid cell count.
+/// kStandard: exact tiling — every grid cell covered by exactly one bucket
+///   (reconstructs the directory; reports both owners of a doubly-covered
+///   cell and the coordinates of uncovered cells).
+/// kDeep: implied linear-scale reconstruction — every grid line must have a
+///   single consistent data-space coordinate across all buckets touching
+///   it, the per-axis boundary sequences must be strictly increasing
+///   (sorted/unique splits), and they must start/end exactly at the domain.
+ValidationReport audit_structure(const GridStructure& gs,
+                                 ValidationLevel level);
+
+/// Declared bounds for an assignment audit. Zero-valued fields are not
+/// checked (most declustering methods in the paper promise no worst-case
+/// load bound; the index-based round-robin schemes promise ceil(B/M)).
+struct AssignmentAuditOptions {
+    /// Maximum buckets on one disk (0 = skip).
+    std::size_t max_bucket_load = 0;
+    /// Maximum data-balance ratio B_max·M / B_total (0 = skip). 1.0 means
+    /// perfectly even record counts.
+    double max_data_imbalance = 0.0;
+};
+
+/// Audits a disk assignment against the structure it declusters.
+///
+/// kFast: num_disks >= 1, every bucket assigned (size match), every disk id
+///   in range.
+/// kStandard: per-disk load accounting plus the declared bounds above; with
+///   more buckets than disks, also flags completely idle disks.
+/// kDeep: record-weighted load accounting for the data-imbalance bound
+///   (exact recomputation of the paper's data-balance metric).
+ValidationReport audit_assignment(const GridStructure& gs,
+                                  const Assignment& assignment,
+                                  ValidationLevel level,
+                                  const AssignmentAuditOptions& options = {});
+
+/// Audits conflict-resolution postconditions: one candidate set per bucket,
+/// candidate multiplicities summing to the bucket's cell count, candidate
+/// disk ids sorted/unique/in range, the resolved disk a member of the
+/// bucket's candidate set, and unambiguous buckets resolved to their only
+/// candidate.
+ValidationReport audit_conflict_resolution(
+    const GridStructure& gs, const std::vector<CandidateSet>& candidates,
+    const Assignment& assignment);
+
+}  // namespace pgf::analysis

@@ -22,9 +22,25 @@ class Simulator {
 public:
     using Handler = std::function<void()>;
 
+    /// Audit instrumentation points. An observer (e.g.
+    /// pgf::analysis::DesAudit) sees every schedule and dispatch, so it can
+    /// verify engine invariants — non-decreasing dispatch timestamps, no
+    /// activity after teardown — without the engine paying for bookkeeping
+    /// when nothing is attached.
+    struct Observer {
+        std::function<void(SimTime when, SimTime now)> on_schedule;
+        std::function<void(SimTime when, std::size_t pending)> on_dispatch;
+    };
+
+    /// Installs `obs` (replacing any previous observer). The observer must
+    /// outlive the simulator or be cleared first.
+    void set_observer(Observer obs) { observer_ = std::move(obs); }
+    void clear_observer() { observer_ = Observer{}; }
+
     /// Schedules `fn` at absolute time `t` (must be >= now()). Events at
     /// equal times fire in scheduling order (stable FIFO tie-break).
     void schedule_at(SimTime t, Handler fn) {
+        if (observer_.on_schedule) observer_.on_schedule(t, now_);
         PGF_CHECK(t >= now_, "cannot schedule into the past");
         queue_.push(Event{t, seq_++, std::move(fn)});
     }
@@ -47,6 +63,9 @@ public:
         while (!queue_.empty() && processed < max_events) {
             Event ev = queue_.top();
             queue_.pop();
+            if (observer_.on_dispatch) {
+                observer_.on_dispatch(ev.time, queue_.size());
+            }
             now_ = ev.time;
             ++processed;
             ev.fn();
@@ -69,6 +88,7 @@ private:
     std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
     SimTime now_ = 0.0;
     std::uint64_t seq_ = 0;
+    Observer observer_;
 };
 
 }  // namespace pgf::sim

@@ -5,6 +5,7 @@
 // experiment harness relies on them to catch mis-configured runs.
 #pragma once
 
+#include <functional>
 #include <stdexcept>
 #include <string>
 
@@ -12,9 +13,23 @@ namespace pgf {
 
 /// Error thrown when a PGF_CHECK fails. Derives from std::logic_error since
 /// a failed check always indicates a programming or configuration error.
+///
+/// When the failing check fired inside a pgf::analysis audit (or any other
+/// scope that installed a CheckReportScope), the auditor's report text is
+/// appended to what() and also available separately via report().
 class CheckError : public std::logic_error {
 public:
     explicit CheckError(const std::string& what) : std::logic_error(what) {}
+    CheckError(const std::string& what, std::string report)
+        : std::logic_error(report.empty() ? what : what + "\n" + report),
+          report_(std::move(report)) {}
+
+    /// Validator report attached by the enclosing CheckReportScope (empty
+    /// when the check fired outside any audit).
+    const std::string& report() const { return report_; }
+
+private:
+    std::string report_;
 };
 
 namespace detail {
@@ -22,6 +37,27 @@ namespace detail {
 /// macro expansion stays small at every call site.
 [[noreturn]] void check_failed(const char* expr, const char* file, int line,
                                const std::string& message);
+
+/// RAII scope that attaches diagnostic context to CheckError: while an
+/// instance is alive on this thread, any failing PGF_CHECK calls `render`
+/// and appends its text to the thrown error. Scopes nest; the innermost
+/// scope renders first. pgf::analysis audits install one so that a check
+/// tripping mid-audit surfaces the subsystem's partial validator report.
+class CheckReportScope {
+public:
+    explicit CheckReportScope(std::function<std::string()> render);
+    ~CheckReportScope();
+
+    CheckReportScope(const CheckReportScope&) = delete;
+    CheckReportScope& operator=(const CheckReportScope&) = delete;
+
+    std::string render() const { return render_(); }
+    const CheckReportScope* parent() const { return parent_; }
+
+private:
+    std::function<std::string()> render_;
+    CheckReportScope* parent_;
+};
 }  // namespace detail
 
 }  // namespace pgf

@@ -4,12 +4,32 @@
 
 namespace pgf::detail {
 
+namespace {
+// Innermost active report scope of this thread (intrusive stack; each scope
+// remembers its parent). Thread-local so concurrent audits don't interleave
+// their context.
+thread_local CheckReportScope* g_report_scope = nullptr;
+}  // namespace
+
+CheckReportScope::CheckReportScope(std::function<std::string()> render)
+    : render_(std::move(render)), parent_(g_report_scope) {
+    g_report_scope = this;
+}
+
+CheckReportScope::~CheckReportScope() { g_report_scope = parent_; }
+
 void check_failed(const char* expr, const char* file, int line,
                   const std::string& message) {
     std::ostringstream os;
     os << "PGF_CHECK failed: (" << expr << ") at " << file << ":" << line
        << " — " << message;
-    throw CheckError(os.str());
+    std::string report;
+    for (const CheckReportScope* scope = g_report_scope; scope != nullptr;
+         scope = scope->parent()) {
+        if (!report.empty()) report += "\n";
+        report += scope->render();
+    }
+    throw CheckError(os.str(), report);
 }
 
 }  // namespace pgf::detail

@@ -1,0 +1,114 @@
+// Tests for the live-GridFile audit, including corrupted files assembled
+// through GridFile<D>::restore that the cheaper load-time checks accept.
+#include "pgf/analysis/grid_file_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf::analysis {
+namespace {
+
+bool has_finding(const ValidationReport& r, const std::string& invariant) {
+    return std::any_of(
+        r.findings.begin(), r.findings.end(),
+        [&](const Finding& f) { return f.invariant == invariant; });
+}
+
+TEST(AuditGridFile, GrownFilePassesDeep) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 6;
+    GridFile<2> gf(domain, cfg);
+    Rng rng(11);
+    for (std::uint64_t id = 0; id < 1500; ++id) {
+        gf.insert(Point<2>{{rng.uniform(), rng.uniform()}}, id);
+    }
+    ValidationReport r = audit_grid_file(gf, ValidationLevel::kDeep);
+    EXPECT_TRUE(r.ok()) << r.summary();
+    EXPECT_GT(r.checks_run, gf.bucket_count());
+}
+
+/// A 1-D two-cell grid file assembled by hand: domain [0, 1), split at 0.5,
+/// one bucket per cell. `left`/`right` are the record coordinates placed in
+/// the respective buckets — pass a coordinate on the wrong side to corrupt.
+GridFile<1> two_cell_file(std::vector<double> left,
+                          std::vector<double> right) {
+    Rect<1> domain{{{0.0}}, {{1.0}}};
+    LinearScale scale(0.0, 1.0);
+    EXPECT_TRUE(scale.insert_split(0.5, nullptr));
+    GridFile<1>::Bucket b0, b1;
+    b0.cells.lo = {0};
+    b0.cells.hi = {1};
+    b1.cells.lo = {1};
+    b1.cells.hi = {2};
+    std::uint64_t id = 0;
+    for (double x : left) b0.records.push_back({Point<1>{{x}}, id++});
+    for (double x : right) b1.records.push_back({Point<1>{{x}}, id++});
+    GridFile<1>::Config cfg;
+    cfg.bucket_capacity = 4;
+    return GridFile<1>::restore(domain, cfg, {scale},
+                                {std::move(b0), std::move(b1)});
+}
+
+TEST(AuditGridFile, RestoredCleanFilePasses) {
+    GridFile<1> gf = two_cell_file({0.1, 0.3}, {0.6, 0.9});
+    ValidationReport r = audit_grid_file(gf, ValidationLevel::kDeep);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditGridFile, DeepDetectsMisplacedRecord) {
+    // 0.7 sits in the right cell but is stored in the left bucket; the
+    // restore tiling checks cannot see this, only the per-record pass can.
+    GridFile<1> gf = two_cell_file({0.1, 0.7}, {0.6, 0.9});
+    EXPECT_TRUE(audit_grid_file(gf, ValidationLevel::kStandard).ok());
+    ValidationReport r = audit_grid_file(gf, ValidationLevel::kDeep);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.record.misplaced")) << r.summary();
+}
+
+TEST(AuditGridFile, FlagsOverCapacityMergedBucket) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    LinearScale sx(0.0, 1.0), sy(0.0, 1.0);
+    EXPECT_TRUE(sx.insert_split(0.5, nullptr));
+    // One merged bucket spans both cells and exceeds capacity: the grid
+    // file contract says it should have been split along the grid line.
+    GridFile<2>::Bucket merged;
+    merged.cells.lo = {0, 0};
+    merged.cells.hi = {2, 1};
+    Rng rng(3);
+    for (std::uint64_t id = 0; id < 5; ++id) {
+        merged.records.push_back({Point<2>{{rng.uniform(), rng.uniform()}}, id});
+    }
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 3;
+    GridFile<2> gf = GridFile<2>::restore(domain, cfg, {sx, sy}, {merged});
+    ValidationReport r = audit_grid_file(gf, ValidationLevel::kFast);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.bucket.oversized_merged"))
+        << r.summary();
+}
+
+TEST(AuditGridFile, LevelsAreMonotonicInWork) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2> gf(domain);
+    Rng rng(5);
+    for (std::uint64_t id = 0; id < 800; ++id) {
+        gf.insert(Point<2>{{rng.uniform(), rng.uniform()}}, id);
+    }
+    const std::size_t fast =
+        audit_grid_file(gf, ValidationLevel::kFast).checks_run;
+    const std::size_t standard =
+        audit_grid_file(gf, ValidationLevel::kStandard).checks_run;
+    const std::size_t deep =
+        audit_grid_file(gf, ValidationLevel::kDeep).checks_run;
+    EXPECT_LT(fast, standard);
+    EXPECT_LT(standard, deep);
+}
+
+}  // namespace
+}  // namespace pgf::analysis

@@ -1,0 +1,100 @@
+// Tests for the DES audit hook: clean runs stay clean, teardown violations
+// and leftover events are reported, and engine-level PGF_CHECK failures
+// carry the audit's report.
+#include "pgf/analysis/sim_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+namespace pgf::analysis {
+namespace {
+
+bool has_finding(const ValidationReport& r, const std::string& invariant) {
+    return std::any_of(
+        r.findings.begin(), r.findings.end(),
+        [&](const Finding& f) { return f.invariant == invariant; });
+}
+
+TEST(DesAudit, CleanRunHasNoFindings) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    int fired = 0;
+    sim.schedule_at(1.0, [&] {
+        ++fired;
+        sim.schedule_in(0.5, [&] { ++fired; });
+    });
+    sim.schedule_at(2.0, [&] { ++fired; });
+    EXPECT_EQ(sim.run(), 3u);
+    audit.mark_teardown();
+    EXPECT_EQ(fired, 3);
+    EXPECT_EQ(audit.events_dispatched(), 3u);
+    EXPECT_EQ(audit.events_scheduled(), 3u);
+    EXPECT_TRUE(audit.report().ok()) << audit.report().summary();
+    EXPECT_GT(audit.report().checks_run, 0u);
+}
+
+TEST(DesAudit, ReportsEventsPendingAtTeardown) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    sim.schedule_at(1.0, [] {});
+    sim.schedule_at(5.0, [] {});
+    EXPECT_EQ(sim.run(1), 1u);  // leaves the t=5 event queued
+    audit.mark_teardown();
+    EXPECT_FALSE(audit.report().ok());
+    EXPECT_TRUE(has_finding(audit.report(), "sim.teardown.pending"))
+        << audit.report().summary();
+}
+
+TEST(DesAudit, ReportsScheduleAfterTeardown) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    sim.schedule_at(1.0, [] {});
+    sim.run();
+    audit.mark_teardown();
+    sim.schedule_at(9.0, [] {});
+    EXPECT_TRUE(has_finding(audit.report(), "sim.teardown.schedule"))
+        << audit.report().summary();
+}
+
+TEST(DesAudit, ReportsDispatchAfterTeardown) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    sim.schedule_at(1.0, [] {});
+    audit.mark_teardown();  // also reports the pending event
+    sim.run();
+    EXPECT_TRUE(has_finding(audit.report(), "sim.teardown.dispatch"))
+        << audit.report().summary();
+}
+
+TEST(DesAudit, EngineCheckFailureCarriesAuditReport) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    sim.schedule_at(3.0, [] {});
+    sim.run();
+    try {
+        sim.schedule_at(1.0, [] {});  // into the past: engine PGF_CHECK fires
+        FAIL() << "scheduling into the past must throw";
+    } catch (const CheckError& e) {
+        EXPECT_FALSE(e.report().empty());
+        EXPECT_NE(e.report().find("[sim]"), std::string::npos) << e.report();
+        EXPECT_NE(std::string(e.what()).find("sim.causality.schedule"),
+                  std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(DesAudit, DetachStopsObserving) {
+    sim::Simulator sim;
+    DesAudit audit(sim);
+    sim.schedule_at(1.0, [] {});
+    audit.detach();
+    audit.mark_teardown();
+    sim.schedule_at(2.0, [] {});  // unobserved: no finding
+    EXPECT_FALSE(has_finding(audit.report(), "sim.teardown.schedule"));
+    sim.run();
+}
+
+}  // namespace
+}  // namespace pgf::analysis

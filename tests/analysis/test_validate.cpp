@@ -1,0 +1,271 @@
+// Unit tests for the pgf::analysis structure and declustering audits,
+// including negative paths over deliberately corrupted structures.
+#include "pgf/analysis/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf::analysis {
+namespace {
+
+bool has_finding(const ValidationReport& r, const std::string& invariant) {
+    return std::any_of(r.findings.begin(), r.findings.end(),
+                       [&](const Finding& f) { return f.invariant == invariant; });
+}
+
+GridStructure small_grid() {
+    return make_cartesian_structure({4, 4}, {0.0, 0.0}, {1.0, 1.0}, 3);
+}
+
+TEST(AuditStructure, CleanCartesianPassesEveryLevel) {
+    GridStructure gs = small_grid();
+    for (ValidationLevel level :
+         {ValidationLevel::kFast, ValidationLevel::kStandard,
+          ValidationLevel::kDeep}) {
+        ValidationReport r = audit_structure(gs, level);
+        EXPECT_TRUE(r.ok()) << r.summary();
+        EXPECT_GT(r.checks_run, 0u);
+    }
+}
+
+TEST(AuditStructure, CleanGridFileSnapshotPassesDeep) {
+    Rect<2> domain{{{0.0, 0.0}}, {{1.0, 1.0}}};
+    GridFile<2>::Config cfg;
+    cfg.bucket_capacity = 8;
+    GridFile<2> gf(domain, cfg);
+    Rng rng(7);
+    for (std::uint64_t id = 0; id < 500; ++id) {
+        gf.insert(Point<2>{{rng.uniform(), rng.uniform()}}, id);
+    }
+    ValidationReport r =
+        audit_structure(gf.structure(), ValidationLevel::kDeep);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditStructure, DetectsOverlappingBuckets) {
+    GridStructure gs = small_grid();
+    gs.buckets.push_back(gs.buckets.front());  // duplicate owner of cell 0
+    ValidationReport r = audit_structure(gs, ValidationLevel::kStandard);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.coverage.total")) << r.summary();
+    EXPECT_TRUE(has_finding(r, "gridfile.coverage.overlap")) << r.summary();
+}
+
+TEST(AuditStructure, DetectsUncoveredCells) {
+    GridStructure gs = small_grid();
+    gs.buckets.pop_back();
+    ValidationReport r = audit_structure(gs, ValidationLevel::kStandard);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.coverage.hole")) << r.summary();
+}
+
+TEST(AuditStructure, DetectsCellBoxOutOfGrid) {
+    GridStructure gs = small_grid();
+    gs.buckets[5].cell_hi[0] = 9;  // beyond the 4-cell axis
+    ValidationReport r = audit_structure(gs, ValidationLevel::kFast);
+    EXPECT_TRUE(has_finding(r, "gridfile.bucket.cellbox")) << r.summary();
+}
+
+TEST(AuditStructure, DetectsRegionOutsideDomain) {
+    GridStructure gs = small_grid();
+    gs.buckets[2].region_hi[1] = 2.5;
+    ValidationReport r = audit_structure(gs, ValidationLevel::kFast);
+    EXPECT_TRUE(has_finding(r, "gridfile.bucket.region.domain")) << r.summary();
+}
+
+TEST(AuditStructure, DeepDetectsInconsistentImpliedScales) {
+    GridStructure gs = small_grid();
+    // Nudge one bucket's lower boundary off the grid line every other
+    // bucket in its column agrees on. Fast/standard cannot see this; the
+    // deep implied-scale reconstruction must.
+    for (auto& b : gs.buckets) {
+        if (b.cell_lo[0] == 1 && b.cell_lo[1] == 2) b.region_lo[0] = 0.26;
+    }
+    EXPECT_TRUE(audit_structure(gs, ValidationLevel::kStandard).ok());
+    ValidationReport r = audit_structure(gs, ValidationLevel::kDeep);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.scale.inconsistent")) << r.summary();
+}
+
+TEST(AuditStructure, DeepDetectsDomainAnchorDrift) {
+    // 1-D, two cells: shift the whole first column off the domain lower
+    // bound. All boundaries stay consistent and strictly increasing, so
+    // only the domain anchor check can notice.
+    GridStructure gs = make_cartesian_structure({2}, {0.0}, {1.0}, 1);
+    gs.buckets[0].region_lo[0] = 0.1;
+    ValidationReport r = audit_structure(gs, ValidationLevel::kDeep);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "gridfile.scale.domain_lo")) << r.summary();
+}
+
+TEST(AuditAssignment, RoundRobinPassesWithDeclaredBounds) {
+    GridStructure gs = small_grid();
+    Assignment a;
+    a.num_disks = 4;
+    for (std::uint32_t b = 0; b < gs.bucket_count(); ++b) {
+        a.disk_of.push_back(b % a.num_disks);
+    }
+    AssignmentAuditOptions bounds;
+    bounds.max_bucket_load = 4;       // 16 buckets over 4 disks
+    bounds.max_data_imbalance = 1.0;  // uniform records_per_cell
+    ValidationReport r =
+        audit_assignment(gs, a, ValidationLevel::kDeep, bounds);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditAssignment, DetectsIncompleteAssignment) {
+    GridStructure gs = small_grid();
+    Assignment a;
+    a.num_disks = 4;
+    a.disk_of.assign(gs.bucket_count() - 3, 0);
+    ValidationReport r = audit_assignment(gs, a, ValidationLevel::kFast);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "decluster.assignment.incomplete"))
+        << r.summary();
+}
+
+TEST(AuditAssignment, DetectsUnknownDisk) {
+    GridStructure gs = small_grid();
+    Assignment a;
+    a.num_disks = 4;
+    a.disk_of.assign(gs.bucket_count(), 0);
+    a.disk_of[7] = 99;
+    ValidationReport r = audit_assignment(gs, a, ValidationLevel::kFast);
+    EXPECT_TRUE(has_finding(r, "decluster.assignment.disk_range"))
+        << r.summary();
+}
+
+TEST(AuditAssignment, DetectsLoadBoundViolation) {
+    GridStructure gs = small_grid();
+    Assignment a;
+    a.num_disks = 4;
+    a.disk_of.assign(gs.bucket_count(), 2);  // everything on one disk
+    AssignmentAuditOptions bounds;
+    bounds.max_bucket_load = 4;
+    ValidationReport r =
+        audit_assignment(gs, a, ValidationLevel::kStandard, bounds);
+    EXPECT_TRUE(has_finding(r, "decluster.load.bound")) << r.summary();
+}
+
+TEST(AuditAssignment, DeepDetectsDataImbalance) {
+    GridStructure gs = small_grid();
+    Assignment a;
+    a.num_disks = 4;
+    a.disk_of.assign(gs.bucket_count(), 0);
+    for (std::uint32_t b = 0; b < 4; ++b) a.disk_of[b] = b;  // token spread
+    AssignmentAuditOptions bounds;
+    bounds.max_data_imbalance = 1.5;
+    ValidationReport r =
+        audit_assignment(gs, a, ValidationLevel::kDeep, bounds);
+    EXPECT_TRUE(has_finding(r, "decluster.balance.bound")) << r.summary();
+}
+
+TEST(AuditConflict, AcceptsResolutionInsideCandidateSets) {
+    GridStructure gs = small_grid();
+    std::vector<CandidateSet> candidates(gs.bucket_count());
+    Assignment a;
+    a.num_disks = 2;
+    for (std::uint32_t b = 0; b < gs.bucket_count(); ++b) {
+        candidates[b].disks = {b % 2};
+        candidates[b].counts = {1};
+        a.disk_of.push_back(b % 2);
+    }
+    ValidationReport r = audit_conflict_resolution(gs, candidates, a);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(AuditConflict, DetectsResolutionOutsideCandidateSet) {
+    GridStructure gs = small_grid();
+    std::vector<CandidateSet> candidates(gs.bucket_count());
+    Assignment a;
+    a.num_disks = 2;
+    for (std::uint32_t b = 0; b < gs.bucket_count(); ++b) {
+        candidates[b].disks = {b % 2};
+        candidates[b].counts = {1};
+        a.disk_of.push_back(b % 2);
+    }
+    a.disk_of[3] = 1 - a.disk_of[3];  // flip outside the candidate set
+    ValidationReport r = audit_conflict_resolution(gs, candidates, a);
+    EXPECT_FALSE(r.ok());
+    EXPECT_TRUE(has_finding(r, "decluster.conflict.postcondition"))
+        << r.summary();
+}
+
+TEST(AuditConflict, DetectsMultiplicityMismatch) {
+    GridStructure gs = small_grid();
+    std::vector<CandidateSet> candidates(gs.bucket_count());
+    Assignment a;
+    a.num_disks = 2;
+    for (std::uint32_t b = 0; b < gs.bucket_count(); ++b) {
+        candidates[b].disks = {b % 2};
+        candidates[b].counts = {1};
+        a.disk_of.push_back(b % 2);
+    }
+    candidates[6].counts = {5};  // bucket spans 1 cell, claims 5
+    ValidationReport r = audit_conflict_resolution(gs, candidates, a);
+    EXPECT_TRUE(has_finding(r, "decluster.conflict.multiplicity"))
+        << r.summary();
+}
+
+TEST(ValidationReport, MergeAccumulatesAndSummaryNames) {
+    ValidationReport a("one", ValidationLevel::kFast);
+    a.require(true, "x.pass", "");
+    ValidationReport b("two", ValidationLevel::kDeep);
+    b.require(false, "y.fail", "broken widget 42");
+    a.merge(b);
+    EXPECT_EQ(a.subsystem, "one");
+    EXPECT_EQ(a.level, ValidationLevel::kDeep);
+    EXPECT_EQ(a.checks_run, 2u);
+    EXPECT_FALSE(a.ok());
+    std::string text = a.summary();
+    EXPECT_NE(text.find("y.fail"), std::string::npos);
+    EXPECT_NE(text.find("broken widget 42"), std::string::npos);
+}
+
+TEST(ValidationReport, SummaryElidesBeyondLimit) {
+    ValidationReport r("many", ValidationLevel::kFast);
+    for (int i = 0; i < 30; ++i) {
+        r.require(false, "z.fail", "finding " + std::to_string(i));
+    }
+    std::string text = r.summary(5);
+    EXPECT_NE(text.find("finding 4"), std::string::npos);
+    EXPECT_EQ(text.find("finding 5"), std::string::npos);
+    EXPECT_NE(text.find("and 25 more"), std::string::npos);
+}
+
+TEST(ValidationReport, EnforceThrowsCheckErrorWithReport) {
+    ValidationReport clean("ok", ValidationLevel::kFast);
+    clean.require(true, "fine", "");
+    EXPECT_NO_THROW(clean.enforce());
+
+    ValidationReport bad("gridfile", ValidationLevel::kStandard);
+    bad.require(false, "gridfile.coverage.hole", "cell (1, 2) unowned");
+    try {
+        bad.enforce();
+        FAIL() << "enforce() must throw on findings";
+    } catch (const CheckError& e) {
+        std::string what = e.what();
+        EXPECT_NE(what.find("gridfile.coverage.hole"), std::string::npos);
+        EXPECT_NE(what.find("cell (1, 2) unowned"), std::string::npos);
+    }
+}
+
+TEST(ValidationLevelNames, RoundTrip) {
+    for (ValidationLevel level :
+         {ValidationLevel::kFast, ValidationLevel::kStandard,
+          ValidationLevel::kDeep}) {
+        ValidationLevel parsed = ValidationLevel::kFast;
+        ASSERT_TRUE(parse_validation_level(to_string(level), &parsed));
+        EXPECT_EQ(parsed, level);
+    }
+    ValidationLevel unused = ValidationLevel::kFast;
+    EXPECT_FALSE(parse_validation_level("paranoid", &unused));
+}
+
+}  // namespace
+}  // namespace pgf::analysis

@@ -39,6 +39,43 @@ TEST(Check, IsLogicError) {
     FAIL() << "CheckError must derive from std::logic_error";
 }
 
+TEST(CheckReportScope, AttachesContextToFailure) {
+    try {
+        detail::CheckReportScope scope([] {
+            return std::string("validator report: 3 findings");
+        });
+        PGF_CHECK(false, "boom");
+        FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+        EXPECT_EQ(e.report(), "validator report: 3 findings");
+        EXPECT_NE(std::string(e.what()).find("validator report: 3 findings"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+}
+
+TEST(CheckReportScope, NestedScopesRenderInnermostFirst) {
+    try {
+        detail::CheckReportScope outer([] { return std::string("outer"); });
+        detail::CheckReportScope inner([] { return std::string("inner"); });
+        PGF_CHECK(false, "nested");
+        FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+        EXPECT_EQ(e.report(), "inner\nouter");
+    }
+}
+
+TEST(CheckReportScope, NoContextOnceScopeEnds) {
+    { detail::CheckReportScope scope([] { return std::string("gone"); }); }
+    try {
+        PGF_CHECK(false, "after scope");
+        FAIL() << "should have thrown";
+    } catch (const CheckError& e) {
+        EXPECT_TRUE(e.report().empty());
+        EXPECT_EQ(std::string(e.what()).find("gone"), std::string::npos);
+    }
+}
+
 TEST(Check, ConditionEvaluatedOnce) {
     int calls = 0;
     auto counted = [&]() {

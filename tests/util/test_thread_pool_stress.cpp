@@ -1,0 +1,129 @@
+// Stress tests for ThreadPool: rapid task turnover across many sizes,
+// several pools driven concurrently from independent threads, and the
+// bit-identical pool-of-1 vs pool-of-N determinism contract the
+// declustering sweeps rely on. These are the tests the TSan preset runs to
+// certify the wakeup/completion protocol data-race-free.
+#include "pgf/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(ThreadPoolStress, AlternatingSizesCoverEveryIndex) {
+    // Back-to-back dispatches with wildly different n exercise the
+    // generation counter: a worker that oversleeps one task must not
+    // double-claim chunks of the next.
+    ThreadPool pool(3);
+    const std::size_t sizes[] = {1, 4097, 2, 63, 1024, 1, 7, 511};
+    std::atomic<std::uint64_t> sum{0};
+    std::uint64_t expected = 0;
+    for (int round = 0; round < 300; ++round) {
+        const std::size_t n = sizes[static_cast<std::size_t>(round) %
+                                    (sizeof(sizes) / sizeof(sizes[0]))];
+        pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+            std::uint64_t local = 0;
+            for (std::size_t i = begin; i < end; ++i) local += i + 1;
+            sum.fetch_add(local, std::memory_order_relaxed);
+        });
+        expected += static_cast<std::uint64_t>(n) * (n + 1) / 2;
+    }
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ThreadPoolStress, IndependentPoolsRunConcurrently) {
+    // One pool per driver thread: pools must not share any hidden global
+    // state, and each pool's protocol must hold while siblings churn.
+    constexpr int kDrivers = 4;
+    std::vector<std::uint64_t> totals(kDrivers, 0);
+    std::vector<std::thread> drivers;
+    drivers.reserve(kDrivers);
+    for (int t = 0; t < kDrivers; ++t) {
+        drivers.emplace_back([t, &totals] {
+            ThreadPool pool(2);
+            std::atomic<std::uint64_t> total{0};
+            for (int round = 0; round < 200; ++round) {
+                const std::size_t n =
+                    17 + static_cast<std::size_t>((t * 31 + round) % 400);
+                pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+                    total.fetch_add(end - begin, std::memory_order_relaxed);
+                });
+            }
+            totals[static_cast<std::size_t>(t)] = total.load();
+        });
+    }
+    std::uint64_t expected = 0;
+    for (int t = 0; t < kDrivers; ++t) {
+        for (int round = 0; round < 200; ++round) {
+            expected += 17 + static_cast<std::uint64_t>((t * 31 + round) % 400);
+        }
+    }
+    for (auto& d : drivers) d.join();
+    std::uint64_t got = 0;
+    for (std::uint64_t v : totals) got += v;
+    EXPECT_EQ(got, expected);
+}
+
+TEST(ThreadPoolStress, ArgminDeterministicAcrossPoolSizes) {
+    // parallel argmin (map_reduce) must return the same winner for a pool
+    // of 1 and a pool of N, over many shuffled inputs — the determinism
+    // guarantee that keeps the minimax declustering reproducible.
+    struct Best {
+        double val;
+        std::size_t idx;
+    };
+    Rng rng(99);
+    for (int round = 0; round < 20; ++round) {
+        const std::size_t n = 500 + static_cast<std::size_t>(round) * 137;
+        std::vector<double> xs(n);
+        for (auto& x : xs) x = rng.uniform();
+        // Plant duplicated minima to make tie-breaking observable.
+        const std::size_t a = n / 3, b = 2 * n / 3;
+        xs[a] = xs[b] = -1.0;
+
+        Best results[2];
+        unsigned sizes[2] = {1u, 4u};
+        for (int which = 0; which < 2; ++which) {
+            ThreadPool pool(sizes[which]);
+            results[which] = pool.map_reduce(
+                n, Best{1e300, n},
+                [&](std::size_t begin, std::size_t end) {
+                    Best local{1e300, n};
+                    for (std::size_t i = begin; i < end; ++i) {
+                        if (xs[i] < local.val) local = Best{xs[i], i};
+                    }
+                    return local;
+                },
+                [](const Best& acc, const Best& v) {
+                    return v.val < acc.val ? v : acc;
+                });
+        }
+        ASSERT_EQ(results[0].idx, results[1].idx) << "round " << round;
+        ASSERT_EQ(results[0].idx, a);
+        ASSERT_DOUBLE_EQ(results[0].val, results[1].val);
+    }
+}
+
+TEST(ThreadPoolStress, ZeroAndOneItemUnderChurn) {
+    ThreadPool pool(5);
+    std::atomic<int> ones{0};
+    for (int round = 0; round < 500; ++round) {
+        pool.parallel_for(0, [&](std::size_t, std::size_t) { ones += 1000; });
+        pool.parallel_for(1, [&](std::size_t begin, std::size_t end) {
+            EXPECT_EQ(begin, 0u);
+            EXPECT_EQ(end, 1u);
+            ones.fetch_add(1, std::memory_order_relaxed);
+        });
+    }
+    EXPECT_EQ(ones.load(), 500);
+}
+
+}  // namespace
+}  // namespace pgf

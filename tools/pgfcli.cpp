@@ -17,10 +17,18 @@
 //                    [--method minimax] [--page-size 4096]
 //       Full deployment: decluster, rebuild the records as one-bucket-per-
 //       page stores, and write one page file per disk (prefix.disk<k>).
+//   pgfcli validate --file store.pgf [--level fast|standard|deep]
+//                   [--assignment a.csv --disks M]
+//       Runs the pgf::analysis invariant checkers over a persisted grid
+//       file (and optionally a bucket->disk assignment CSV as written by
+//       `decluster --out`). Exit 0 = clean, 1 = findings or unreadable.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
+#include "pgf/analysis/grid_file_audit.hpp"
+#include "pgf/analysis/validate.hpp"
 #include "pgf/core/declusterer.hpp"
 #include "pgf/storage/gridfile_io.hpp"
 #include "pgf/storage/paged_grid_file.hpp"
@@ -35,7 +43,8 @@ namespace {
 using namespace pgf;
 
 int usage() {
-    std::cerr << "usage: pgfcli <gen|build|info|query|decluster|partition> "
+    std::cerr << "usage: pgfcli "
+                 "<gen|build|info|query|decluster|partition|validate> "
                  "[flags]\n"
               << "run with a command and no flags for its required flags\n";
     return 2;
@@ -284,6 +293,73 @@ int partition_impl(const Cli& cli, const std::string& file) {
     return 0;
 }
 
+/// Reads a bucket->disk CSV (as written by `decluster --out`): optional
+/// header line, then "bucket,disk" rows. Buckets the CSV never names stay
+/// unassigned, which the audit reports.
+Assignment read_assignment_csv(const std::string& path,
+                               std::uint32_t num_disks) {
+    std::ifstream in(path);
+    PGF_CHECK(in.good(), "cannot open assignment CSV " + path);
+    Assignment a;
+    a.num_disks = num_disks;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        std::size_t comma = line.find(',');
+        if (comma == std::string::npos) continue;
+        char* end = nullptr;
+        const std::string bucket_text = line.substr(0, comma);
+        std::uint64_t bucket = std::strtoull(bucket_text.c_str(), &end, 10);
+        if (end == bucket_text.c_str()) continue;  // header or junk row
+        std::uint64_t disk =
+            std::strtoull(line.c_str() + comma + 1, nullptr, 10);
+        if (bucket >= a.disk_of.size()) {
+            a.disk_of.resize(bucket + 1, ~std::uint32_t{0});
+        }
+        a.disk_of[bucket] = static_cast<std::uint32_t>(disk);
+    }
+    // A truncated CSV stays shorter than the structure (the audit flags the
+    // size mismatch); don't pad it into looking complete.
+    return a;
+}
+
+template <std::size_t D>
+int validate_impl(const Cli& cli, const std::string& file) {
+    analysis::ValidationLevel level = analysis::ValidationLevel::kDeep;
+    const std::string level_text = cli.get_string("level", "deep");
+    if (!analysis::parse_validation_level(level_text, &level)) {
+        std::cerr << "unknown --level '" << level_text
+                  << "' (expected fast|standard|deep)\n";
+        return 2;
+    }
+
+    GridFile<D> gf = load_grid_file<D>(file);
+    analysis::ValidationReport report = analysis::audit_grid_file(gf, level);
+    GridStructure gs = gf.structure();
+    report.merge(analysis::audit_structure(gs, level));
+
+    std::string assignment_csv = cli.get_string("assignment", "");
+    if (!assignment_csv.empty()) {
+        auto disks = static_cast<std::uint32_t>(cli.get_int("disks", 0));
+        if (disks == 0) {
+            std::cerr << "validate --assignment requires --disks <M>\n";
+            return 2;
+        }
+        Assignment a = read_assignment_csv(assignment_csv, disks);
+        report.merge(analysis::audit_assignment(gs, a, level));
+    }
+
+    std::cout << report.summary() << "\n";
+    if (!report.ok()) {
+        std::cerr << "validate: " << report.findings.size()
+                  << " invariant violation(s) in " << file << "\n";
+        return 1;
+    }
+    std::cout << "validate: OK (" << report.checks_run << " checks at level "
+              << analysis::to_string(level) << ")\n";
+    return 0;
+}
+
 int cmd_partition(const Cli& cli) {
     std::string file = cli.get_string("file", "");
     if (file.empty()) {
@@ -313,6 +389,17 @@ int dispatch_dims(const Cli& cli, const std::string& file) {
             std::cerr << "unsupported dimensionality in " << file << "\n";
             return 2;
     }
+}
+
+int cmd_validate(const Cli& cli) {
+    std::string file = cli.get_string("file", "");
+    if (file.empty()) {
+        std::cerr << "validate requires --file <pgf> [--level deep] "
+                     "[--assignment a.csv --disks M]\n";
+        return 2;
+    }
+    return dispatch_dims<validate_impl<2>, validate_impl<3>,
+                         validate_impl<4>, validate_impl<1>>(cli, file);
 }
 
 int cmd_info(const Cli& cli) {
@@ -363,6 +450,7 @@ int main(int argc, char** argv) {
         if (command == "query") return cmd_query(cli);
         if (command == "decluster") return cmd_decluster(cli);
         if (command == "partition") return cmd_partition(cli);
+        if (command == "validate") return cmd_validate(cli);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;
