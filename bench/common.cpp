@@ -1,18 +1,57 @@
 #include "common.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <thread>
 
 namespace pgf::bench {
+namespace {
+
+unsigned default_threads() {
+    if (const char* env = std::getenv("PGF_THREADS")) {
+        const long v = std::atol(env);
+        if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0;  // resolved to hardware concurrency
+}
+
+/// Minimal JSON string escaping (paths and sweep names only).
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
 
 Options::Options(int argc, const char* const* argv) {
     Cli cli(argc, argv);
     csv_dir = cli.get_string("csv-dir", "");
     queries = static_cast<std::size_t>(cli.get_int("queries", 1000));
     seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    threads = static_cast<unsigned>(
+        cli.get_int("threads", static_cast<std::int64_t>(default_threads())));
+    bench_json = cli.get_string("bench-json", "");
     const char* env = std::getenv("PGF_FULL_SCALE");
     full_scale = cli.get_bool("full", env != nullptr &&
                                           std::string(env) == "1");
+}
+
+unsigned Options::resolved_threads() const {
+    if (threads != 0) return threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
 }
 
 void print_banner(const Options& opt, const std::string& experiment,
@@ -43,6 +82,60 @@ std::vector<std::uint32_t> disk_sweep() {
     std::vector<std::uint32_t> disks;
     for (std::uint32_t m = 4; m <= 32; m += 2) disks.push_back(m);
     return disks;
+}
+
+SweepHarness::SweepHarness(const Options& opt, std::string binary)
+    : opt_(opt), binary_(std::move(binary)) {
+    const unsigned threads = opt.resolved_threads();
+    if (threads > 1) {
+        // parallelism = workers + the calling thread.
+        pool_ = std::make_unique<ThreadPool>(threads - 1);
+    }
+    runner_ = SweepRunner(pool_.get(), opt.seed);
+}
+
+double SweepHarness::now_ms() {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+void SweepHarness::record(const std::string& name, const SweepStats& stats) {
+    entries_.push_back(Entry{name, stats.tasks, stats.wall_ms});
+}
+
+void SweepHarness::record_wall(const std::string& name, double wall_ms) {
+    entries_.push_back(Entry{name, 0, wall_ms});
+}
+
+bool SweepHarness::write_timings() const {
+    if (opt_.bench_json.empty()) return true;
+    std::ofstream out(opt_.bench_json);
+    if (!out) {
+        std::cerr << "[bench-json] FAILED to write " << opt_.bench_json
+                  << "\n";
+        return false;
+    }
+    double total = 0.0;
+    for (const Entry& e : entries_) total += e.wall_ms;
+    out << "{\n"
+        << "  \"schema\": \"pgf-bench-sweep-v1\",\n"
+        << "  \"binary\": \"" << json_escape(binary_) << "\",\n"
+        << "  \"threads\": " << opt_.resolved_threads() << ",\n"
+        << "  \"seed\": " << opt_.seed << ",\n"
+        << "  \"queries\": " << opt_.queries << ",\n"
+        << "  \"total_wall_ms\": " << total << ",\n"
+        << "  \"sweeps\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry& e = entries_[i];
+        out << "    {\"name\": \"" << json_escape(e.name)
+            << "\", \"tasks\": " << e.tasks << ", \"wall_ms\": " << e.wall_ms
+            << "}" << (i + 1 < entries_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    // stderr so stdout stays byte-identical across harness configurations.
+    std::cerr << "[bench-json] " << opt_.bench_json << "\n";
+    return true;
 }
 
 }  // namespace pgf::bench

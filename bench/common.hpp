@@ -1,23 +1,34 @@
 // Shared plumbing for the experiment harness: option parsing, dataset
-// workbenches, the disk-count sweep the paper uses, and CSV emission.
+// workbenches, the disk-count sweep the paper uses, CSV emission, and the
+// parallel sweep harness every figure/table binary fans its configurations
+// through.
 //
 // Every bench binary runs with no arguments and prints the paper's
 // rows/series. Optional flags:
-//   --csv-dir <dir>   also write each table as CSV into <dir>
-//   --queries <n>     queries per configuration (default 1000, the paper's)
-//   --seed <s>        dataset/workload base seed
-//   --full            full paper scale for the SP-2 experiment
-//                     (also enabled by PGF_FULL_SCALE=1 in the environment)
+//   --csv-dir <dir>     also write each table as CSV into <dir>
+//   --queries <n>       queries per configuration (default 1000, the paper's)
+//   --seed <s>          dataset/workload base seed
+//   --threads <n>       sweep parallelism (default: PGF_THREADS env, else
+//                       hardware concurrency; 1 = serial). Output is
+//                       byte-identical at every thread count.
+//   --bench-json <f>    write machine-readable sweep timings to <f>
+//                       (BENCH_sweep.json schema, see tools/bench_diff)
+//   --full              full paper scale for the SP-2 experiment
+//                       (also enabled by PGF_FULL_SCALE=1 in the environment)
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "pgf/core/declusterer.hpp"
+#include "pgf/core/sweep.hpp"
 #include "pgf/disksim/simulator.hpp"
 #include "pgf/util/cli.hpp"
 #include "pgf/util/table.hpp"
+#include "pgf/util/thread_pool.hpp"
 #include "pgf/workload/datasets.hpp"
 #include "pgf/workload/query_gen.hpp"
 
@@ -27,9 +38,14 @@ struct Options {
     std::string csv_dir;
     std::size_t queries = 1000;
     std::uint64_t seed = 1;
+    unsigned threads = 0;  ///< 0 = hardware concurrency
+    std::string bench_json;
     bool full_scale = false;
 
     Options(int argc, const char* const* argv);
+
+    /// Thread count after resolving 0 to the hardware concurrency.
+    unsigned resolved_threads() const;
 };
 
 /// Prints the experiment banner: which paper table/figure is being
@@ -43,6 +59,62 @@ void emit(const Options& opt, const TextTable& table, const std::string& name);
 /// The paper's disk sweep: M = 4, 6, ..., 32.
 std::vector<std::uint32_t> disk_sweep();
 
+/// One worker pool + sweep engine + timing log per bench binary. The
+/// sweep() results come back in declaration order, so stdout/CSV bytes
+/// never depend on the thread count; wall-clock per sweep is recorded and,
+/// when --bench-json was given, written out by write_timings() (called by
+/// the binary at the end of its run).
+class SweepHarness {
+public:
+    SweepHarness(const Options& opt, std::string binary);
+
+    /// The shared pool (nullptr when running serially) — also handed to
+    /// Workbench::workload for parallel query-bucket collection.
+    ThreadPool* pool() { return pool_.get(); }
+
+    SweepRunner& runner() { return runner_; }
+
+    /// Fans fn(config, task) over the configurations and logs the sweep's
+    /// wall time under `name`.
+    template <typename Config, typename Fn>
+    auto sweep(const std::string& name, const std::vector<Config>& configs,
+               Fn&& fn) {
+        auto results = runner_.map(configs, std::forward<Fn>(fn));
+        record(name, runner_.last());
+        return results;
+    }
+
+    /// Times an arbitrary phase (e.g. workload collection) under `name`.
+    template <typename Fn>
+    auto timed(const std::string& name, Fn&& fn) {
+        const auto start = now_ms();
+        auto result = fn();
+        record_wall(name, now_ms() - start);
+        return result;
+    }
+
+    /// Writes BENCH_sweep.json when --bench-json is set; true on success
+    /// (or when disabled).
+    bool write_timings() const;
+
+private:
+    struct Entry {
+        std::string name;
+        std::size_t tasks = 0;
+        double wall_ms = 0.0;
+    };
+
+    static double now_ms();
+    void record(const std::string& name, const SweepStats& stats);
+    void record_wall(const std::string& name, double wall_ms);
+
+    const Options& opt_;
+    std::string binary_;
+    std::unique_ptr<ThreadPool> pool_;
+    SweepRunner runner_;
+    std::vector<Entry> entries_;
+};
+
 /// A dataset loaded into a grid file with its structural snapshot — the
 /// starting state of every simulation experiment.
 template <std::size_t D>
@@ -55,13 +127,15 @@ struct Workbench {
         : dataset(std::move(ds)), gf(dataset.build()), gs(gf.structure()) {}
 
     /// Precollects the bucket sets of a fresh random square-query workload
-    /// (reused across every method/M configuration).
-    std::vector<std::vector<std::uint32_t>> workload(double ratio,
-                                                     std::size_t count,
-                                                     std::uint64_t seed) const {
+    /// (reused across every method/M configuration). A pool fans the
+    /// grid-file lookups across threads; the result is bit-identical to
+    /// the serial collection.
+    std::vector<std::vector<std::uint32_t>> workload(
+        double ratio, std::size_t count, std::uint64_t seed,
+        ThreadPool* pool = nullptr) const {
         Rng rng(seed);
         return collect_query_buckets(
-            gf, square_queries(dataset.domain, ratio, count, rng));
+            gf, square_queries(dataset.domain, ratio, count, rng), pool);
     }
 
     std::string summary() const {

@@ -12,8 +12,23 @@
 namespace pgf::bench {
 namespace {
 
+const std::vector<ConflictHeuristic> kHeuristics{
+    ConflictHeuristic::kRandom, ConflictHeuristic::kMostFrequent,
+    ConflictHeuristic::kDataBalance, ConflictHeuristic::kAreaBalance};
+
+struct Config {
+    std::uint32_t disks = 0;
+    ConflictHeuristic heuristic = ConflictHeuristic::kRandom;
+};
+
+struct Cell {
+    double response = 0.0;
+    double optimal = 0.0;
+};
+
 int run(int argc, char** argv) {
     Options opt(argc, argv);
+    SweepHarness harness(opt, "fig3_conflict_resolution");
     print_banner(opt, "Figure 3 — conflict resolution heuristics (hot.2d)",
                  "avg response time (buckets) of 1000 square queries, "
                  "r = 0.05; data balance should win, HCAM should be "
@@ -21,34 +36,45 @@ int run(int argc, char** argv) {
     Rng rng(opt.seed);
     Workbench<2> bench(make_hotspot2d(rng));
     std::cout << bench.summary() << "\n";
-    auto qb = bench.workload(0.05, opt.queries, opt.seed + 1000);
+    auto qb = harness.timed("workload_hot2d", [&] {
+        return bench.workload(0.05, opt.queries, opt.seed + 1000,
+                              harness.pool());
+    });
 
-    const std::vector<ConflictHeuristic> heuristics{
-        ConflictHeuristic::kRandom, ConflictHeuristic::kMostFrequent,
-        ConflictHeuristic::kDataBalance, ConflictHeuristic::kAreaBalance};
+    std::vector<Config> configs;
+    for (std::uint32_t m : disk_sweep()) {
+        for (ConflictHeuristic h : kHeuristics) configs.push_back({m, h});
+    }
 
     for (Method method : {Method::kHilbert, Method::kFieldwiseXor,
                           Method::kDiskModulo}) {
+        auto cells = harness.sweep(
+            "fig3_" + to_string(method), configs,
+            [&](const Config& c, const SweepTask&) {
+                DeclusterOptions dopt;
+                dopt.heuristic = c.heuristic;
+                dopt.seed = opt.seed + 7;
+                Assignment a = decluster(bench.gs, method, c.disks, dopt);
+                WorkloadStats s = evaluate_workload(qb, a);
+                return Cell{s.avg_response, s.optimal};
+            });
+
         TextTable table({"disks", "random", "most-freq", "data-bal",
                          "area-bal", "optimal"});
+        std::size_t idx = 0;
         for (std::uint32_t m : disk_sweep()) {
             std::vector<std::string> row{std::to_string(m)};
             double optimal = 0.0;
-            for (ConflictHeuristic h : heuristics) {
-                DeclusterOptions dopt;
-                dopt.heuristic = h;
-                dopt.seed = opt.seed + 7;
-                Assignment a = decluster(bench.gs, method, m, dopt);
-                WorkloadStats s = evaluate_workload(qb, a);
-                row.push_back(format_double(s.avg_response));
-                optimal = s.optimal;
+            for (std::size_t k = 0; k < kHeuristics.size(); ++k, ++idx) {
+                row.push_back(format_double(cells[idx].response));
+                optimal = cells[idx].optimal;
             }
             row.push_back(format_double(optimal));
             table.add_row(std::move(row));
         }
         emit(opt, table, "fig3_" + to_string(method) + "_hot2d");
     }
-    return 0;
+    return harness.write_timings() ? 0 : 1;
 }
 
 }  // namespace

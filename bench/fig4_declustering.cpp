@@ -12,20 +12,48 @@
 namespace pgf::bench {
 namespace {
 
-void panel(const Options& opt, const Workbench<2>& bench) {
-    auto qb = bench.workload(0.05, opt.queries, opt.seed + 2000);
+const std::vector<Method> kMethods{Method::kDiskModulo, Method::kFieldwiseXor,
+                                   Method::kHilbert};
+
+struct Config {
+    std::uint32_t disks = 0;
+    Method method = Method::kDiskModulo;
+};
+
+struct Cell {
+    double response = 0.0;
+    double optimal = 0.0;
+};
+
+void panel(const Options& opt, SweepHarness& harness,
+           const Workbench<2>& bench) {
+    auto qb = harness.timed("workload_" + bench.dataset.name, [&] {
+        return bench.workload(0.05, opt.queries, opt.seed + 2000,
+                              harness.pool());
+    });
+
+    std::vector<Config> configs;
+    for (std::uint32_t m : disk_sweep()) {
+        for (Method method : kMethods) configs.push_back({m, method});
+    }
+    auto cells = harness.sweep(
+        "fig4_" + bench.dataset.name, configs,
+        [&](const Config& c, const SweepTask&) {
+            DeclusterOptions dopt;  // data balance is the default heuristic
+            dopt.seed = opt.seed + 11;
+            Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
+            WorkloadStats s = evaluate_workload(qb, a);
+            return Cell{s.avg_response, s.optimal};
+        });
+
     TextTable table({"disks", "DM/D", "FX/D", "HCAM/D", "optimal"});
+    std::size_t idx = 0;
     for (std::uint32_t m : disk_sweep()) {
         std::vector<std::string> row{std::to_string(m)};
         double optimal = 0.0;
-        for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
-                              Method::kHilbert}) {
-            DeclusterOptions dopt;  // data balance is the default heuristic
-            dopt.seed = opt.seed + 11;
-            Assignment a = decluster(bench.gs, method, m, dopt);
-            WorkloadStats s = evaluate_workload(qb, a);
-            row.push_back(format_double(s.avg_response));
-            optimal = s.optimal;
+        for (std::size_t k = 0; k < kMethods.size(); ++k, ++idx) {
+            row.push_back(format_double(cells[idx].response));
+            optimal = cells[idx].optimal;
         }
         row.push_back(format_double(optimal));
         table.add_row(std::move(row));
@@ -35,6 +63,7 @@ void panel(const Options& opt, const Workbench<2>& bench) {
 
 int run(int argc, char** argv) {
     Options opt(argc, argv);
+    SweepHarness harness(opt, "fig4_declustering");
     print_banner(opt, "Figure 4 — declustering algorithms with data balance",
                  "avg response time (buckets), 1000 square queries, r = 0.05; "
                  "DM wins small M, saturates; HCAM wins large M");
@@ -42,9 +71,9 @@ int run(int argc, char** argv) {
     for (auto maker : {&make_uniform2d, &make_hotspot2d, &make_correl2d}) {
         Workbench<2> bench(maker(rng, 10000));
         std::cout << "\n" << bench.summary() << "\n";
-        panel(opt, bench);
+        panel(opt, harness, bench);
     }
-    return 0;
+    return harness.write_timings() ? 0 : 1;
 }
 
 }  // namespace

@@ -1,10 +1,19 @@
 // Micro benchmarks (google-benchmark): throughput of the primitives the
 // experiment pipeline leans on — Hilbert mapping, proximity evaluation,
-// grid-file insertion and range queries, and each declustering algorithm.
+// grid-file insertion and range queries (allocating and scratch-reusing
+// paths), workload evaluation, and each declustering algorithm.
+//
+// `--csv-dir <dir>` additionally writes <dir>/BENCH_micro.json
+// (google-benchmark's JSON format; compare runs with tools/bench_diff).
+// All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
 
 #include "pgf/decluster/registry.hpp"
 #include "pgf/decluster/weights.hpp"
+#include "pgf/disksim/simulator.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/sfc/hilbert.hpp"
 #include "pgf/util/rng.hpp"
@@ -91,6 +100,46 @@ void BM_GridFileRangeQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_GridFileRangeQuery);
 
+void BM_GridFileRangeQueryScratch(benchmark::State& state) {
+    // The allocation-free hot path: same workload as BM_GridFileRangeQuery
+    // but with an epoch-stamped QueryScratch and a reused output vector.
+    Rng rng(4);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridFile<2> gf = ds.build();
+    Rng qrng(5);
+    auto queries = square_queries(ds.domain, 0.05, 512, qrng);
+    QueryScratch scratch;
+    std::vector<std::uint32_t> out;
+    std::size_t q = 0;
+    for (auto _ : state) {
+        gf.query_buckets(queries[q], scratch, out);
+        benchmark::DoNotOptimize(out.data());
+        q = (q + 1) % queries.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridFileRangeQueryScratch);
+
+void BM_EvaluateWorkload(benchmark::State& state) {
+    // The inner loop of every sweep configuration: precollected bucket
+    // sets evaluated against one assignment (epoch-stamped per-disk
+    // counters, no per-query histogram allocation).
+    Rng rng(4);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridFile<2> gf = ds.build();
+    Rng qrng(5);
+    auto qb = collect_query_buckets(
+        gf, square_queries(ds.domain, 0.05, 1000, qrng));
+    Assignment a =
+        decluster(gf.structure(), Method::kHilbert, 16, {.seed = 7});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(evaluate_workload(qb, a));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(qb.size()));
+}
+BENCHMARK(BM_EvaluateWorkload);
+
 void BM_Decluster(benchmark::State& state) {
     const Method method = static_cast<Method>(state.range(0));
     const auto disks = static_cast<std::uint32_t>(state.range(1));
@@ -133,3 +182,35 @@ BENCHMARK(BM_MinimaxScalesQuadratically)
 
 }  // namespace
 }  // namespace pgf
+
+// Custom main instead of benchmark_main: translates the harness-wide
+// `--csv-dir <dir>` convention into google-benchmark's JSON file output
+// (<dir>/BENCH_micro.json) so CI can archive machine-readable timings.
+int main(int argc, char** argv) {
+    std::vector<std::string> args;
+    args.reserve(static_cast<std::size_t>(argc) + 2);
+    std::string csv_dir;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--csv-dir" && i + 1 < argc) {
+            csv_dir = argv[++i];
+        } else if (arg.rfind("--csv-dir=", 0) == 0) {
+            csv_dir = arg.substr(std::string("--csv-dir=").size());
+        } else {
+            args.push_back(arg);
+        }
+    }
+    if (!csv_dir.empty()) {
+        args.push_back("--benchmark_out=" + csv_dir + "/BENCH_micro.json");
+        args.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char*> argv2;
+    argv2.reserve(args.size());
+    for (std::string& a : args) argv2.push_back(a.data());
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

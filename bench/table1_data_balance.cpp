@@ -14,6 +14,7 @@ namespace {
 
 int run(int argc, char** argv) {
     Options opt(argc, argv);
+    SweepHarness harness(opt, "table1_data_balance");
     print_banner(opt, "Table 1 — degree of data balance (hot.2d)",
                  "B_max * M / B_sum per declustering method with the data "
                  "balance heuristic; 1.00 = perfect");
@@ -21,32 +22,41 @@ int run(int argc, char** argv) {
     Workbench<2> bench(make_hotspot2d(rng));
     std::cout << bench.summary() << "\n";
 
-    TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",
-                     "20", "22", "24", "26", "28", "30", "32"});
-    for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
-                          Method::kHilbert}) {
-        std::vector<std::string> row{to_string(method) + "/D"};
-        for (std::uint32_t m = 4; m <= 32; m += 2) {
+    // The paper's text also reports minimax achieving perfect balance; it
+    // rides along as a reference row.
+    const std::vector<Method> methods{Method::kDiskModulo,
+                                      Method::kFieldwiseXor, Method::kHilbert,
+                                      Method::kMinimax};
+    struct Config {
+        Method method = Method::kDiskModulo;
+        std::uint32_t disks = 0;
+    };
+    std::vector<Config> configs;
+    for (Method method : methods) {
+        for (std::uint32_t m : disk_sweep()) configs.push_back({method, m});
+    }
+    auto balances = harness.sweep(
+        "table1_hot2d", configs, [&](const Config& c, const SweepTask&) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 11;
-            Assignment a = decluster(bench.gs, method, m, dopt);
-            row.push_back(format_double(degree_of_data_balance(a)));
-        }
-        table.add_row(std::move(row));
-    }
-    // The paper's text also reports minimax achieving perfect balance; add
-    // it as a reference row.
-    {
-        std::vector<std::string> row{"MiniMax"};
-        for (std::uint32_t m = 4; m <= 32; m += 2) {
-            Assignment a = decluster(bench.gs, Method::kMinimax, m,
-                                     {.seed = opt.seed + 11});
-            row.push_back(format_double(degree_of_data_balance(a)));
+            Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
+            return degree_of_data_balance(a);
+        });
+
+    TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",
+                     "20", "22", "24", "26", "28", "30", "32"});
+    std::size_t idx = 0;
+    for (Method method : methods) {
+        std::vector<std::string> row{method == Method::kMinimax
+                                         ? to_string(method)
+                                         : to_string(method) + "/D"};
+        for (std::size_t k = 0; k < disk_sweep().size(); ++k, ++idx) {
+            row.push_back(format_double(balances[idx]));
         }
         table.add_row(std::move(row));
     }
     emit(opt, table, "table1_data_balance_hot2d");
-    return 0;
+    return harness.write_timings() ? 0 : 1;
 }
 
 }  // namespace

@@ -13,23 +13,40 @@
 namespace pgf::bench {
 namespace {
 
+const std::vector<Method> kMethods{Method::kDiskModulo, Method::kFieldwiseXor,
+                                   Method::kHilbert, Method::kSsp,
+                                   Method::kMinimax};
+
 template <std::size_t D>
-void table_for(const Options& opt, const Workbench<D>& bench,
-               const std::string& label) {
+void table_for(const Options& opt, SweepHarness& harness,
+               const Workbench<D>& bench, const std::string& label) {
     std::cout << "\n" << bench.summary() << "\n";
+
+    struct Config {
+        Method method = Method::kDiskModulo;
+        std::uint32_t disks = 0;
+    };
+    std::vector<Config> configs;
+    for (Method method : kMethods) {
+        for (std::uint32_t m : disk_sweep()) configs.push_back({method, m});
+    }
+    auto pair_counts = harness.sweep(
+        label, configs, [&](const Config& c, const SweepTask&) {
+            DeclusterOptions dopt;
+            dopt.seed = opt.seed + 17;
+            Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
+            return closest_pairs_same_disk(bench.gs, a);
+        });
+
     TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",
                      "20", "22", "24", "26", "28", "30", "32"});
-    for (Method method : {Method::kDiskModulo, Method::kFieldwiseXor,
-                          Method::kHilbert, Method::kSsp, Method::kMinimax}) {
+    std::size_t idx = 0;
+    for (Method method : kMethods) {
         std::vector<std::string> row{
             is_index_based(method) ? to_string(method) + "/D"
                                    : to_string(method)};
-        for (std::uint32_t m = 4; m <= 32; m += 2) {
-            DeclusterOptions dopt;
-            dopt.seed = opt.seed + 17;
-            Assignment a = decluster(bench.gs, method, m, dopt);
-            row.push_back(
-                std::to_string(closest_pairs_same_disk(bench.gs, a)));
+        for (std::size_t k = 0; k < disk_sweep().size(); ++k, ++idx) {
+            row.push_back(std::to_string(pair_counts[idx]));
         }
         table.add_row(std::move(row));
     }
@@ -38,19 +55,20 @@ void table_for(const Options& opt, const Workbench<D>& bench,
 
 int run(int argc, char** argv) {
     Options opt(argc, argv);
+    SweepHarness harness(opt, "table23_closest_pairs");
     print_banner(opt, "Tables 2-3 — closest pairs mapped to the same disk",
                  "count of nearest-neighbor bucket pairs sharing a disk; "
                  "MiniMax should be at or near zero, DM/FX high");
     Rng rng(opt.seed);
     {
         Workbench<3> bench(make_dsmc3d(rng));
-        table_for(opt, bench, "table2_closest_pairs_dsmc3d");
+        table_for(opt, harness, bench, "table2_closest_pairs_dsmc3d");
     }
     {
         Workbench<3> bench(make_stock3d(rng));
-        table_for(opt, bench, "table3_closest_pairs_stock3d");
+        table_for(opt, harness, bench, "table3_closest_pairs_stock3d");
     }
-    return 0;
+    return harness.write_timings() ? 0 : 1;
 }
 
 }  // namespace

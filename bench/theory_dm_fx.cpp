@@ -19,22 +19,43 @@ namespace {
 
 int run(int argc, char** argv) {
     Options opt(argc, argv);
+    SweepHarness harness(opt, "theory_dm_fx");
     print_banner(opt, "Theorems 1-2 — analytic study of DM and FX",
                  "closed forms vs brute-force enumeration on Cartesian "
                  "product files");
 
+    struct DmConfig {
+        std::uint32_t l = 0;
+        std::uint32_t m = 0;
+    };
+    std::vector<DmConfig> dm_configs;
+    for (std::uint32_t l : {4u, 8u, 10u, 16u, 20u}) {
+        for (std::uint32_t m : {2u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u}) {
+            dm_configs.push_back({l, m});
+        }
+    }
+    struct DmCell {
+        DmPrediction prediction;
+        std::uint64_t exact = 0;
+        std::uint64_t optimal = 0;
+    };
+    auto dm_cells = harness.sweep(
+        "theorem1_dm", dm_configs, [&](const DmConfig& c, const SweepTask&) {
+            return DmCell{dm_theorem1(c.l, c.m), dm_response_exact(c.l, c.m),
+                          optimal_square_response(c.l, c.m)};
+        });
+
     TextTable t1({"l", "M", "theorem1", "exact", "optimal", "strictly opt",
                   "agree"});
     std::size_t disagreements = 0;
-    for (std::uint32_t l : {4u, 8u, 10u, 16u, 20u}) {
-        for (std::uint32_t m : {2u, 4u, 6u, 8u, 12u, 16u, 24u, 32u, 48u}) {
-            DmPrediction p = dm_theorem1(l, m);
-            std::uint64_t exact = dm_response_exact(l, m);
-            bool agree = p.response == exact;
-            disagreements += agree ? 0 : 1;
-            t1.add(l, m, p.response, exact, optimal_square_response(l, m),
-                   p.strictly_optimal ? "yes" : "no", agree ? "yes" : "NO");
-        }
+    for (std::size_t i = 0; i < dm_configs.size(); ++i) {
+        const DmCell& cell = dm_cells[i];
+        bool agree = cell.prediction.response == cell.exact;
+        disagreements += agree ? 0 : 1;
+        t1.add(dm_configs[i].l, dm_configs[i].m, cell.prediction.response,
+               cell.exact, cell.optimal,
+               cell.prediction.strictly_optimal ? "yes" : "no",
+               agree ? "yes" : "NO");
     }
     emit(opt, t1, "theorem1_dm");
     std::cout << (disagreements == 0
@@ -44,42 +65,78 @@ int run(int argc, char** argv) {
                             std::to_string(disagreements) +
                             " configurations (trust brute force).\n");
 
+    struct FxConfig {
+        unsigned m = 0;
+        unsigned n = 0;
+    };
+    std::vector<FxConfig> fx_configs;
+    for (unsigned m = 2; m <= 5; ++m) {
+        for (unsigned n = 1; n <= m + 3; ++n) fx_configs.push_back({m, n});
+    }
+    struct FxCell {
+        FxBounds bounds;
+        FxMeasurement measurement;
+    };
+    auto fx_cells = harness.sweep(
+        "theorem2_fx", fx_configs, [&](const FxConfig& c, const SweepTask&) {
+            const std::uint32_t l = 1u << c.m;
+            return FxCell{fx_theorem2(c.m, c.n),
+                          fx_response_measure(l, 1u << c.n,
+                                              std::max(4 * l, 64u))};
+        });
+
     TextTable t2({"l=2^m", "M=2^n", "regime", "bound lo", "bound hi",
                   "measured E[R]", "worst", "best", "within"});
-    for (unsigned m = 2; m <= 5; ++m) {
-        for (unsigned n = 1; n <= m + 3; ++n) {
-            const std::uint32_t l = 1u << m;
-            const std::uint32_t disks = 1u << n;
-            FxBounds b = fx_theorem2(m, n);
-            FxMeasurement meas =
-                fx_response_measure(l, disks, std::max(4 * l, 64u));
-            bool within = meas.expected >= b.lower - 1e-9 &&
-                          meas.expected <= b.upper + 1e-9;
-            t2.add(l, disks, b.exact ? "exact (i)" : "bounded (ii)",
-                   format_double(b.lower), format_double(b.upper),
-                   format_double(meas.expected), meas.worst, meas.best,
-                   within ? "yes" : "NO");
-        }
+    for (std::size_t i = 0; i < fx_configs.size(); ++i) {
+        const FxBounds& b = fx_cells[i].bounds;
+        const FxMeasurement& meas = fx_cells[i].measurement;
+        bool within = meas.expected >= b.lower - 1e-9 &&
+                      meas.expected <= b.upper + 1e-9;
+        t2.add(1u << fx_configs[i].m, 1u << fx_configs[i].n,
+               b.exact ? "exact (i)" : "bounded (ii)",
+               format_double(b.lower), format_double(b.upper),
+               format_double(meas.expected), meas.worst, meas.best,
+               within ? "yes" : "NO");
     }
     emit(opt, t2, "theorem2_fx");
 
     // Clause (iii): scaling floor when doubling disks beyond M = l.
-    TextTable t3({"l", "M -> 2M", "E[R](M)", "E[R](2M)", "ratio",
-                  ">= 0.75"});
+    struct FloorConfig {
+        unsigned m = 0;
+        unsigned n = 0;
+    };
+    std::vector<FloorConfig> floor_configs;
     for (unsigned m = 2; m <= 4; ++m) {
-        const std::uint32_t l = 1u << m;
         for (unsigned n = m + 1; n <= m + 3; ++n) {
-            FxMeasurement a = fx_response_measure(l, 1u << n, 4 * l);
-            FxMeasurement b = fx_response_measure(l, 1u << (n + 1), 4 * l);
-            double ratio = b.expected / a.expected;
-            t3.add(l, std::to_string(1u << n) + " -> " +
-                           std::to_string(1u << (n + 1)),
-                   format_double(a.expected), format_double(b.expected),
-                   format_double(ratio), ratio >= 0.75 - 1e-9 ? "yes" : "NO");
+            floor_configs.push_back({m, n});
         }
     }
+    struct FloorCell {
+        FxMeasurement at_m;
+        FxMeasurement at_2m;
+    };
+    auto floor_cells = harness.sweep(
+        "theorem2_fx_scaling_floor", floor_configs,
+        [&](const FloorConfig& c, const SweepTask&) {
+            const std::uint32_t l = 1u << c.m;
+            return FloorCell{fx_response_measure(l, 1u << c.n, 4 * l),
+                             fx_response_measure(l, 1u << (c.n + 1), 4 * l)};
+        });
+
+    TextTable t3({"l", "M -> 2M", "E[R](M)", "E[R](2M)", "ratio",
+                  ">= 0.75"});
+    for (std::size_t i = 0; i < floor_configs.size(); ++i) {
+        const FxMeasurement& a = floor_cells[i].at_m;
+        const FxMeasurement& b = floor_cells[i].at_2m;
+        double ratio = b.expected / a.expected;
+        t3.add(1u << floor_configs[i].m,
+               std::to_string(1u << floor_configs[i].n) + " -> " +
+                   std::to_string(1u << (floor_configs[i].n + 1)),
+               format_double(a.expected), format_double(b.expected),
+               format_double(ratio), ratio >= 0.75 - 1e-9 ? "yes" : "NO");
+    }
     emit(opt, t3, "theorem2_fx_scaling_floor");
-    return 0;
+    return harness.write_timings() ? 0 : 1;
 }
 
 }  // namespace

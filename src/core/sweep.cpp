@@ -1,0 +1,42 @@
+#include "pgf/core/sweep.hpp"
+
+#include <chrono>
+
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+std::uint64_t sweep_task_seed(std::uint64_t base_seed,
+                              std::size_t task_index) {
+    // Two SplitMix64 steps decorrelate (base, index) pairs that differ in
+    // only one component; a single xor would make adjacent tasks' streams
+    // related.
+    SplitMix64 mix(base_seed ^
+                   (0x9e3779b97f4a7c15ULL *
+                    (static_cast<std::uint64_t>(task_index) + 1)));
+    mix.next();
+    return mix.next();
+}
+
+void SweepRunner::run_indexed(
+    std::size_t n, const std::function<void(const SweepTask&)>& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    auto run_range = [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+            fn(SweepTask{i, sweep_task_seed(base_seed_, i)});
+        }
+    };
+    if (pool_ != nullptr && pool_->parallelism() > 1 && n > 1) {
+        pool_->parallel_for_chunk(n, 1, run_range);
+    } else {
+        run_range(0, n);
+    }
+    const auto stop = std::chrono::steady_clock::now();
+    last_.tasks = n;
+    last_.threads = threads();
+    last_.wall_ms =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    total_wall_ms_ += last_.wall_ms;
+}
+
+}  // namespace pgf

@@ -19,6 +19,26 @@ std::uint32_t response_time(const std::vector<std::uint32_t>& query_buckets,
     return worst;
 }
 
+std::uint32_t ResponseAccumulator::response_time(
+    const std::vector<std::uint32_t>& query_buckets, const Assignment& a) {
+    if (stamp_.size() < a.num_disks) {
+        stamp_.resize(a.num_disks, 0);
+        count_.resize(a.num_disks, 0);
+    }
+    ++epoch_;
+    std::uint32_t worst = 0;
+    for (std::uint32_t b : query_buckets) {
+        PGF_CHECK(b < a.disk_of.size(), "query references unknown bucket");
+        const std::uint32_t d = a.disk_of[b];
+        if (stamp_[d] != epoch_) {
+            stamp_[d] = epoch_;
+            count_[d] = 0;
+        }
+        worst = std::max(worst, ++count_[d]);
+    }
+    return worst;
+}
+
 double optimal_response(double avg_buckets_per_query, std::uint32_t num_disks) {
     PGF_CHECK(num_disks >= 1, "need at least one disk");
     return avg_buckets_per_query / num_disks;

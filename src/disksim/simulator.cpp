@@ -9,8 +9,9 @@ WorkloadStats evaluate_workload(
     stats.queries = query_buckets.size();
     OnlineStats response;
     OnlineStats touched;
+    ResponseAccumulator acc;
     for (const auto& buckets : query_buckets) {
-        response.add(response_time(buckets, a));
+        response.add(acc.response_time(buckets, a));
         touched.add(static_cast<double>(buckets.size()));
     }
     if (stats.queries > 0) {

@@ -16,6 +16,23 @@ namespace pgf {
 std::uint32_t response_time(const std::vector<std::uint32_t>& query_buckets,
                             const Assignment& a);
 
+/// Batched response-time evaluation: epoch-stamped per-disk counters, so a
+/// workload of thousands of queries builds no fresh histogram vector per
+/// query — the counters are lazily reset by stamp comparison instead of
+/// cleared. One accumulator per thread; not safe to share concurrently.
+class ResponseAccumulator {
+public:
+    /// Identical result to the free response_time(), reusing this
+    /// accumulator's counters across calls.
+    std::uint32_t response_time(
+        const std::vector<std::uint32_t>& query_buckets, const Assignment& a);
+
+private:
+    std::vector<std::uint64_t> stamp_;
+    std::vector<std::uint32_t> count_;
+    std::uint64_t epoch_ = 0;
+};
+
 /// The paper's "optimal response time" reference: average number of
 /// buckets accessed divided by the number of disks.
 double optimal_response(double avg_buckets_per_query, std::uint32_t num_disks);

@@ -18,6 +18,7 @@
 #include "pgf/disksim/metrics.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/util/stats.hpp"
+#include "pgf/util/thread_pool.hpp"
 
 namespace pgf {
 
@@ -32,13 +33,25 @@ struct WorkloadStats {
 };
 
 /// Buckets touched by each query (the grid-file lookups, done once).
+/// Passing a pool fans the lookups across its threads; result[i] always
+/// holds query i's buckets in the same order as the serial path, so the
+/// output is bit-identical at any thread count. Each chunk reuses one
+/// QueryScratch, so the per-query dedup allocation is amortized away.
 template <std::size_t D>
 std::vector<std::vector<std::uint32_t>> collect_query_buckets(
-    const GridFile<D>& gf, const std::vector<Rect<D>>& queries) {
-    std::vector<std::vector<std::uint32_t>> result;
-    result.reserve(queries.size());
-    for (const Rect<D>& q : queries) {
-        result.push_back(gf.query_buckets(q));
+    const GridFile<D>& gf, const std::vector<Rect<D>>& queries,
+    ThreadPool* pool = nullptr) {
+    std::vector<std::vector<std::uint32_t>> result(queries.size());
+    auto collect_range = [&](std::size_t begin, std::size_t end) {
+        QueryScratch scratch;
+        for (std::size_t i = begin; i < end; ++i) {
+            gf.query_buckets(queries[i], scratch, result[i]);
+        }
+    };
+    if (pool != nullptr && pool->parallelism() > 1 && queries.size() > 1) {
+        pool->parallel_for(queries.size(), collect_range);
+    } else {
+        collect_range(0, queries.size());
     }
     return result;
 }

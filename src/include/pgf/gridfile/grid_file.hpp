@@ -41,6 +41,35 @@ struct GridRecord {
     std::uint64_t id = 0;
 };
 
+/// Reusable cursor for the query hot path: an epoch-stamped visited array
+/// replaces the fresh `seen` vector (and its allocation) every query would
+/// otherwise pay. Bumping the epoch invalidates all stamps at once, so
+/// between queries nothing is cleared. One scratch per thread — instances
+/// must not be shared concurrently.
+class QueryScratch {
+public:
+    /// Starts a new query over a file with `bucket_count` buckets.
+    void begin(std::size_t bucket_count) {
+        if (stamp_.size() < bucket_count) stamp_.resize(bucket_count, 0);
+        ++epoch_;
+    }
+
+    /// True the first time bucket `b` is seen in the current query.
+    bool visit(std::uint32_t b) {
+        if (stamp_[b] == epoch_) return false;
+        stamp_[b] = epoch_;
+        return true;
+    }
+
+    /// Scratch buffer for bucket-id lists (used by the record-query paths
+    /// so they don't allocate a fresh id vector per query).
+    std::vector<std::uint32_t> buckets;
+
+private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t epoch_ = 0;
+};
+
 /// Where a grid refinement places the new split inside an overflowing cell.
 enum class SplitPolicy {
     kMidpoint,  ///< geometric midpoint of the cell interval (default)
@@ -159,36 +188,65 @@ public:
     /// Ids of the buckets whose region overlaps query box `q` — this is the
     /// unit of I/O the response-time metric counts.
     std::vector<BucketId> query_buckets(const Rect<D>& q) const {
+        QueryScratch scratch;
         std::vector<BucketId> out;
+        query_buckets(q, scratch, out);
+        return out;
+    }
+
+    /// Allocation-free variant of the hot path: appends the touched bucket
+    /// ids into `out` (cleared first) in the same first-visit cell order as
+    /// query_buckets(q), deduplicating through the caller's scratch. After
+    /// the first few queries neither `scratch` nor `out` reallocates.
+    void query_buckets(const Rect<D>& q, QueryScratch& scratch,
+                       std::vector<BucketId>& out) const {
+        out.clear();
         CellBox<D> box;
-        if (!query_cell_box(q, &box)) return out;
-        std::vector<char> seen(buckets_.size(), 0);
+        if (!query_cell_box(q, &box)) return;
+        scratch.begin(buckets_.size());
         for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
             BucketId b = dir_.at(cell);
-            if (!seen[b]) {
-                seen[b] = 1;
-                out.push_back(b);
-            }
+            if (scratch.visit(b)) out.push_back(b);
         });
-        return out;
     }
 
     /// Exact range query: records whose point lies in `q` (half-open).
     std::vector<GridRecord<D>> query_records(const Rect<D>& q) const {
+        QueryScratch scratch;
         std::vector<GridRecord<D>> out;
-        for (BucketId b : query_buckets(q)) {
+        query_records(q, scratch, out);
+        return out;
+    }
+
+    /// Scratch-reusing form of the exact range query; `out` is cleared and
+    /// reserved for the candidate count before filtering.
+    void query_records(const Rect<D>& q, QueryScratch& scratch,
+                       std::vector<GridRecord<D>>& out) const {
+        out.clear();
+        query_buckets(q, scratch, scratch.buckets);
+        out.reserve(candidate_records(scratch.buckets));
+        for (BucketId b : scratch.buckets) {
             for (const auto& r : buckets_[b].records) {
                 if (q.contains(r.point)) out.push_back(r);
             }
         }
-        return out;
     }
 
     /// Buckets a partial match query must read: specified attributes pin
     /// one scale interval, unspecified attributes span the whole axis.
     std::vector<BucketId> query_buckets(const PartialMatch<D>& q) const {
+        QueryScratch scratch;
+        std::vector<BucketId> out;
+        query_buckets(q, scratch, out);
+        return out;
+    }
+
+    /// Allocation-free partial-match bucket lookup (see the Rect variant).
+    void query_buckets(const PartialMatch<D>& q, QueryScratch& scratch,
+                       std::vector<BucketId>& out) const {
         PGF_CHECK(q.valid(),
                   "partial match must leave at least one attribute free");
+        out.clear();
         CellBox<D> box;
         for (std::size_t i = 0; i < D; ++i) {
             if (q.key[i].has_value()) {
@@ -200,22 +258,28 @@ public:
                 box.hi[i] = dir_.shape()[i];
             }
         }
-        std::vector<BucketId> out;
-        std::vector<char> seen(buckets_.size(), 0);
+        scratch.begin(buckets_.size());
         for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
             BucketId b = dir_.at(cell);
-            if (!seen[b]) {
-                seen[b] = 1;
-                out.push_back(b);
-            }
+            if (scratch.visit(b)) out.push_back(b);
         });
-        return out;
     }
 
     /// Records whose specified attributes match exactly.
     std::vector<GridRecord<D>> query_records(const PartialMatch<D>& q) const {
+        QueryScratch scratch;
         std::vector<GridRecord<D>> out;
-        for (BucketId b : query_buckets(q)) {
+        query_records(q, scratch, out);
+        return out;
+    }
+
+    /// Scratch-reusing form of the partial-match record query.
+    void query_records(const PartialMatch<D>& q, QueryScratch& scratch,
+                       std::vector<GridRecord<D>>& out) const {
+        out.clear();
+        query_buckets(q, scratch, scratch.buckets);
+        out.reserve(candidate_records(scratch.buckets));
+        for (BucketId b : scratch.buckets) {
             for (const auto& r : buckets_[b].records) {
                 bool match = true;
                 for (std::size_t i = 0; i < D && match; ++i) {
@@ -226,7 +290,6 @@ public:
                 if (match) out.push_back(r);
             }
         }
-        return out;
     }
 
     // -- structure accessors ------------------------------------------------
@@ -316,6 +379,15 @@ public:
     }
 
 private:
+    /// Total records held by the given buckets — the reserve() upper bound
+    /// for record-query results.
+    std::size_t candidate_records(
+        const std::vector<BucketId>& bucket_ids) const {
+        std::size_t n = 0;
+        for (BucketId b : bucket_ids) n += buckets_[b].records.size();
+        return n;
+    }
+
     void handle_overflow(BucketId overflowing) {
         // A split may leave one half still overflowing (skewed data), so
         // iterate until resolved or refinement becomes impossible.

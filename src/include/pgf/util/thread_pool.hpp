@@ -37,6 +37,14 @@ public:
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
+    /// Same, with a caller-chosen chunk size. chunk = 1 gives dynamic
+    /// per-index scheduling — the right granularity when the n work items
+    /// have very different durations (e.g. whole sweep configurations,
+    /// where a minimax run dwarfs a disk-modulo run).
+    void parallel_for_chunk(std::size_t n, std::size_t chunk,
+                            const std::function<void(std::size_t,
+                                                     std::size_t)>& fn);
+
     /// Deterministic parallel argmin: reduce(chunk_index, begin, end) maps
     /// each chunk to a value; combine(acc, value) folds them IN CHUNK ORDER
     /// on the calling thread. (Provided as a convenience built on

@@ -36,8 +36,14 @@ std::size_t ThreadPool::chunk_size(std::size_t n) const {
 
 void ThreadPool::parallel_for(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& fn) {
+    parallel_for_chunk(n, chunk_size(n), fn);
+}
+
+void ThreadPool::parallel_for_chunk(
+    std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
-    const std::size_t chunk = chunk_size(n);
+    PGF_CHECK(chunk >= 1, "parallel_for_chunk requires chunk >= 1");
     const std::size_t chunks = (n + chunk - 1) / chunk;
     {
         std::lock_guard<std::mutex> lock(mutex_);

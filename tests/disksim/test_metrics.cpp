@@ -27,6 +27,35 @@ TEST(ResponseTime, UnknownBucketThrows) {
     EXPECT_THROW(response_time({5}, a), CheckError);
 }
 
+TEST(ResponseAccumulator, MatchesFreeFunctionAcrossReuse) {
+    // The epoch-stamped accumulator must agree with the per-call histogram
+    // version on every query, with one accumulator reused throughout.
+    Assignment a = assign({0, 1, 0, 2, 1, 0, 2, 2}, 3);
+    ResponseAccumulator acc;
+    std::vector<std::vector<std::uint32_t>> queries{
+        {0, 1, 2, 3}, {}, {3}, {0, 1, 2, 3, 4, 5, 6, 7}, {4, 6, 7}, {0, 2, 5}};
+    for (const auto& q : queries) {
+        EXPECT_EQ(acc.response_time(q, a), response_time(q, a));
+    }
+}
+
+TEST(ResponseAccumulator, ReusableAcrossAssignmentsOfDifferentWidth) {
+    ResponseAccumulator acc;
+    Assignment narrow = assign({0, 1}, 2);
+    EXPECT_EQ(acc.response_time({0, 1}, narrow), 1u);
+    Assignment wide = assign({0, 1, 2, 3, 0, 1, 2, 3}, 4);
+    EXPECT_EQ(acc.response_time({0, 4}, wide), 2u);
+    EXPECT_EQ(acc.response_time({0, 1, 2, 3}, wide), 1u);
+    // Shrinking back must not read stale counters from the wide epoch.
+    EXPECT_EQ(acc.response_time({0}, narrow), 1u);
+}
+
+TEST(ResponseAccumulator, UnknownBucketThrows) {
+    ResponseAccumulator acc;
+    Assignment a = assign({0, 1}, 2);
+    EXPECT_THROW(acc.response_time({5}, a), CheckError);
+}
+
 TEST(OptimalResponse, AverageOverDisks) {
     EXPECT_DOUBLE_EQ(optimal_response(12.0, 4), 3.0);
     EXPECT_DOUBLE_EQ(optimal_response(10.0, 4), 2.5);

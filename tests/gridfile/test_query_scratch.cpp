@@ -1,0 +1,109 @@
+// QueryScratch equivalence: the allocation-free overloads of
+// query_buckets/query_records must return exactly what the allocating
+// convenience wrappers return — same buckets, same order — while a single
+// scratch object is reused across queries, query kinds, and grid files.
+#include "pgf/gridfile/grid_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "pgf/util/rng.hpp"
+#include "pgf/workload/datasets.hpp"
+#include "pgf/workload/query_gen.hpp"
+
+namespace pgf {
+namespace {
+
+TEST(QueryScratch, VisitDeduplicatesWithinAnEpoch) {
+    QueryScratch scratch;
+    scratch.begin(4);
+    EXPECT_TRUE(scratch.visit(2));
+    EXPECT_FALSE(scratch.visit(2));
+    EXPECT_TRUE(scratch.visit(0));
+    // New epoch forgets everything without clearing storage.
+    scratch.begin(4);
+    EXPECT_TRUE(scratch.visit(2));
+    // Growing the universe keeps already-stamped entries valid.
+    scratch.begin(8);
+    EXPECT_TRUE(scratch.visit(7));
+    EXPECT_FALSE(scratch.visit(7));
+}
+
+TEST(QueryScratch, RangeQueriesMatchAllocatingPath) {
+    Rng rng(11);
+    auto ds = make_hotspot2d(rng, 4000);
+    GridFile<2> gf = ds.build();
+    Rng qrng(12);
+    auto queries = square_queries(ds.domain, 0.08, 64, qrng);
+
+    QueryScratch scratch;
+    std::vector<std::uint32_t> buckets;
+    std::vector<GridRecord<2>> records;
+    for (const auto& q : queries) {
+        gf.query_buckets(q, scratch, buckets);
+        EXPECT_EQ(buckets, gf.query_buckets(q));
+        gf.query_records(q, scratch, records);
+        auto expected = gf.query_records(q);
+        ASSERT_EQ(records.size(), expected.size());
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            EXPECT_EQ(records[i].id, expected[i].id);
+        }
+    }
+}
+
+TEST(QueryScratch, PartialMatchQueriesMatchAllocatingPath) {
+    Rng rng(13);
+    auto ds = make_hotspot2d(rng, 4000);
+    GridFile<2> gf = ds.build();
+
+    QueryScratch scratch;
+    std::vector<std::uint32_t> buckets;
+    std::vector<GridRecord<2>> records;
+    Rng qrng(14);
+    for (int i = 0; i < 32; ++i) {
+        PartialMatch<2> q;
+        // Alternate which attribute is pinned.
+        std::size_t pinned = static_cast<std::size_t>(i) % 2;
+        q.key[pinned] = qrng.uniform(ds.domain.lo[pinned],
+                                     ds.domain.hi[pinned]);
+        gf.query_buckets(q, scratch, buckets);
+        EXPECT_EQ(buckets, gf.query_buckets(q));
+        gf.query_records(q, scratch, records);
+        auto expected = gf.query_records(q);
+        ASSERT_EQ(records.size(), expected.size());
+        for (std::size_t j = 0; j < records.size(); ++j) {
+            EXPECT_EQ(records[j].id, expected[j].id);
+        }
+    }
+}
+
+TEST(QueryScratch, ReusableAcrossGridFilesOfDifferentSizes) {
+    QueryScratch scratch;
+    std::vector<std::uint32_t> buckets;
+    Rng rng(15);
+    for (std::size_t n : {500u, 8000u, 1000u}) {
+        auto ds = make_hotspot2d(rng, n);
+        GridFile<2> gf = ds.build();
+        Rng qrng(16);
+        for (const auto& q : square_queries(ds.domain, 0.1, 16, qrng)) {
+            gf.query_buckets(q, scratch, buckets);
+            EXPECT_EQ(buckets, gf.query_buckets(q));
+        }
+    }
+}
+
+TEST(QueryScratch, EmptyQueryYieldsEmptyOutput) {
+    Rng rng(17);
+    auto ds = make_hotspot2d(rng, 1000);
+    GridFile<2> gf = ds.build();
+    QueryScratch scratch;
+    std::vector<std::uint32_t> buckets{99};  // stale content must be cleared
+    Rect<2> outside{{{-5.0, -5.0}}, {{-4.0, -4.0}}};
+    gf.query_buckets(outside, scratch, buckets);
+    EXPECT_TRUE(buckets.empty());
+}
+
+}  // namespace
+}  // namespace pgf

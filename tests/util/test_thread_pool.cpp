@@ -96,6 +96,30 @@ TEST(ThreadPool, MapReduceArgminIsDeterministic) {
     }
 }
 
+TEST(ThreadPool, ExplicitChunkCoversEveryIndexExactlyOnce) {
+    for (unsigned threads : {1u, 3u}) {
+        ThreadPool pool(threads);
+        for (std::size_t chunk : {1u, 3u, 64u}) {
+            const std::size_t n = 257;
+            std::vector<std::atomic<int>> hits(n);
+            pool.parallel_for_chunk(
+                n, chunk, [&](std::size_t begin, std::size_t end) {
+                    EXPECT_LE(end - begin, chunk);
+                    // Every range starts on a chunk boundary: tasks can key
+                    // per-chunk state off begin / chunk.
+                    EXPECT_EQ(begin % chunk, 0u);
+                    for (std::size_t i = begin; i < end; ++i) {
+                        hits[i].fetch_add(1, std::memory_order_relaxed);
+                    }
+                });
+            for (std::size_t i = 0; i < n; ++i) {
+                ASSERT_EQ(hits[i].load(), 1)
+                    << "chunk=" << chunk << " i=" << i;
+            }
+        }
+    }
+}
+
 TEST(ThreadPool, ManySmallDispatchesSurvive) {
     // Stress the wakeup/completion protocol with thousands of tiny tasks.
     ThreadPool pool(4);
