@@ -12,7 +12,8 @@ namespace pgf::bench {
 namespace {
 
 template <std::size_t D>
-void panel(const Options& opt, const Workbench<D>& bench, double ratio) {
+void panel(const Options& opt, const Workbench<D>& bench, double ratio,
+           ThreadPool* inner_pool) {
     std::cout << "\n" << bench.summary() << "\n";
     auto qb = bench.workload(ratio, opt.queries, opt.seed + 7000);
     TextTable table({"disks", "Hilbert", "Z-order", "Gray", "Scan",
@@ -24,6 +25,7 @@ void panel(const Options& opt, const Workbench<D>& bench, double ratio) {
                               Method::kGrayCode, Method::kScan}) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 37;
+            dopt.pool = inner_pool;  // ignored by these index-based methods
             Assignment a = decluster(bench.gs, method, m, dopt);
             WorkloadStats s = evaluate_workload(qb, a);
             row.push_back(format_double(s.avg_response));
@@ -41,14 +43,15 @@ int run(int argc, char** argv) {
                       "method",
                  "Hilbert vs Z-order vs Gray vs row-major scan, data-balance "
                  "conflict resolution, r = 0.05 (2-d) / 0.01 (3-d)");
+    auto inner_pool = make_inner_pool(opt);
     Rng rng(opt.seed);
     {
         Workbench<2> bench(make_hotspot2d(rng));
-        panel(opt, bench, 0.05);
+        panel(opt, bench, 0.05, inner_pool.get());
     }
     {
         Workbench<3> bench(make_stock3d(rng));
-        panel(opt, bench, 0.01);
+        panel(opt, bench, 0.01, inner_pool.get());
     }
     return 0;
 }

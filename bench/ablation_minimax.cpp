@@ -21,6 +21,7 @@ int run(int argc, char** argv) {
     print_banner(opt, "Ablation — minimax design choices",
                  "hot.2d, r = 0.01; average response time and closest-pair "
                  "quality under variations of weights/seeding/refinement");
+    auto inner_pool = make_inner_pool(opt);
     Rng rng(opt.seed);
     Workbench<2> bench(make_hotspot2d(rng));
     std::cout << bench.summary() << "\n";
@@ -43,11 +44,12 @@ int run(int argc, char** argv) {
                 mo.seed = opt.seed + 29;
                 mo.weight = w;
                 mo.seeding = s;
+                mo.pool = inner_pool.get();
                 Assignment a = minimax_decluster(bench.gs, m, mo);
                 WorkloadStats st = evaluate_workload(qb, a);
                 row.push_back(format_double(st.avg_response));
-                prow.push_back(
-                    std::to_string(closest_pairs_same_disk(bench.gs, a, w)));
+                prow.push_back(std::to_string(closest_pairs_same_disk(
+                    bench.gs, a, w, inner_pool.get())));
                 optimal = st.optimal;
             }
         }
@@ -62,16 +64,15 @@ int run(int argc, char** argv) {
     TextTable t2({"method", "response M=16", "after KL", "KL swaps",
                   "internal before", "internal after"});
     BucketWeights weights(bench.gs);
-    auto weight_fn = [&](std::size_t i, std::size_t j) {
-        return weights(i, j);
-    };
     for (Method method : {Method::kDiskModulo, Method::kHilbert, Method::kSsp,
                           Method::kMinimax}) {
         DeclusterOptions dopt;
         dopt.seed = opt.seed + 31;
+        dopt.pool = inner_pool.get();
         Assignment a = decluster(bench.gs, method, 16, dopt);
         double before = evaluate_workload(qb, a).avg_response;
-        KlResult kl = kl_refine(a.disk_of, a.num_disks, weight_fn, 4);
+        KlResult kl =
+            kl_refine(a.disk_of, a.num_disks, weights, 4, inner_pool.get());
         double after = evaluate_workload(qb, a).avg_response;
         t2.add(is_index_based(method) ? to_string(method) + "/D"
                                       : to_string(method),

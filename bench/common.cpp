@@ -17,6 +17,14 @@ unsigned default_threads() {
     return 0;  // resolved to hardware concurrency
 }
 
+unsigned default_inner_threads() {
+    if (const char* env = std::getenv("PGF_INNER_THREADS")) {
+        const long v = std::atol(env);
+        if (v >= 0) return static_cast<unsigned>(v);
+    }
+    return 1;  // inner scans stay serial unless asked for
+}
+
 /// Minimal JSON string escaping (paths and sweep names only).
 std::string json_escape(const std::string& s) {
     std::string out;
@@ -42,6 +50,8 @@ Options::Options(int argc, const char* const* argv) {
     seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
     threads = static_cast<unsigned>(
         cli.get_int("threads", static_cast<std::int64_t>(default_threads())));
+    inner_threads = static_cast<unsigned>(cli.get_int(
+        "inner-threads", static_cast<std::int64_t>(default_inner_threads())));
     bench_json = cli.get_string("bench-json", "");
     const char* env = std::getenv("PGF_FULL_SCALE");
     full_scale = cli.get_bool("full", env != nullptr &&
@@ -52,6 +62,19 @@ unsigned Options::resolved_threads() const {
     if (threads != 0) return threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+unsigned Options::resolved_inner_threads() const {
+    if (inner_threads != 0) return inner_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+std::unique_ptr<ThreadPool> make_inner_pool(const Options& opt) {
+    const unsigned threads = opt.resolved_inner_threads();
+    if (threads <= 1) return nullptr;
+    // parallelism = workers + the calling thread.
+    return std::make_unique<ThreadPool>(threads - 1);
 }
 
 void print_banner(const Options& opt, const std::string& experiment,
@@ -91,6 +114,7 @@ SweepHarness::SweepHarness(const Options& opt, std::string binary)
         // parallelism = workers + the calling thread.
         pool_ = std::make_unique<ThreadPool>(threads - 1);
     }
+    inner_pool_ = make_inner_pool(opt);
     runner_ = SweepRunner(pool_.get(), opt.seed);
 }
 
@@ -122,6 +146,7 @@ bool SweepHarness::write_timings() const {
         << "  \"schema\": \"pgf-bench-sweep-v1\",\n"
         << "  \"binary\": \"" << json_escape(binary_) << "\",\n"
         << "  \"threads\": " << opt_.resolved_threads() << ",\n"
+        << "  \"inner_threads\": " << opt_.resolved_inner_threads() << ",\n"
         << "  \"seed\": " << opt_.seed << ",\n"
         << "  \"queries\": " << opt_.queries << ",\n"
         << "  \"total_wall_ms\": " << total << ",\n"

@@ -11,6 +11,11 @@
 //   --threads <n>       sweep parallelism (default: PGF_THREADS env, else
 //                       hardware concurrency; 1 = serial). Output is
 //                       byte-identical at every thread count.
+//   --inner-threads <n> intra-algorithm parallelism: chunks the O(N^2)
+//                       minimax/proximity scans inside each declustering
+//                       run across a second pool (default: PGF_INNER_THREADS
+//                       env, else 1 = serial; 0 = hardware concurrency).
+//                       Output is byte-identical at every setting.
 //   --bench-json <f>    write machine-readable sweep timings to <f>
 //                       (BENCH_sweep.json schema, see tools/bench_diff)
 //   --full              full paper scale for the SP-2 experiment
@@ -39,6 +44,7 @@ struct Options {
     std::size_t queries = 1000;
     std::uint64_t seed = 1;
     unsigned threads = 0;  ///< 0 = hardware concurrency
+    unsigned inner_threads = 1;  ///< intra-algorithm scans; 0 = hw concurrency
     std::string bench_json;
     bool full_scale = false;
 
@@ -46,7 +52,16 @@ struct Options {
 
     /// Thread count after resolving 0 to the hardware concurrency.
     unsigned resolved_threads() const;
+
+    /// Inner-scan thread count after resolving 0 to hardware concurrency.
+    unsigned resolved_inner_threads() const;
 };
+
+/// The inner-scan pool for a bench binary, or nullptr when
+/// --inner-threads resolves to 1 (serial scans, the default). Shared by
+/// every declustering run; concurrent sweep tasks serialize on the pool's
+/// submit mutex.
+std::unique_ptr<ThreadPool> make_inner_pool(const Options& opt);
 
 /// Prints the experiment banner: which paper table/figure is being
 /// regenerated and with what workload.
@@ -71,6 +86,12 @@ public:
     /// The shared pool (nullptr when running serially) — also handed to
     /// Workbench::workload for parallel query-bucket collection.
     ThreadPool* pool() { return pool_.get(); }
+
+    /// The inner-scan pool for DeclusterOptions::pool (nullptr when
+    /// --inner-threads resolves to 1). Distinct from pool(): that one runs
+    /// whole sweep configurations, this one chunks the O(N^2) scans inside
+    /// a single declustering run.
+    ThreadPool* inner_pool() { return inner_pool_.get(); }
 
     SweepRunner& runner() { return runner_; }
 
@@ -111,6 +132,7 @@ private:
     const Options& opt_;
     std::string binary_;
     std::unique_ptr<ThreadPool> pool_;
+    std::unique_ptr<ThreadPool> inner_pool_;
     SweepRunner runner_;
     std::vector<Entry> entries_;
 };

@@ -54,6 +54,7 @@ int run(int argc, char** argv) {
                 DeclusterOptions dopt;
                 dopt.heuristic = c.heuristic;
                 dopt.seed = opt.seed + 7;
+                dopt.pool = harness.inner_pool();
                 Assignment a = decluster(bench.gs, method, c.disks, dopt);
                 WorkloadStats s = evaluate_workload(qb, a);
                 return Cell{s.avg_response, s.optimal};

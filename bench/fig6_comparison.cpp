@@ -44,6 +44,7 @@ void panel(const Options& opt, SweepHarness& harness,
         [&](const Config& c, const SweepTask&) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 13;
+            dopt.pool = harness.inner_pool();
             Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
             WorkloadStats s = evaluate_workload(qb, a);
             return Cell{s.avg_response, s.optimal};

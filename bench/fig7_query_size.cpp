@@ -48,6 +48,7 @@ int run(int argc, char** argv) {
         "fig7_stock3d", configs, [&](const Config& c, const SweepTask&) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 19;
+            dopt.pool = harness.inner_pool();
             Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
             return evaluate_workload(workloads[c.ratio_index], a)
                 .avg_response;

@@ -8,15 +8,19 @@
 // All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "pgf/decluster/registry.hpp"
+#include "pgf/decluster/similarity.hpp"
 #include "pgf/decluster/weights.hpp"
 #include "pgf/disksim/simulator.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/sfc/hilbert.hpp"
 #include "pgf/util/rng.hpp"
+#include "pgf/util/thread_pool.hpp"
 #include "pgf/workload/datasets.hpp"
 #include "pgf/workload/query_gen.hpp"
 
@@ -64,6 +68,163 @@ void BM_ProximityIndex(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_ProximityIndex);
+
+/// D-dimensional Cartesian structure with side^D buckets and a different
+/// domain extent per dimension (so no term degenerates to a constant).
+GridStructure kernel_structure(std::size_t dims, std::uint32_t side) {
+    std::vector<std::uint32_t> shape(dims, side);
+    std::vector<double> lo(dims, 0.0);
+    std::vector<double> hi(dims);
+    for (std::size_t i = 0; i < dims; ++i) {
+        hi[i] = static_cast<double>(side) * static_cast<double>(i + 1);
+    }
+    return make_cartesian_structure(shape, lo, hi);
+}
+
+std::string kernel_label(const GridStructure& gs) {
+    return "D=" + std::to_string(gs.dims()) +
+           " N=" + std::to_string(gs.bucket_count());
+}
+
+// Baseline the row kernels are judged against: one full weight row
+// computed through the scalar pair interface.
+void BM_ProximityRowScalar(benchmark::State& state) {
+    GridStructure gs =
+        kernel_structure(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::uint32_t>(state.range(1)));
+    BucketWeights w(gs);
+    const std::size_t n = w.size();
+    std::vector<double> row(n);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (std::size_t j = 0; j < n; ++j) row[j] = w(i, j);
+        benchmark::DoNotOptimize(row.data());
+        benchmark::ClobberMemory();
+        i = (i + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(kernel_label(gs));
+}
+BENCHMARK(BM_ProximityRowScalar)
+    ->Args({2, 32})->Args({2, 64})
+    ->Args({3, 11})->Args({3, 16})
+    ->Args({4, 6})->Args({4, 8});
+
+void BM_ProximityRowKernel(benchmark::State& state) {
+    GridStructure gs =
+        kernel_structure(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::uint32_t>(state.range(1)));
+    BucketWeights w(gs);
+    const std::size_t n = w.size();
+    std::vector<double> row(n);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        w.fill_row(i, row.data());
+        benchmark::DoNotOptimize(row.data());
+        benchmark::ClobberMemory();
+        i = (i + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(kernel_label(gs));
+}
+BENCHMARK(BM_ProximityRowKernel)
+    ->Args({2, 32})->Args({2, 64})
+    ->Args({3, 11})->Args({3, 16})
+    ->Args({4, 6})->Args({4, 8});
+
+void BM_ProximityTileKernel(benchmark::State& state) {
+    GridStructure gs =
+        kernel_structure(static_cast<std::size_t>(state.range(0)),
+                         static_cast<std::uint32_t>(state.range(1)));
+    BucketWeights w(gs);
+    const std::size_t n = w.size();
+    constexpr std::size_t kRows = 32;
+    std::vector<double> tile(kRows * n);
+    std::size_t r = 0;
+    std::int64_t items = 0;
+    for (auto _ : state) {
+        const std::size_t end = std::min(r + kRows, n);
+        w.fill_tile(r, end, 0, n, tile.data());
+        benchmark::DoNotOptimize(tile.data());
+        benchmark::ClobberMemory();
+        items += static_cast<std::int64_t>((end - r) * n);
+        r = end >= n ? 0 : end;
+    }
+    state.SetItemsProcessed(items);
+    state.SetLabel(kernel_label(gs));
+}
+BENCHMARK(BM_ProximityTileKernel)
+    ->Args({2, 64})->Args({3, 16})->Args({4, 8});
+
+void BM_CenterRowScalar(benchmark::State& state) {
+    GridStructure gs = kernel_structure(2, 64);
+    BucketWeights w(gs, WeightKind::kCenterSimilarity);
+    const std::size_t n = w.size();
+    std::vector<double> row(n);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        for (std::size_t j = 0; j < n; ++j) row[j] = w(i, j);
+        benchmark::DoNotOptimize(row.data());
+        benchmark::ClobberMemory();
+        i = (i + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(kernel_label(gs));
+}
+BENCHMARK(BM_CenterRowScalar);
+
+void BM_CenterRowKernel(benchmark::State& state) {
+    GridStructure gs = kernel_structure(2, 64);
+    BucketWeights w(gs, WeightKind::kCenterSimilarity);
+    const std::size_t n = w.size();
+    std::vector<double> row(n);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        w.fill_row(i, row.data());
+        benchmark::DoNotOptimize(row.data());
+        benchmark::ClobberMemory();
+        i = (i + 1) % n;
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(n));
+    state.SetLabel(kernel_label(gs));
+}
+BENCHMARK(BM_CenterRowKernel);
+
+// Whole-algorithm effect of the inner pool on a 4096-bucket structure
+// (the README Performance table is generated from these).
+void BM_MstInnerThreads(benchmark::State& state) {
+    const auto threads = static_cast<unsigned>(state.range(0));
+    GridStructure gs = kernel_structure(2, 64);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+    SimilarityOptions opt;
+    opt.pool = pool.get();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mst_decluster(gs, 16, opt));
+    }
+    state.SetLabel("N=" + std::to_string(gs.bucket_count()) +
+                   " inner-threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_MstInnerThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_SspInnerThreads(benchmark::State& state) {
+    const auto threads = static_cast<unsigned>(state.range(0));
+    GridStructure gs = kernel_structure(2, 64);
+    std::unique_ptr<ThreadPool> pool;
+    if (threads > 1) pool = std::make_unique<ThreadPool>(threads - 1);
+    SimilarityOptions opt;
+    opt.pool = pool.get();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ssp_decluster(gs, 16, opt));
+    }
+    state.SetLabel("N=" + std::to_string(gs.bucket_count()) +
+                   " inner-threads=" + std::to_string(threads));
+}
+BENCHMARK(BM_SspInnerThreads)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_GridFileInsert(benchmark::State& state) {
     Rng rng(3);

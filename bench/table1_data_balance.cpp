@@ -39,6 +39,7 @@ int run(int argc, char** argv) {
         "table1_hot2d", configs, [&](const Config& c, const SweepTask&) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 11;
+            dopt.pool = harness.inner_pool();
             Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
             return degree_of_data_balance(a);
         });

@@ -34,8 +34,11 @@ void table_for(const Options& opt, SweepHarness& harness,
         label, configs, [&](const Config& c, const SweepTask&) {
             DeclusterOptions dopt;
             dopt.seed = opt.seed + 17;
+            dopt.pool = harness.inner_pool();
             Assignment a = decluster(bench.gs, c.method, c.disks, dopt);
-            return closest_pairs_same_disk(bench.gs, a);
+            return closest_pairs_same_disk(bench.gs, a,
+                                           WeightKind::kProximityIndex,
+                                           harness.inner_pool());
         });
 
     TextTable table({"method", "4", "6", "8", "10", "12", "14", "16", "18",

@@ -48,7 +48,8 @@ int run(int argc, char** argv) {
         "table45_decluster", processors,
         [&](std::uint32_t p, const SweepTask&) {
             return decluster(bench.gs, Method::kMinimax, p,
-                             {.seed = opt.seed + 23});
+                             {.seed = opt.seed + 23,
+                              .pool = harness.inner_pool()});
         });
 
     // Table 4: animation queries.

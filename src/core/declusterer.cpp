@@ -15,8 +15,8 @@ DeclusterReport Declusterer::run(Method method, std::uint32_t num_disks,
     report.assignment = decluster(structure_, method, num_disks, options);
     report.data_balance = degree_of_data_balance(report.assignment);
     report.area_balance = degree_of_area_balance(structure_, report.assignment);
-    report.closest_pairs =
-        closest_pairs_same_disk(structure_, report.assignment, options.weight);
+    report.closest_pairs = closest_pairs_same_disk(
+        structure_, report.assignment, options.weight, options.pool);
     return report;
 }
 

@@ -71,18 +71,19 @@ Assignment decluster(const GridStructure& gs, Method method,
             MinimaxOptions mo;
             mo.seed = options.seed;
             mo.weight = options.weight;
+            mo.pool = options.pool;
             return minimax_decluster(gs, num_disks, mo);
         }
         case Method::kSsp: {
-            SimilarityOptions so{options.seed, options.weight};
+            SimilarityOptions so{options.seed, options.weight, options.pool};
             return ssp_decluster(gs, num_disks, so);
         }
         case Method::kMst: {
-            SimilarityOptions so{options.seed, options.weight};
+            SimilarityOptions so{options.seed, options.weight, options.pool};
             return mst_decluster(gs, num_disks, so);
         }
         case Method::kSimilarityGraph: {
-            SimilarityOptions so{options.seed, options.weight};
+            SimilarityOptions so{options.seed, options.weight, options.pool};
             return similarity_graph_decluster(gs, num_disks, so);
         }
         default:

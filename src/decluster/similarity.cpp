@@ -20,7 +20,10 @@ Assignment ssp_decluster(const GridStructure& gs, std::uint32_t num_disks,
     BucketWeights sim(gs, options.weight);
     Rng rng(options.seed);
     std::size_t start = rng.below(static_cast<std::uint32_t>(n));
-    std::vector<std::size_t> path = greedy_spanning_path(n, start, sim);
+    // BucketWeights is passed as the functor itself, so the greedy scan
+    // consumes batched weight rows instead of per-edge calls.
+    std::vector<std::size_t> path =
+        greedy_spanning_path(n, start, sim, options.pool);
     for (std::size_t pos = 0; pos < path.size(); ++pos) {
         a.disk_of[path[pos]] = static_cast<std::uint32_t>(pos % num_disks);
     }
@@ -41,10 +44,8 @@ Assignment mst_decluster(const GridStructure& gs, std::uint32_t num_disks,
     std::size_t root = rng.below(static_cast<std::uint32_t>(n));
     // Maximum-similarity spanning tree: Prim on negated weights, so every
     // vertex hangs off its most co-access-prone already-connected neighbor.
-    auto parent = prim_mst(n, root,
-                           [&](std::size_t i, std::size_t j) {
-                               return -sim(i, j);
-                           });
+    auto parent =
+        prim_mst(n, root, NegatedBucketWeights(sim), options.pool);
     // Preorder coloring: cycle a disk counter, skipping the parent's color
     // so the most similar pair is always separated.
     std::vector<std::size_t> order = preorder(parent);
@@ -84,9 +85,7 @@ Assignment similarity_graph_decluster(const GridStructure& gs,
     }
 
     BucketWeights sim(gs, options.weight);
-    kl_refine(a.disk_of, num_disks,
-              [&](std::size_t i, std::size_t j) { return sim(i, j); },
-              max_passes);
+    kl_refine(a.disk_of, num_disks, sim, max_passes, options.pool);
     return a;
 }
 

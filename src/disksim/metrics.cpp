@@ -1,9 +1,11 @@
 #include "pgf/disksim/metrics.hpp"
 
 #include <algorithm>
-#include <set>
+#include <utility>
 
+#include "pgf/graph/weight_traits.hpp"
 #include "pgf/util/check.hpp"
+#include "pgf/util/thread_pool.hpp"
 
 namespace pgf {
 
@@ -66,38 +68,57 @@ double degree_of_area_balance(const GridStructure& gs, const Assignment& a) {
     return v_max * a.num_disks / total;
 }
 
-std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights) {
+std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights,
+                                           ThreadPool* pool) {
     const std::size_t n = weights.size();
     std::vector<std::size_t> nn(n, 0);
-    for (std::size_t i = 0; i < n; ++i) {
-        double best = -1.0;
-        std::size_t best_j = i;
-        for (std::size_t j = 0; j < n; ++j) {
-            if (j == i) continue;
-            double w = weights(i, j);
-            if (w > best) {
-                best = w;
-                best_j = j;
+    // Row-parallel: every output element depends on one batched weight row
+    // only. The strict > keeps the first (lowest index) maximum, pinning
+    // the documented tie-break in both the serial and the chunked path.
+    auto rows = [&](std::size_t begin, std::size_t end) {
+        std::vector<double> row(n);
+        for (std::size_t i = begin; i < end; ++i) {
+            weights.fill_row(i, row.data());
+            double best = -1.0;
+            std::size_t best_j = i;
+            for (std::size_t j = 0; j < n; ++j) {
+                if (j == i) continue;
+                if (row[j] > best) {
+                    best = row[j];
+                    best_j = j;
+                }
             }
+            nn[i] = best_j;
         }
-        nn[i] = best_j;
+    };
+    if (pool != nullptr && n >= graph_detail::kParallelScanThreshold) {
+        pool->parallel_for(n, rows);
+    } else {
+        rows(0, n);
     }
     return nn;
 }
 
 std::size_t closest_pairs_same_disk(const GridStructure& gs,
-                                    const Assignment& a, WeightKind weight) {
+                                    const Assignment& a, WeightKind weight,
+                                    ThreadPool* pool) {
     PGF_CHECK(gs.bucket_count() == a.disk_of.size(),
               "assignment does not match the grid structure");
     if (gs.bucket_count() < 2) return 0;
     BucketWeights weights(gs, weight);
-    std::vector<std::size_t> nn = nearest_neighbors(weights);
-    std::set<std::pair<std::size_t, std::size_t>> pairs;
+    std::vector<std::size_t> nn = nearest_neighbors(weights, pool);
+    // Sorted vector + dedup instead of a std::set: the Table 2/3 metric
+    // loop runs once per sweep configuration and a node-based set allocates
+    // per inserted pair.
+    std::vector<std::pair<std::size_t, std::size_t>> pairs;
+    pairs.reserve(nn.size());
     for (std::size_t b = 0; b < nn.size(); ++b) {
         if (a.disk_of[b] == a.disk_of[nn[b]]) {
-            pairs.insert({std::min(b, nn[b]), std::max(b, nn[b])});
+            pairs.emplace_back(std::min(b, nn[b]), std::max(b, nn[b]));
         }
     }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
     return pairs.size();
 }
 

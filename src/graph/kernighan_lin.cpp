@@ -1,86 +1,23 @@
 #include "pgf/graph/kernighan_lin.hpp"
 
-#include "pgf/util/check.hpp"
-
 namespace pgf {
+
+// std::function wrappers for ABI/test compatibility: forward to the
+// templated implementations in the header (per-edge calls go through the
+// std::function, exactly like the historical code paths).
 
 double internal_weight(
     const std::vector<std::uint32_t>& disk_of,
     const std::function<double(std::size_t, std::size_t)>& weight) {
-    const std::size_t n = disk_of.size();
-    double total = 0.0;
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-            if (disk_of[i] == disk_of[j]) total += weight(i, j);
-        }
-    }
-    return total;
+    return internal_weight<std::function<double(std::size_t, std::size_t)>>(
+        disk_of, weight);
 }
 
 KlResult kl_refine(std::vector<std::uint32_t>& disk_of, std::uint32_t num_disks,
                    const std::function<double(std::size_t, std::size_t)>& weight,
                    std::size_t max_passes) {
-    const std::size_t n = disk_of.size();
-    PGF_CHECK(num_disks >= 1, "kl_refine requires at least one disk");
-    for (std::uint32_t d : disk_of) {
-        PGF_CHECK(d < num_disks, "kl_refine: disk index out of range");
-    }
-
-    KlResult result;
-    result.internal_before = internal_weight(disk_of, weight);
-    result.internal_after = result.internal_before;
-    if (n < 2 || num_disks < 2) return result;
-
-    // conn[i][d]: total weight between vertex i and all vertices on disk d.
-    std::vector<std::vector<double>> conn(n, std::vector<double>(num_disks, 0.0));
-    for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = i + 1; j < n; ++j) {
-            double w = weight(i, j);
-            conn[i][disk_of[j]] += w;
-            conn[j][disk_of[i]] += w;
-        }
-    }
-
-    for (std::size_t pass = 0; pass < max_passes; ++pass) {
-        ++result.passes;
-        bool improved = false;
-        for (std::size_t i = 0; i < n; ++i) {
-            for (std::size_t j = i + 1; j < n; ++j) {
-                std::uint32_t di = disk_of[i];
-                std::uint32_t dj = disk_of[j];
-                if (di == dj) continue;
-                // Swapping i and j changes the internal weight by -gain.
-                // Each vertex leaves its own disk (dropping its internal
-                // contribution) and joins the other's; the edge (i, j)
-                // itself stays external and must not be double-counted.
-                double wij = weight(i, j);
-                double gain = (conn[i][di] - conn[i][dj]) +
-                              (conn[j][dj] - conn[j][di]) + 2.0 * wij;
-                if (gain <= 1e-12) continue;
-                // Apply the swap and update connectivity incrementally.
-                for (std::size_t v = 0; v < n; ++v) {
-                    if (v == i || v == j) continue;
-                    double wi = weight(v, i);
-                    double wj = weight(v, j);
-                    conn[v][di] += wj - wi;
-                    conn[v][dj] += wi - wj;
-                }
-                // i and j also see each other's move: j left dj for di
-                // (from i's perspective) and vice versa.
-                conn[i][dj] -= wij;
-                conn[i][di] += wij;
-                conn[j][di] -= wij;
-                conn[j][dj] += wij;
-                disk_of[i] = dj;
-                disk_of[j] = di;
-                result.internal_after -= gain;
-                ++result.swaps;
-                improved = true;
-            }
-        }
-        if (!improved) break;
-    }
-    return result;
+    return kl_refine<std::function<double(std::size_t, std::size_t)>>(
+        disk_of, num_disks, weight, max_passes);
 }
 
 }  // namespace pgf

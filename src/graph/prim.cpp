@@ -4,11 +4,8 @@ namespace pgf {
 
 double tree_cost(const std::vector<std::size_t>& parent,
                  const std::function<double(std::size_t, std::size_t)>& cost) {
-    double total = 0.0;
-    for (std::size_t i = 0; i < parent.size(); ++i) {
-        if (parent[i] != i) total += cost(parent[i], i);
-    }
-    return total;
+    return tree_cost<std::function<double(std::size_t, std::size_t)>>(parent,
+                                                                      cost);
 }
 
 std::vector<std::size_t> preorder(const std::vector<std::size_t>& parent) {

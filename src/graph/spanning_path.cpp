@@ -5,11 +5,8 @@ namespace pgf {
 double path_similarity(
     const std::vector<std::size_t>& path,
     const std::function<double(std::size_t, std::size_t)>& similarity) {
-    double total = 0.0;
-    for (std::size_t i = 1; i < path.size(); ++i) {
-        total += similarity(path[i - 1], path[i]);
-    }
-    return total;
+    return path_similarity<std::function<double(std::size_t, std::size_t)>>(
+        path, similarity);
 }
 
 }  // namespace pgf

@@ -11,6 +11,8 @@
 
 namespace pgf {
 
+class ThreadPool;
+
 struct DeclusterOptions {
     /// Conflict-resolution heuristic (index-based methods only). The paper's
     /// experiments settle on data balance ("/D" in its tables).
@@ -19,6 +21,10 @@ struct DeclusterOptions {
     WeightKind weight = WeightKind::kProximityIndex;
     /// Seed for every random choice the method makes.
     std::uint64_t seed = 1;
+    /// Optional worker pool for the proximity-based methods: chunks their
+    /// O(N^2) scans across threads, with output bit-identical to serial.
+    /// Ignored by the index-based methods.
+    ThreadPool* pool = nullptr;
 };
 
 /// Declusters the file over `num_disks` disks with the given method.

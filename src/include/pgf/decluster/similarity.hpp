@@ -24,9 +24,16 @@
 
 namespace pgf {
 
+class ThreadPool;
+
 struct SimilarityOptions {
     std::uint64_t seed = 1;  ///< seeds the start-vertex choice
     WeightKind weight = WeightKind::kProximityIndex;
+    /// Optional worker pool: the O(N^2) graph scans (Prim relax/argmin,
+    /// spanning-path argmax, KL gain scans) run chunked across threads with
+    /// results bit-identical to the serial algorithms (mirrors
+    /// MinimaxOptions::pool).
+    ThreadPool* pool = nullptr;
 };
 
 /// Short-spanning-path declustering. Every disk receives at most

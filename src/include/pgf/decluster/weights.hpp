@@ -6,8 +6,18 @@
 // ablation weight) without touching the per-bucket vectors, keeping the
 // inner loop allocation- and indirection-free. Semantics are identical to
 // pgf::proximity_index / pgf::center_similarity (unit-tested equal).
+//
+// Batched kernels: the quadratic scans never need one isolated weight —
+// they consume whole rows (all weights of one bucket against a column
+// range) or tiles. fill_row()/fill_row_range()/fill_tile() compute those
+// batches over a dimension-major copy of the regions, with the inner loop
+// specialized for D = 2/3/4 (constant trip count, branchless select) so
+// the compiler can vectorize across the column index. Every batched value
+// is bit-identical to operator()(i, j): same expressions, same evaluation
+// order, same rounding (unit-tested).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstddef>
 #include <vector>
@@ -24,6 +34,8 @@ public:
         : dims_(gs.dims()), count_(gs.bucket_count()), kind_(kind) {
         lo_.resize(count_ * dims_);
         hi_.resize(count_ * dims_);
+        col_lo_.resize(count_ * dims_);
+        col_hi_.resize(count_ * dims_);
         inv_domain_.resize(dims_);
         for (std::size_t i = 0; i < dims_; ++i) {
             inv_domain_[i] = 1.0 / gs.domain_extent(i);
@@ -32,11 +44,17 @@ public:
             for (std::size_t i = 0; i < dims_; ++i) {
                 lo_[b * dims_ + i] = gs.buckets[b].region_lo[i];
                 hi_[b * dims_ + i] = gs.buckets[b].region_hi[i];
+                // Dimension-major mirror: the row kernels stream bucket j
+                // for fixed dimension i, so column access is contiguous.
+                col_lo_[i * count_ + b] = gs.buckets[b].region_lo[i];
+                col_hi_[i * count_ + b] = gs.buckets[b].region_hi[i];
             }
         }
     }
 
     std::size_t size() const { return count_; }
+    std::size_t dims() const { return dims_; }
+    WeightKind kind() const { return kind_; }
 
     /// Weight of the bucket pair (a, b); symmetric, in (0, 1].
     double operator()(std::size_t a, std::size_t b) const {
@@ -69,13 +87,129 @@ public:
         return 1.0 / (1.0 + std::sqrt(d2));
     }
 
+    /// Writes operator()(i, j) for j in [col_begin, col_end) to
+    /// out[j - col_begin]. Includes the self weight when i is in range.
+    void fill_row_range(std::size_t i, std::size_t col_begin,
+                        std::size_t col_end, double* out) const {
+        if (kind_ == WeightKind::kProximityIndex) {
+            switch (dims_) {
+                case 2: prox_row<2>(i, col_begin, col_end, out); return;
+                case 3: prox_row<3>(i, col_begin, col_end, out); return;
+                case 4: prox_row<4>(i, col_begin, col_end, out); return;
+                default: prox_row<0>(i, col_begin, col_end, out); return;
+            }
+        }
+        switch (dims_) {
+            case 2: center_row<2>(i, col_begin, col_end, out); return;
+            case 3: center_row<3>(i, col_begin, col_end, out); return;
+            case 4: center_row<4>(i, col_begin, col_end, out); return;
+            default: center_row<0>(i, col_begin, col_end, out); return;
+        }
+    }
+
+    /// Whole row i: out[j] = operator()(i, j) for j in [0, size()).
+    void fill_row(std::size_t i, double* out) const {
+        fill_row_range(i, 0, count_, out);
+    }
+
+    /// Tile [row_begin, row_end) x [col_begin, col_end), row-major with
+    /// stride (col_end - col_begin). Column-blocked so one block of the
+    /// dimension-major arrays stays cache-resident across the tile's rows.
+    void fill_tile(std::size_t row_begin, std::size_t row_end,
+                   std::size_t col_begin, std::size_t col_end,
+                   double* out) const {
+        const std::size_t cols = col_end - col_begin;
+        constexpr std::size_t kColBlock = 512;
+        for (std::size_t cb = col_begin; cb < col_end; cb += kColBlock) {
+            const std::size_t ce = std::min(cb + kColBlock, col_end);
+            for (std::size_t r = row_begin; r < row_end; ++r) {
+                fill_row_range(r, cb, ce,
+                               out + (r - row_begin) * cols +
+                                   (cb - col_begin));
+            }
+        }
+    }
+
 private:
+    // D > 0: compile-time dimension count (unrolled, vectorizable);
+    // D == 0: runtime dims_ fallback. The loop bodies mirror operator()
+    // term for term — the ternary select computes both branch values and
+    // picks one, which rounds identically to the branchy scalar code.
+    template <std::size_t D>
+    void prox_row(std::size_t a, std::size_t col_begin, std::size_t col_end,
+                  double* out) const {
+        const std::size_t dims = D == 0 ? dims_ : D;
+        const double* alo = &lo_[a * dims_];
+        const double* ahi = &hi_[a * dims_];
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+            double p = 1.0;
+            for (std::size_t i = 0; i < dims; ++i) {
+                const double blo = col_lo_[i * count_ + j];
+                const double bhi = col_hi_[i * count_ + j];
+                const double overlap = (ahi[i] < bhi ? ahi[i] : bhi) -
+                                       (alo[i] > blo ? alo[i] : blo);
+                const double pos = (1.0 + 2.0 * overlap * inv_domain_[i]) / 3.0;
+                const double gap = -overlap * inv_domain_[i];
+                const double one_minus = gap < 1.0 ? 1.0 - gap : 0.0;
+                const double neg = one_minus * one_minus / 3.0;
+                p *= overlap > 0.0 ? pos : neg;
+            }
+            out[j - col_begin] = p;
+        }
+    }
+
+    template <std::size_t D>
+    void center_row(std::size_t a, std::size_t col_begin, std::size_t col_end,
+                    double* out) const {
+        const std::size_t dims = D == 0 ? dims_ : D;
+        const double* alo = &lo_[a * dims_];
+        const double* ahi = &hi_[a * dims_];
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+            double d2 = 0.0;
+            for (std::size_t i = 0; i < dims; ++i) {
+                const double blo = col_lo_[i * count_ + j];
+                const double bhi = col_hi_[i * count_ + j];
+                const double d =
+                    0.5 * ((alo[i] + ahi[i]) - (blo + bhi)) * inv_domain_[i];
+                d2 += d * d;
+            }
+            out[j - col_begin] = 1.0 / (1.0 + std::sqrt(d2));
+        }
+    }
+
     std::size_t dims_;
     std::size_t count_;
     WeightKind kind_;
     std::vector<double> lo_;          // count x dims, bucket-major
     std::vector<double> hi_;
+    std::vector<double> col_lo_;      // dims x count, dimension-major
+    std::vector<double> col_hi_;
     std::vector<double> inv_domain_;
+};
+
+/// Prim cost view of a similarity matrix: operator() and the row kernel
+/// return the negated weight, so a minimum spanning tree under this cost is
+/// the maximum-similarity tree. Negation is exact, so batched rows stay
+/// bit-identical to -weights(i, j).
+class NegatedBucketWeights {
+public:
+    explicit NegatedBucketWeights(const BucketWeights& weights)
+        : weights_(&weights) {}
+
+    std::size_t size() const { return weights_->size(); }
+
+    double operator()(std::size_t a, std::size_t b) const {
+        return -(*weights_)(a, b);
+    }
+
+    void fill_row_range(std::size_t i, std::size_t col_begin,
+                        std::size_t col_end, double* out) const {
+        weights_->fill_row_range(i, col_begin, col_end, out);
+        for (std::size_t k = 0; k < col_end - col_begin; ++k) out[k] = -out[k];
+    }
+
+private:
+    const BucketWeights* weights_;
 };
 
 }  // namespace pgf

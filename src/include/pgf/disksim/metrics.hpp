@@ -44,15 +44,28 @@ double degree_of_data_balance(const Assignment& a);
 /// Same measure over accumulated bucket-region volume instead of counts.
 double degree_of_area_balance(const GridStructure& gs, const Assignment& a);
 
+class ThreadPool;
+
 /// For each bucket, the index of its most-proximate other bucket under the
-/// given weights (ties to the lower index). O(N^2).
-std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights);
+/// given weights. O(N^2), consuming batched weight rows; rows chunk across
+/// the optional pool (each row is independent, so pooled output is
+/// identical to serial).
+///
+/// Tie-break contract (pinned — Tables 2/3 depend on it): on equal weight
+/// the LOWEST bucket index wins. Regular structures produce exact ties
+/// (e.g. the left and right neighbors of a cell in a uniform Cartesian
+/// grid), so this is observable behavior, not a don't-care; the serial
+/// scan keeps the first strict maximum and the chunked reduction combines
+/// chunks in index order with a strict comparison, which preserves it.
+std::vector<std::size_t> nearest_neighbors(const BucketWeights& weights,
+                                           ThreadPool* pool = nullptr);
 
 /// Number of distinct closest pairs {b, nn(b)} whose two buckets live on
 /// the same disk (Tables 2-3 of the paper). Mutual pairs count once.
 std::size_t closest_pairs_same_disk(const GridStructure& gs,
                                     const Assignment& a,
                                     WeightKind weight =
-                                        WeightKind::kProximityIndex);
+                                        WeightKind::kProximityIndex,
+                                    ThreadPool* pool = nullptr);
 
 }  // namespace pgf

@@ -1,0 +1,46 @@
+// Shared plumbing for the templated graph scans.
+//
+// The graph algorithms (Prim, spanning path, Kernighan–Lin) are templated
+// on the weight functor so the O(N^2) inner loops compile to direct calls —
+// no std::function per-edge indirection. Functors that additionally expose
+// the batched row kernel of BucketWeights (fill_row_range) get the
+// vectorized row path; plain functors (lambdas, std::function wrappers)
+// fall back to per-edge evaluation. Both paths produce bit-identical
+// values, so the choice never changes an algorithm's result.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace pgf {
+namespace graph_detail {
+
+template <typename F, typename = void>
+struct HasRowFill : std::false_type {};
+template <typename F>
+struct HasRowFill<F,
+                  std::void_t<decltype(std::declval<const F&>().fill_row_range(
+                      std::size_t{}, std::size_t{}, std::size_t{},
+                      std::declval<double*>()))>> : std::true_type {};
+
+/// Writes f(i, j) for j in [col_begin, col_end) to out[j - col_begin],
+/// through the batched row kernel when the functor provides one.
+template <typename F>
+inline void fill_weight_row(const F& f, std::size_t i, std::size_t col_begin,
+                            std::size_t col_end, double* out) {
+    if constexpr (HasRowFill<F>::value) {
+        f.fill_row_range(i, col_begin, col_end, out);
+    } else {
+        for (std::size_t j = col_begin; j < col_end; ++j) {
+            out[j - col_begin] = f(i, j);
+        }
+    }
+}
+
+/// Scans below this size cost less than a pool dispatch (same threshold as
+/// the minimax sweeps).
+constexpr std::size_t kParallelScanThreshold = 2048;
+
+}  // namespace graph_detail
+}  // namespace pgf

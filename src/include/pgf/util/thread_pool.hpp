@@ -34,6 +34,12 @@ public:
 
     /// Invokes fn(begin, end) over disjoint chunks covering [0, n).
     /// Blocks until every chunk completed. fn must not throw.
+    ///
+    /// Safe to call from several external threads at once: invocations
+    /// serialize on an internal submit mutex, so one shared pool can back
+    /// concurrent sweep tasks. It remains non-reentrant — fn (or anything
+    /// it calls) must never submit to the same pool, or the submit mutex
+    /// deadlocks.
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -80,6 +86,7 @@ private:
         std::uint64_t generation = 0;
     };
 
+    std::mutex submit_mutex_;  ///< serializes whole parallel_for invocations
     std::mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;

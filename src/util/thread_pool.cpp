@@ -45,6 +45,10 @@ void ThreadPool::parallel_for_chunk(
     if (n == 0) return;
     PGF_CHECK(chunk >= 1, "parallel_for_chunk requires chunk >= 1");
     const std::size_t chunks = (n + chunk - 1) / chunk;
+    // Concurrent external callers take turns; each completed invocation
+    // leaves outstanding == 0, so the reentrancy check below still catches
+    // submissions from inside fn (which would self-deadlock here anyway).
+    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         PGF_CHECK(task_.outstanding == 0,

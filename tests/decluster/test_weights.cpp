@@ -82,6 +82,83 @@ TEST(BucketWeights, SelfWeightDominatesRow) {
     }
 }
 
+/// Asserts every batched entry point (fill_row, fill_row_range over an
+/// uneven sub-range, fill_tile) reproduces operator() bit-for-bit. EXPECT_EQ
+/// on doubles is exact comparison — that is the contract, not a tolerance.
+void expect_kernels_bit_equal(const GridStructure& gs, WeightKind kind) {
+    BucketWeights w(gs, kind);
+    const std::size_t n = w.size();
+    ASSERT_GE(n, 2u);
+    std::vector<double> row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        w.fill_row(i, row.data());
+        for (std::size_t j = 0; j < n; ++j) {
+            ASSERT_EQ(row[j], w(i, j)) << "row " << i << ", col " << j;
+        }
+    }
+    // Sub-range with offsets that don't align to anything.
+    const std::size_t begin = 1, end = n - 1;
+    std::vector<double> part(end - begin);
+    w.fill_row_range(0, begin, end, part.data());
+    for (std::size_t j = begin; j < end; ++j) {
+        ASSERT_EQ(part[j - begin], w(0, j));
+    }
+    // A tile crossing the interior.
+    const std::size_t r0 = 0, r1 = std::min<std::size_t>(n, 5);
+    std::vector<double> tile((r1 - r0) * (end - begin));
+    w.fill_tile(r0, r1, begin, end, tile.data());
+    for (std::size_t r = r0; r < r1; ++r) {
+        for (std::size_t j = begin; j < end; ++j) {
+            ASSERT_EQ(tile[(r - r0) * (end - begin) + (j - begin)], w(r, j))
+                << "tile row " << r << ", col " << j;
+        }
+    }
+}
+
+TEST(BucketWeightsKernels, BitEqual2d) {
+    GridStructure gs = random_structure(17, 400);
+    expect_kernels_bit_equal(gs, WeightKind::kProximityIndex);
+    expect_kernels_bit_equal(gs, WeightKind::kCenterSimilarity);
+}
+
+TEST(BucketWeightsKernels, BitEqual3d) {
+    auto gs = make_cartesian_structure({6, 6, 6}, {0.0, 0.0, 0.0},
+                                       {60.0, 30.0, 12.0});
+    expect_kernels_bit_equal(gs, WeightKind::kProximityIndex);
+    expect_kernels_bit_equal(gs, WeightKind::kCenterSimilarity);
+}
+
+TEST(BucketWeightsKernels, BitEqual4d) {
+    auto gs = make_cartesian_structure({4, 4, 4, 4}, {0.0, 0.0, 0.0, 0.0},
+                                       {16.0, 8.0, 4.0, 2.0});
+    expect_kernels_bit_equal(gs, WeightKind::kProximityIndex);
+    expect_kernels_bit_equal(gs, WeightKind::kCenterSimilarity);
+}
+
+TEST(BucketWeightsKernels, BitEqualGenericDimsFallback) {
+    // D = 5 exercises the runtime-dims kernel instead of the unrolled ones.
+    auto gs = make_cartesian_structure({3, 3, 3, 3, 3},
+                                       {0.0, 0.0, 0.0, 0.0, 0.0},
+                                       {9.0, 6.0, 3.0, 3.0, 3.0});
+    expect_kernels_bit_equal(gs, WeightKind::kProximityIndex);
+    expect_kernels_bit_equal(gs, WeightKind::kCenterSimilarity);
+}
+
+TEST(BucketWeightsKernels, NegatedViewIsExactNegation) {
+    GridStructure gs = random_structure(19, 300);
+    BucketWeights w(gs);
+    NegatedBucketWeights neg(w);
+    ASSERT_EQ(neg.size(), w.size());
+    std::vector<double> row(w.size());
+    for (std::size_t i = 0; i < w.size(); i += 3) {
+        neg.fill_row_range(i, 0, w.size(), row.data());
+        for (std::size_t j = 0; j < w.size(); ++j) {
+            ASSERT_EQ(neg(i, j), -w(i, j));
+            ASSERT_EQ(row[j], -w(i, j));
+        }
+    }
+}
+
 TEST(BucketWeights, AdjacentBucketsOutweighDistantOnes) {
     // Cartesian structure: neighbor (0,1) of bucket (0,0) must be closer
     // than the far corner.

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "pgf/util/check.hpp"
+#include "pgf/util/thread_pool.hpp"
 
 namespace pgf {
 namespace {
@@ -119,6 +122,73 @@ TEST(NearestNeighbors, ChainStructure) {
     for (std::size_t i = 1; i < 5; ++i) {
         EXPECT_TRUE(nn[i] == i - 1 || nn[i] == i + 1) << i;
     }
+}
+
+TEST(NearestNeighbors, TieBreaksToLowestIndex) {
+    // Uniform 1-d row: for an interior bucket the left and right neighbors
+    // are congruent, so their weights are exactly equal — a real tie. The
+    // documented contract pins the winner to the LOWER index (the left
+    // neighbor), and Tables 2/3 depend on that being stable.
+    auto gs = make_cartesian_structure({6}, {0.0}, {6.0});
+    BucketWeights w(gs);
+    for (std::size_t i = 1; i < 5; ++i) {
+        ASSERT_EQ(w(i, i - 1), w(i, i + 1)) << "premise: tie at " << i;
+    }
+    auto nn = nearest_neighbors(w);
+    for (std::size_t i = 1; i < 5; ++i) {
+        EXPECT_EQ(nn[i], i - 1) << "tie must break to the lower index";
+    }
+}
+
+TEST(NearestNeighbors, TieBreaksToLowestIndex2d) {
+    // Square cells over a square domain: an interior cell's four axis
+    // neighbors all tie; row-major indexing makes the north neighbor
+    // (i - width) the lowest index.
+    auto gs = make_cartesian_structure({4, 4}, {0.0, 0.0}, {4.0, 4.0});
+    BucketWeights w(gs);
+    auto nn = nearest_neighbors(w);
+    const std::size_t interior = 1 * 4 + 1;  // cell (1,1)
+    ASSERT_EQ(w(interior, interior - 4), w(interior, interior + 4));
+    ASSERT_EQ(w(interior, interior - 4), w(interior, interior - 1));
+    EXPECT_EQ(nn[interior], interior - 4);
+}
+
+TEST(NearestNeighbors, PooledMatchesSerialAboveThreshold) {
+    // 46 x 46 = 2116 buckets crosses the parallel-scan threshold (2048),
+    // so the pooled path actually chunks; the result must be identical —
+    // including every tie — at every thread count.
+    auto gs = make_cartesian_structure({46, 46}, {0.0, 0.0}, {46.0, 46.0});
+    BucketWeights w(gs);
+    const auto serial = nearest_neighbors(w);
+    for (unsigned workers : {1u, 3u}) {
+        ThreadPool pool(workers);
+        EXPECT_EQ(nearest_neighbors(w, &pool), serial)
+            << "workers=" << workers;
+    }
+}
+
+TEST(ClosestPairs, SortedDedupMatchesSetReference) {
+    auto gs = make_cartesian_structure({46, 46}, {0.0, 0.0}, {46.0, 46.0});
+    Assignment a;
+    a.num_disks = 4;
+    a.disk_of.resize(gs.bucket_count());
+    for (std::size_t b = 0; b < a.disk_of.size(); ++b) {
+        a.disk_of[b] = static_cast<std::uint32_t>((b / 3) % 4);
+    }
+    // Reference implementation: the std::set the production code replaced.
+    BucketWeights w(gs);
+    auto nn = nearest_neighbors(w);
+    std::set<std::pair<std::size_t, std::size_t>> reference;
+    for (std::size_t b = 0; b < nn.size(); ++b) {
+        if (a.disk_of[b] == a.disk_of[nn[b]]) {
+            reference.insert({std::min(b, nn[b]), std::max(b, nn[b])});
+        }
+    }
+    EXPECT_EQ(closest_pairs_same_disk(gs, a), reference.size());
+    ThreadPool pool(2);
+    EXPECT_EQ(closest_pairs_same_disk(gs, a, WeightKind::kProximityIndex,
+                                      &pool),
+              reference.size());
 }
 
 TEST(ClosestPairs, AllSeparatedGivesZero) {

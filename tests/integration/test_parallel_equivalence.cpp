@@ -1,0 +1,125 @@
+// Serial vs pooled equivalence for the O(N^2) scans (ISSUE 3 contract):
+// handing a ThreadPool to the similarity declusterers and the
+// nearest-neighbor metric must not change a single bit of output, at any
+// thread count. The structures here exceed the parallel-scan threshold
+// (2048 buckets) so the pooled code paths genuinely chunk.
+#include <gtest/gtest.h>
+
+#include "pgf/decluster/similarity.hpp"
+#include "pgf/disksim/metrics.hpp"
+#include "pgf/graph/kernighan_lin.hpp"
+#include "pgf/gridfile/structure.hpp"
+#include "pgf/util/thread_pool.hpp"
+
+namespace pgf {
+namespace {
+
+// 46 x 46 = 2116 buckets > kParallelScanThreshold. Rectangular cells keep
+// the weights asymmetric across dimensions.
+GridStructure big_structure() {
+    return make_cartesian_structure({46, 46}, {0.0, 0.0}, {92.0, 23.0});
+}
+
+// Worker counts so the pool's total parallelism is 2 and 4 (workers + the
+// calling thread).
+constexpr unsigned kWorkerCounts[] = {1, 3};
+constexpr std::uint64_t kSeeds[] = {1, 42};
+
+TEST(ParallelEquivalence, SspDeclusterMatchesSerial) {
+    GridStructure gs = big_structure();
+    for (std::uint64_t seed : kSeeds) {
+        SimilarityOptions serial_opt;
+        serial_opt.seed = seed;
+        const Assignment serial = ssp_decluster(gs, 16, serial_opt);
+        for (unsigned workers : kWorkerCounts) {
+            ThreadPool pool(workers);
+            SimilarityOptions opt;
+            opt.seed = seed;
+            opt.pool = &pool;
+            const Assignment pooled = ssp_decluster(gs, 16, opt);
+            ASSERT_EQ(pooled.disk_of, serial.disk_of)
+                << "seed=" << seed << " workers=" << workers;
+        }
+    }
+}
+
+TEST(ParallelEquivalence, MstDeclusterMatchesSerial) {
+    GridStructure gs = big_structure();
+    for (std::uint64_t seed : kSeeds) {
+        SimilarityOptions serial_opt;
+        serial_opt.seed = seed;
+        const Assignment serial = mst_decluster(gs, 16, serial_opt);
+        for (unsigned workers : kWorkerCounts) {
+            ThreadPool pool(workers);
+            SimilarityOptions opt;
+            opt.seed = seed;
+            opt.pool = &pool;
+            const Assignment pooled = mst_decluster(gs, 16, opt);
+            ASSERT_EQ(pooled.disk_of, serial.disk_of)
+                << "seed=" << seed << " workers=" << workers;
+        }
+    }
+}
+
+TEST(ParallelEquivalence, KlRefineMatchesSerial) {
+    GridStructure gs = big_structure();
+    BucketWeights weights(gs);
+    for (std::uint64_t seed : kSeeds) {
+        // A deliberately bad deterministic start so KL has swaps to find.
+        std::vector<std::uint32_t> start(gs.bucket_count());
+        for (std::size_t b = 0; b < start.size(); ++b) {
+            start[b] = static_cast<std::uint32_t>((b + seed) / 7 % 16);
+        }
+        std::vector<std::uint32_t> serial_disks = start;
+        const KlResult serial =
+            kl_refine(serial_disks, 16, weights, 2, nullptr);
+        for (unsigned workers : kWorkerCounts) {
+            ThreadPool pool(workers);
+            std::vector<std::uint32_t> pooled_disks = start;
+            const KlResult pooled =
+                kl_refine(pooled_disks, 16, weights, 2, &pool);
+            ASSERT_EQ(pooled_disks, serial_disks)
+                << "seed=" << seed << " workers=" << workers;
+            ASSERT_EQ(pooled.swaps, serial.swaps);
+            // Bit-exact, not approximately equal: the parallel gain scans
+            // must preserve the serial arithmetic.
+            ASSERT_EQ(pooled.internal_before, serial.internal_before);
+            ASSERT_EQ(pooled.internal_after, serial.internal_after);
+        }
+    }
+}
+
+TEST(ParallelEquivalence, SimilarityGraphDeclusterMatchesSerial) {
+    GridStructure gs = big_structure();
+    for (std::uint64_t seed : kSeeds) {
+        SimilarityOptions serial_opt;
+        serial_opt.seed = seed;
+        const Assignment serial = similarity_graph_decluster(gs, 8, serial_opt);
+        for (unsigned workers : kWorkerCounts) {
+            ThreadPool pool(workers);
+            SimilarityOptions opt;
+            opt.seed = seed;
+            opt.pool = &pool;
+            const Assignment pooled = similarity_graph_decluster(gs, 8, opt);
+            ASSERT_EQ(pooled.disk_of, serial.disk_of)
+                << "seed=" << seed << " workers=" << workers;
+        }
+    }
+}
+
+TEST(ParallelEquivalence, NearestNeighborsMatchesSerial) {
+    GridStructure gs = big_structure();
+    for (WeightKind kind : {WeightKind::kProximityIndex,
+                            WeightKind::kCenterSimilarity}) {
+        BucketWeights w(gs, kind);
+        const auto serial = nearest_neighbors(w);
+        for (unsigned workers : kWorkerCounts) {
+            ThreadPool pool(workers);
+            ASSERT_EQ(nearest_neighbors(w, &pool), serial)
+                << "workers=" << workers;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace pgf
