@@ -45,14 +45,14 @@ int run(int argc, char** argv) {
                  "conflict resolution, r = 0.05 (2-d) / 0.01 (3-d)");
     auto inner_pool = make_inner_pool(opt);
     Rng rng(opt.seed);
-    {
-        Workbench<2> bench(make_hotspot2d(rng));
-        panel(opt, bench, 0.05, inner_pool.get());
-    }
-    {
-        Workbench<3> bench(make_stock3d(rng));
-        panel(opt, bench, 0.01, inner_pool.get());
-    }
+    panel(opt,
+          *cached_workbench<2>(opt, "hotspot.2d", 10000, rng,
+                               [](Rng& r) { return make_hotspot2d(r); }),
+          0.05, inner_pool.get());
+    panel(opt,
+          *cached_workbench<3>(opt, "stock.3d", 127026, rng,
+                               [](Rng& r) { return make_stock3d(r); }),
+          0.01, inner_pool.get());
     return 0;
 }
 

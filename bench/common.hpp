@@ -18,6 +18,10 @@
 //                       Output is byte-identical at every setting.
 //   --bench-json <f>    write machine-readable sweep timings to <f>
 //                       (BENCH_sweep.json schema, see tools/bench_diff)
+//   --build-cache[=on|off]  memoize dataset+grid-file construction across
+//                       repeated identical build requests (default: on;
+//                       PGF_BUILD_CACHE=0 in the environment disables).
+//                       Output is byte-identical either way.
 //   --full              full paper scale for the SP-2 experiment
 //                       (also enabled by PGF_FULL_SCALE=1 in the environment)
 #pragma once
@@ -28,6 +32,7 @@
 #include <utility>
 #include <vector>
 
+#include "pgf/core/build_cache.hpp"
 #include "pgf/core/declusterer.hpp"
 #include "pgf/core/sweep.hpp"
 #include "pgf/disksim/simulator.hpp"
@@ -46,6 +51,7 @@ struct Options {
     unsigned threads = 0;  ///< 0 = hardware concurrency
     unsigned inner_threads = 1;  ///< intra-algorithm scans; 0 = hw concurrency
     std::string bench_json;
+    bool build_cache = true;
     bool full_scale = false;
 
     Options(int argc, const char* const* argv);
@@ -167,5 +173,29 @@ struct Workbench {
                " merged)";
     }
 };
+
+/// The process-wide workbench cache. Enabled state is set once, from the
+/// first Options seen (every bench binary parses options before building).
+BuildCache& workbench_cache(const Options& opt);
+
+/// Builds (or fetches) the Workbench for `maker(rng)` through the shared
+/// BuildCache. `distribution` must name the generator including any
+/// non-default parameters; `n` is the requested record count and
+/// `bucket_capacity` the override (0 = generator default) — together with
+/// the Rng's current stream position they form the cache key, so distinct
+/// configurations never alias. On a hit `rng` is fast-forwarded exactly as
+/// if the generator had run (see pgf/core/build_cache.hpp), keeping every
+/// later draw — and therefore stdout/CSV — byte-identical with the cache
+/// on or off.
+template <std::size_t D, typename Maker>
+std::shared_ptr<const Workbench<D>> cached_workbench(
+    const Options& opt, std::string distribution, std::size_t n, Rng& rng,
+    Maker&& maker, std::uint64_t bucket_capacity = 0) {
+    BuildKey key{std::move(distribution), rng.state(), n,
+                 static_cast<std::uint32_t>(D), bucket_capacity};
+    return workbench_cache(opt).get_or_build<Workbench<D>>(
+        key, rng,
+        [&maker](Rng& r) { return Workbench<D>(maker(r)); });
+}
 
 }  // namespace pgf::bench

@@ -21,7 +21,11 @@ int run(int argc, char** argv) {
                  "4-d DSMC data, 16 nodes, 200 random r = 0.01 queries; "
                  "elapsed seconds vs closed-loop concurrency");
     Rng rng(opt.seed);
-    Workbench<4> bench(make_dsmc4d(rng, 12, 15000));
+    auto wb = cached_workbench<4>(opt, "dsmc.4d/s=12/p=15000", 12 * 15000,
+                                  rng, [](Rng& r) {
+                                      return make_dsmc4d(r, 12, 15000);
+                                  });
+    const Workbench<4>& bench = *wb;
     std::cout << bench.summary() << "\n";
     Rng qrng(opt.seed + 12000);
     auto queries = square_queries(bench.dataset.domain, 0.01, 200, qrng);

@@ -18,7 +18,9 @@ int run(int argc, char** argv) {
                  "r = 0.01, data-balance conflict resolution; expected: the "
                  "Fig. 6 ranking (MiniMax < SSP <= HCAM/D << DM/D, FX/D)");
     Rng rng(opt.seed);
-    Workbench<3> bench(make_mhd3d(rng));
+    auto wb = cached_workbench<3>(opt, "mhd.3d", 60000, rng,
+                                  [](Rng& r) { return make_mhd3d(r); });
+    const Workbench<3>& bench = *wb;
     std::cout << bench.summary() << "\n";
     auto qb = bench.workload(0.01, opt.queries, opt.seed + 13000);
 

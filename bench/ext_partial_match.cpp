@@ -47,7 +47,10 @@ int run(int argc, char** argv) {
     // Table B: partial match on a real grid file (stock.3d: "all quotes of
     // stock X", "all stocks at price Y on day Z", ...).
     Rng rng(opt.seed);
-    Workbench<3> bench(make_stock3d(rng, 60000));
+    auto wb = cached_workbench<3>(opt, "stock.3d", 60000, rng, [](Rng& r) {
+        return make_stock3d(r, 60000);
+    });
+    const Workbench<3>& bench = *wb;
     std::cout << "\n" << bench.summary() << "\n";
     Rng qrng(opt.seed + 8000);
     std::vector<std::vector<std::uint32_t>> qb;

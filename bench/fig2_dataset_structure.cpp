@@ -30,9 +30,11 @@ void ascii_grid(const GridFile<2>& gf) {
     }
 }
 
-void report(const Options& opt, const Dataset<2>& ds, std::size_t paper_buckets,
-            std::size_t paper_merged, TextTable& table) {
-    GridFile<2> gf = ds.build();
+void report(const Options& opt, const Workbench<2>& bench,
+            std::size_t paper_buckets, std::size_t paper_merged,
+            TextTable& table) {
+    const Dataset<2>& ds = bench.dataset;
+    const GridFile<2>& gf = bench.gf;
     auto shape = gf.grid_shape();
     // Directory growth vs bucket count: skew inflates the directory (many
     // cells per bucket), the classic grid-file overhead merging contains.
@@ -58,9 +60,18 @@ int run(int argc, char** argv) {
                      "merged", "cells/bucket", "paper buckets",
                      "paper merged"});
     Rng rng(opt.seed);
-    report(opt, make_uniform2d(rng), 252, 4, table);
-    report(opt, make_hotspot2d(rng), 241, 169, table);
-    report(opt, make_correl2d(rng), 242, 164, table);
+    report(opt,
+           *cached_workbench<2>(opt, "uniform.2d", 10000, rng,
+                                [](Rng& r) { return make_uniform2d(r); }),
+           252, 4, table);
+    report(opt,
+           *cached_workbench<2>(opt, "hotspot.2d", 10000, rng,
+                                [](Rng& r) { return make_hotspot2d(r); }),
+           241, 169, table);
+    report(opt,
+           *cached_workbench<2>(opt, "correl.2d", 10000, rng,
+                                [](Rng& r) { return make_correl2d(r); }),
+           242, 164, table);
     emit(opt, table, "fig2_dataset_structure");
     return 0;
 }

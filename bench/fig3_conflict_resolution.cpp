@@ -34,7 +34,9 @@ int run(int argc, char** argv) {
                  "r = 0.05; data balance should win, HCAM should be "
                  "insensitive, FX most sensitive");
     Rng rng(opt.seed);
-    Workbench<2> bench(make_hotspot2d(rng));
+    auto wb = cached_workbench<2>(opt, "hotspot.2d", 10000, rng,
+                                  [](Rng& r) { return make_hotspot2d(r); });
+    const Workbench<2>& bench = *wb;
     std::cout << bench.summary() << "\n";
     auto qb = harness.timed("workload_hot2d", [&] {
         return bench.workload(0.05, opt.queries, opt.seed + 1000,

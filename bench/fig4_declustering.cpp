@@ -69,10 +69,18 @@ int run(int argc, char** argv) {
                  "avg response time (buckets), 1000 square queries, r = 0.05; "
                  "DM wins small M, saturates; HCAM wins large M");
     Rng rng(opt.seed);
-    for (auto maker : {&make_uniform2d, &make_hotspot2d, &make_correl2d}) {
-        Workbench<2> bench(maker(rng, 10000));
-        std::cout << "\n" << bench.summary() << "\n";
-        panel(opt, harness, bench);
+    struct PanelSpec {
+        const char* name;
+        Dataset<2> (*maker)(Rng&, std::size_t);
+    };
+    for (PanelSpec spec : {PanelSpec{"uniform.2d", &make_uniform2d},
+                           PanelSpec{"hotspot.2d", &make_hotspot2d},
+                           PanelSpec{"correl.2d", &make_correl2d}}) {
+        auto wb = cached_workbench<2>(
+            opt, spec.name, 10000, rng,
+            [&spec](Rng& r) { return spec.maker(r, 10000); });
+        std::cout << "\n" << wb->summary() << "\n";
+        panel(opt, harness, *wb);
     }
     return harness.write_timings() ? 0 : 1;
 }

@@ -17,8 +17,9 @@ namespace pgf::bench {
 namespace {
 
 void dsmc_panel(const Options& opt, Rng& rng) {
-    auto ds = make_dsmc3d(rng);
-    Workbench<3> bench(std::move(ds));
+    auto wb = cached_workbench<3>(opt, "dsmc.3d", 52857, rng,
+                                  [](Rng& r) { return make_dsmc3d(r); });
+    const Workbench<3>& bench = *wb;
     std::cout << "\n" << bench.summary() << "  (paper: 52857 records, 1536 "
               << "subspaces -> 444 buckets)\n";
     // Histogram of particles per fixed 16x16x16 cell, like the paper's
@@ -51,8 +52,9 @@ void dsmc_panel(const Options& opt, Rng& rng) {
 }
 
 void stock_panel(const Options& opt, Rng& rng) {
-    auto ds = make_stock3d(rng);
-    Workbench<3> bench(std::move(ds));
+    auto wb = cached_workbench<3>(opt, "stock.3d", 127026, rng,
+                                  [](Rng& r) { return make_stock3d(r); });
+    const Workbench<3>& bench = *wb;
     std::cout << "\n" << bench.summary() << "  (paper: 127026 records, 6336 "
               << "subspaces -> 1218 buckets)\n";
     // id (x-axis, 64 columns) vs price slice (y-axis, 24 rows) map.

@@ -73,18 +73,15 @@ int run(int argc, char** argv) {
                  "avg response time (buckets); expected order at large M: "
                  "MiniMax < SSP <= HCAM/D << DM/D, FX/D");
     Rng rng(opt.seed);
-    {
-        Workbench<2> bench(make_hotspot2d(rng));
-        panel(opt, harness, bench);
-    }
-    {
-        Workbench<3> bench(make_dsmc3d(rng));
-        panel(opt, harness, bench);
-    }
-    {
-        Workbench<3> bench(make_stock3d(rng));
-        panel(opt, harness, bench);
-    }
+    panel(opt, harness,
+          *cached_workbench<2>(opt, "hotspot.2d", 10000, rng,
+                               [](Rng& r) { return make_hotspot2d(r); }));
+    panel(opt, harness,
+          *cached_workbench<3>(opt, "dsmc.3d", 52857, rng,
+                               [](Rng& r) { return make_dsmc3d(r); }));
+    panel(opt, harness,
+          *cached_workbench<3>(opt, "stock.3d", 127026, rng,
+                               [](Rng& r) { return make_stock3d(r); }));
     return harness.write_timings() ? 0 : 1;
 }
 

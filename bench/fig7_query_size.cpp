@@ -18,7 +18,9 @@ int run(int argc, char** argv) {
                  "HCAM/D vs MiniMax across r = 0.01 / 0.05 / 0.10; speedup "
                  "= response(4 disks) / response(M disks)");
     Rng rng(opt.seed);
-    Workbench<3> bench(make_stock3d(rng));
+    auto wb = cached_workbench<3>(opt, "stock.3d", 127026, rng,
+                                  [](Rng& r) { return make_stock3d(r); });
+    const Workbench<3>& bench = *wb;
     std::cout << bench.summary() << "\n";
 
     const std::vector<double> ratios{0.01, 0.05, 0.10};

@@ -13,10 +13,12 @@
 #include <string>
 #include <vector>
 
+#include "pgf/core/build_cache.hpp"
 #include "pgf/decluster/registry.hpp"
 #include "pgf/decluster/similarity.hpp"
 #include "pgf/decluster/weights.hpp"
 #include "pgf/disksim/simulator.hpp"
+#include "pgf/gridfile/directory.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/sfc/hilbert.hpp"
 #include "pgf/util/rng.hpp"
@@ -226,17 +228,51 @@ void BM_SspInnerThreads(benchmark::State& state) {
 }
 BENCHMARK(BM_SspInnerThreads)->Arg(1)->Arg(2)->Arg(4);
 
-void BM_GridFileInsert(benchmark::State& state) {
-    Rng rng(3);
-    const auto n = static_cast<std::size_t>(state.range(0));
-    std::vector<Point<2>> pts;
-    pts.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        pts.push_back({{rng.uniform(0.0, 2000.0), rng.uniform(0.0, 2000.0)}});
+template <std::size_t D>
+Rect<D> build_domain() {
+    Rect<D> r;
+    for (std::size_t i = 0; i < D; ++i) {
+        r.lo[i] = 0.0;
+        r.hi[i] = 2000.0;
     }
+    return r;
+}
+
+template <std::size_t D>
+std::vector<Point<D>> uniform_points(std::size_t n) {
+    Rng rng(3);
+    std::vector<Point<D>> pts(n);
+    for (Point<D>& p : pts) {
+        for (std::size_t i = 0; i < D; ++i) p[i] = rng.uniform(0.0, 2000.0);
+    }
+    return pts;
+}
+
+// Construction baseline: the one-record-at-a-time insert() path.
+template <std::size_t D>
+void BM_GridFileInsert(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto pts = uniform_points<D>(n);
     for (auto _ : state) {
-        GridFile<2> gf(Rect<2>{{{0.0, 0.0}}, {{2000.0, 2000.0}}},
-                       {.bucket_capacity = 56});
+        GridFile<D> gf(build_domain<D>(), {.bucket_capacity = 56});
+        for (std::size_t i = 0; i < n; ++i) gf.insert(pts[i], i);
+        benchmark::DoNotOptimize(gf.bucket_count());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK_TEMPLATE(BM_GridFileInsert, 2)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_GridFileInsert, 3)->Arg(10000)->Arg(100000);
+
+// The batched fast path — must stay structurally identical to the insert
+// loop (tests/gridfile/test_bulk_load.cpp) while winning on throughput.
+template <std::size_t D>
+void BM_GridFileBuildBulk(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto pts = uniform_points<D>(n);
+    for (auto _ : state) {
+        GridFile<D> gf(build_domain<D>(), {.bucket_capacity = 56});
         gf.bulk_load(pts);
         benchmark::DoNotOptimize(gf.bucket_count());
     }
@@ -244,7 +280,45 @@ void BM_GridFileInsert(benchmark::State& state) {
         static_cast<std::int64_t>(state.iterations()) *
         static_cast<std::int64_t>(n));
 }
-BENCHMARK(BM_GridFileInsert)->Arg(1000)->Arg(10000)->Arg(50000);
+BENCHMARK_TEMPLATE(BM_GridFileBuildBulk, 2)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_GridFileBuildBulk, 3)->Arg(10000)->Arg(100000);
+
+// Directory growth in isolation: grow 1x1 to side x side by alternating
+// axis expansions (the run-copying rewrite's target operation).
+void BM_DirectoryExpand(benchmark::State& state) {
+    const auto side = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        GridDirectory<2> dir(0);
+        for (std::uint32_t s = 1; s < side; ++s) {
+            dir.expand(0, s - 1);
+            dir.expand(1, s - 1);
+        }
+        benchmark::DoNotOptimize(dir.cell_count());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel("1x1 -> " + std::to_string(side) + "x" +
+                   std::to_string(side));
+}
+BENCHMARK(BM_DirectoryExpand)->Arg(64)->Arg(128);
+
+// Hit path of the workbench cache: key construction + lookup + Rng replay.
+void BM_BuildCacheHit(benchmark::State& state) {
+    BuildCache cache;
+    const auto build = [](Rng& r) { return make_hotspot2d(r, 10000).build(); };
+    {
+        Rng rng(3);
+        BuildKey key{"hotspot.2d", rng.state(), 10000, 2, 0};
+        (void)cache.get_or_build<GridFile<2>>(key, rng, build);  // warm
+    }
+    for (auto _ : state) {
+        Rng rng(3);
+        BuildKey key{"hotspot.2d", rng.state(), 10000, 2, 0};
+        benchmark::DoNotOptimize(
+            cache.get_or_build<GridFile<2>>(key, rng, build));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BuildCacheHit);
 
 void BM_GridFileRangeQuery(benchmark::State& state) {
     Rng rng(4);

@@ -19,7 +19,9 @@ int run(int argc, char** argv) {
                  "B_max * M / B_sum per declustering method with the data "
                  "balance heuristic; 1.00 = perfect");
     Rng rng(opt.seed);
-    Workbench<2> bench(make_hotspot2d(rng));
+    auto wb = cached_workbench<2>(opt, "hotspot.2d", 10000, rng,
+                                  [](Rng& r) { return make_hotspot2d(r); });
+    const Workbench<2>& bench = *wb;
     std::cout << bench.summary() << "\n";
 
     // The paper's text also reports minimax achieving perfect balance; it

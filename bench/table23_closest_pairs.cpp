@@ -63,14 +63,14 @@ int run(int argc, char** argv) {
                  "count of nearest-neighbor bucket pairs sharing a disk; "
                  "MiniMax should be at or near zero, DM/FX high");
     Rng rng(opt.seed);
-    {
-        Workbench<3> bench(make_dsmc3d(rng));
-        table_for(opt, harness, bench, "table2_closest_pairs_dsmc3d");
-    }
-    {
-        Workbench<3> bench(make_stock3d(rng));
-        table_for(opt, harness, bench, "table3_closest_pairs_stock3d");
-    }
+    table_for(opt, harness,
+              *cached_workbench<3>(opt, "dsmc.3d", 52857, rng,
+                                   [](Rng& r) { return make_dsmc3d(r); }),
+              "table2_closest_pairs_dsmc3d");
+    table_for(opt, harness,
+              *cached_workbench<3>(opt, "stock.3d", 127026, rng,
+                                   [](Rng& r) { return make_stock3d(r); }),
+              "table3_closest_pairs_stock3d");
     return harness.write_timings() ? 0 : 1;
 }
 

@@ -33,8 +33,14 @@ int run(int argc, char** argv) {
                      std::to_string(per_snapshot) + " records");
 
     Rng rng(opt.seed);
-    Dataset<4> ds = make_dsmc4d(rng, snapshots, per_snapshot);
-    Workbench<4> bench(std::move(ds));
+    auto wb = cached_workbench<4>(
+        opt,
+        "dsmc.4d/s=" + std::to_string(snapshots) +
+            "/p=" + std::to_string(per_snapshot),
+        snapshots * per_snapshot, rng, [&](Rng& r) {
+            return make_dsmc4d(r, snapshots, per_snapshot);
+        });
+    const Workbench<4>& bench = *wb;
     auto shape = bench.gf.grid_shape();
     std::cout << bench.summary() << "  grid " << shape[0] << "x" << shape[1]
               << "x" << shape[2] << "x" << shape[3]

@@ -21,13 +21,17 @@ std::uint32_t LinearScale::locate(double x) const {
     return idx;
 }
 
+// The interval bounds checks run per axis on the query hot path
+// (query_cell_box) and per bucket in the structure export; callers only
+// pass locate()-derived or cell-box-derived indices, so they are
+// debug-only (PGF_DCHECK).
 double LinearScale::interval_lo(std::uint32_t i) const {
-    PGF_CHECK(i < intervals(), "interval index out of range");
+    PGF_DCHECK(i < intervals(), "interval index out of range");
     return i == 0 ? lo_ : splits_[i - 1];
 }
 
 double LinearScale::interval_hi(std::uint32_t i) const {
-    PGF_CHECK(i < intervals(), "interval index out of range");
+    PGF_DCHECK(i < intervals(), "interval index out of range");
     return i == splits_.size() ? hi_ : splits_[i];
 }
 

@@ -1,0 +1,163 @@
+// Memoized dataset + grid-file construction for the experiment harness.
+//
+// Every figure/table binary builds one or more (dataset, grid file,
+// structure) workbenches before sweeping its (scheme, M) configurations.
+// Construction is deterministic in the generator Rng, so identical build
+// requests — same distribution, same parameters, same Rng position — always
+// produce identical workbenches. BuildCache exploits that: the first
+// request constructs and the result is shared read-only with every later
+// request for the same key.
+//
+// Byte-identity contract (see DESIGN.md §4d): the bench binaries thread one
+// evolving Rng through successive generator calls, so skipping a generation
+// on a cache hit would desynchronize the stream for everything built
+// afterwards. Each cache entry therefore records the Rng state observed
+// right after the original build; a hit restores the caller's Rng to that
+// state, leaving the draw sequence exactly as if the build had run. With
+// the Rng pre-state embedded in the key, a hit is only possible when the
+// original build started from the same stream position — so the restored
+// post-state is the one this build would have produced.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <typeindex>
+#include <unordered_map>
+#include <utility>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+
+/// Identity of one deterministic build request. Two requests with equal
+/// keys produce bit-identical workbenches, which is what makes sharing the
+/// cached object safe.
+struct BuildKey {
+    /// Distribution name including any non-default generator parameters
+    /// (e.g. "hotspot.2d" or "dsmc.4d/s=12/p=15000"). Callers are
+    /// responsible for folding every parameter that affects the points
+    /// into this string.
+    std::string distribution;
+    /// Generator stream position at the start of the build. Captures the
+    /// seed and how much of the stream earlier builds consumed.
+    RngState rng_before;
+    /// Requested record count.
+    std::uint64_t n = 0;
+    /// Dimensionality of the dataset.
+    std::uint32_t dims = 0;
+    /// Bucket capacity override; 0 = the generator's default.
+    std::uint64_t bucket_capacity = 0;
+
+    friend bool operator==(const BuildKey&, const BuildKey&) = default;
+};
+
+struct BuildKeyHash {
+    std::size_t operator()(const BuildKey& k) const {
+        // SplitMix64-style mixing over the scalar fields, seeded by the
+        // string hash. Quality matters little (a handful of entries), but
+        // keep the full state in play so distinct keys rarely collide.
+        std::uint64_t h = std::hash<std::string>{}(k.distribution);
+        auto mix = [&h](std::uint64_t v) {
+            h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+        };
+        mix(k.rng_before.state);
+        mix(k.rng_before.inc);
+        mix(k.rng_before.has_spare_normal ? 1 : 0);
+        mix(std::bit_cast<std::uint64_t>(k.rng_before.spare_normal));
+        mix(k.n);
+        mix(k.dims);
+        mix(k.bucket_capacity);
+        return static_cast<std::size_t>(h);
+    }
+};
+
+/// Thread-safe memo table mapping BuildKey to an immutable, type-erased
+/// build product (typically bench::Workbench<D>). Misses run the caller's
+/// build function; hits return the shared product and replay the original
+/// build's Rng side effect. Entries live for the process lifetime (or
+/// until clear()).
+class BuildCache {
+public:
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+    };
+
+    explicit BuildCache(bool enabled = true) : enabled_(enabled) {}
+
+    bool enabled() const { return enabled_; }
+    void set_enabled(bool enabled) { enabled_ = enabled; }
+
+    /// Returns the cached product for `key`, building it via
+    /// `build(rng)` on a miss. On a hit the build function is not called
+    /// and `rng` is fast-forwarded to the state it would have reached by
+    /// building. `key.rng_before` must equal `rng.state()` — the caller
+    /// snapshots before constructing the key; this is checked.
+    ///
+    /// Builds are serialized under the cache mutex: concurrent requests
+    /// for the same key construct once. The build function must not
+    /// re-enter the same BuildCache.
+    template <typename T, typename BuildFn>
+    std::shared_ptr<const T> get_or_build(const BuildKey& key, Rng& rng,
+                                          BuildFn&& build) {
+        PGF_CHECK(key.rng_before == rng.state(),
+                  "BuildKey.rng_before must snapshot the caller's Rng");
+        if (!enabled_) {
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.misses;
+            }
+            return std::make_shared<const T>(build(rng));
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            PGF_CHECK(it->second.type == std::type_index(typeid(T)),
+                      "BuildCache key reused with a different product type");
+            ++stats_.hits;
+            rng.set_state(it->second.rng_after);
+            return std::static_pointer_cast<const T>(it->second.product);
+        }
+        ++stats_.misses;
+        auto product = std::make_shared<const T>(build(rng));
+        entries_.emplace(key, Entry{product, std::type_index(typeid(T)),
+                                    rng.state()});
+        return product;
+    }
+
+    Stats stats() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stats_;
+    }
+
+    std::size_t size() const {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return entries_.size();
+    }
+
+    void clear() {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+        stats_ = Stats{};
+    }
+
+private:
+    struct Entry {
+        std::shared_ptr<const void> product;
+        std::type_index type;
+        RngState rng_after;
+    };
+
+    bool enabled_;
+    mutable std::mutex mutex_;
+    std::unordered_map<BuildKey, Entry, BuildKeyHash> entries_;
+    Stats stats_;
+};
+
+}  // namespace pgf

@@ -14,6 +14,11 @@
 //
 // A runner with no pool (or a 1-thread pool) degrades to a plain ordered
 // loop, which is what the determinism tests compare against.
+//
+// The workbenches the sweep tasks read are built once, before the fan-out,
+// and shared read-only across every configuration — see
+// pgf/core/build_cache.hpp for the memoization layer and its Rng replay
+// contract.
 #pragma once
 
 #include <cstddef>

@@ -147,7 +147,10 @@ private:
 
     std::uint64_t flatten(const std::array<std::uint32_t, D>& cell) const {
         std::uint64_t idx = 0;
-        for (std::size_t i = 0; i < D; ++i) idx = idx * shape_[i] + cell[i];
+        for (std::size_t i = 0; i < D; ++i) {
+            PGF_DCHECK(cell[i] < shape_[i], "cartesian cell out of range");
+            idx = idx * shape_[i] + cell[i];
+        }
         return idx;
     }
 

@@ -8,6 +8,7 @@
 // forms an axis-aligned box of cells.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <vector>
@@ -97,36 +98,53 @@ public:
     /// Splits interval `interval` of axis `axis` in two: the directory
     /// doubles that slice, and both halves initially map to the same
     /// buckets (so every bucket crossing the split becomes / stays merged).
+    ///
+    /// In row-major layout the new array is a sequence of contiguous runs
+    /// of the old one: for each fixed prefix of coordinates before `axis`,
+    /// the block of `shape[axis] * inner` old cells (inner = product of the
+    /// extents after `axis`) becomes the old slices [0, interval] followed
+    /// by the old slices [interval, shape[axis]) — the duplicated slice is
+    /// simply copied twice. Two std::copy calls per outer block replace the
+    /// per-cell coordinate walk + flatten() of the naive rewrite.
     void expand(std::size_t axis, std::uint32_t interval) {
         PGF_CHECK(axis < D, "directory axis out of range");
         PGF_CHECK(interval < shape_[axis], "directory interval out of range");
-        std::array<std::uint32_t, D> new_shape = shape_;
-        ++new_shape[axis];
-        std::vector<BucketId> grown(cells_.size() / shape_[axis] *
-                                    new_shape[axis]);
-        // Walk the new array; each new cell reads from the old cell whose
-        // coordinate along `axis` is collapsed across the duplicated slice.
-        CellBox<D> all;
-        all.lo.fill(0);
-        all.hi = new_shape;
-        std::vector<BucketId> old_cells = std::move(cells_);
-        std::array<std::uint32_t, D> old_shape = shape_;
-        shape_ = new_shape;
+        std::uint64_t outer = 1;
+        std::uint64_t inner = 1;
+        for (std::size_t i = 0; i < axis; ++i) outer *= shape_[i];
+        for (std::size_t i = axis + 1; i < D; ++i) inner *= shape_[i];
+        const std::uint64_t old_len = shape_[axis];
+        const std::uint64_t lead = (std::uint64_t{interval} + 1) * inner;
+        const std::uint64_t tail = (old_len - interval) * inner;
+        std::vector<BucketId> grown(outer * (old_len + 1) * inner);
+        const BucketId* src = cells_.data();
+        BucketId* dst = grown.data();
+        for (std::uint64_t o = 0; o < outer; ++o) {
+            std::copy(src, src + lead, dst);
+            std::copy(src + lead - inner, src + old_len * inner, dst + lead);
+            src += old_len * inner;
+            dst += lead + tail;
+        }
+        ++shape_[axis];
         cells_ = std::move(grown);
-        for_each_cell(all, [&](const std::array<std::uint32_t, D>& cell) {
-            std::array<std::uint32_t, D> src = cell;
-            if (src[axis] > interval) --src[axis];
-            std::uint64_t src_flat = 0;
-            for (std::size_t i = 0; i < D; ++i)
-                src_flat = src_flat * old_shape[i] + src[i];
-            cells_[flatten(cell)] = old_cells[src_flat];
-        });
     }
 
+    /// Row-major index of `cell`. Coordinates are validated in debug builds
+    /// only (PGF_DCHECK): callers reach this through locate()-clamped cell
+    /// coordinates or directory-shaped loops, so the per-cell bounds check
+    /// on the query/build hot paths would only restate those invariants.
     std::uint64_t flatten(const std::array<std::uint32_t, D>& cell) const {
+        return flatten_unchecked(cell);
+    }
+
+    /// Hot-loop form of flatten(): explicitly unchecked in release builds.
+    /// The caller guarantees cell[i] < shape()[i] for every axis; debug
+    /// builds still assert it.
+    std::uint64_t flatten_unchecked(
+        const std::array<std::uint32_t, D>& cell) const {
         std::uint64_t idx = 0;
         for (std::size_t i = 0; i < D; ++i) {
-            PGF_CHECK(cell[i] < shape_[i], "directory cell out of range");
+            PGF_DCHECK(cell[i] < shape_[i], "directory cell out of range");
             idx = idx * shape_[i] + cell[i];
         }
         return idx;

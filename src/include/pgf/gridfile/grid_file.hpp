@@ -104,6 +104,7 @@ public:
         Bucket root;
         root.cells.lo.fill(0);
         for (std::size_t i = 0; i < D; ++i) root.cells.hi[i] = 1;
+        root.records.reserve(config_.bucket_capacity + 1);
         buckets_.push_back(std::move(root));
     }
 
@@ -161,11 +162,69 @@ public:
         }
     }
 
-    /// Bulk insertion convenience (ids are assigned 0..n-1 plus `id_base`).
+    /// Bulk insertion (ids are assigned 0..n-1 plus `id_base`), structurally
+    /// byte-identical to inserting the points one by one in order: same
+    /// scales, same directory, same bucket contents in the same order
+    /// (asserted by tests/gridfile/test_bulk_load.cpp).
+    ///
+    /// The fast path over the insert loop: the bucket table is pre-reserved
+    /// for the expected final split count, and the per-point locate_cell()
+    /// scale walks are batched dimension-major over blocks of points, so
+    /// each scale's split array streams once per block instead of being
+    /// re-fetched per point. Cached cells stay valid until a grid
+    /// refinement changes a scale (and renumbers directory slices); since
+    /// locate() counts splits <= x, a single new split at coordinate x
+    /// shifts a cached index by exactly (point >= x) along the split axis,
+    /// so the unconsumed tail of the block is patched with one compare per
+    /// point instead of re-searched. Bucket splits without refinement keep
+    /// all cached cells valid — only the directory's cell → bucket mapping
+    /// moved, and that is consulted at insertion time.
     void bulk_load(const std::vector<Point<D>>& points,
                    std::uint64_t id_base = 0) {
-        for (std::size_t i = 0; i < points.size(); ++i) {
-            insert(points[i], id_base + i);
+        const std::size_t n = points.size();
+        // Each split adds one bucket and frees ~capacity/2 slots, so the
+        // final bucket count is about 2n/capacity; headroom avoids moving
+        // the bucket table more than once even on skewed data.
+        buckets_.reserve(buckets_.size() + 2 * n / config_.bucket_capacity +
+                         8);
+        const std::size_t capacity = config_.bucket_capacity;
+        constexpr std::size_t kBlock = 256;
+        std::array<std::array<std::uint32_t, D>, kBlock> cells;
+        std::size_t i = 0;
+        while (i < n) {
+            const std::size_t count = std::min(kBlock, n - i);
+            locate_cells(&points[i], count, cells.data());
+            std::size_t k = 0;
+            while (k < count) {
+                const BucketId b = dir_.at(cells[k]);
+                std::vector<GridRecord<D>>& records = buckets_[b].records;
+                records.push_back(
+                    GridRecord<D>{points[i + k], id_base + i + k});
+                ++k;
+                if (records.size() > capacity) {
+                    const std::uint64_t before = refinements_;
+                    handle_overflow(b);
+                    if (refinements_ == before + 1 && k < count) {
+                        // One scale split at (axis, x): the cell index of a
+                        // cached point along that axis grows by one iff the
+                        // point lies at/above the new boundary (the clamped
+                        // out-of-domain cases shift consistently too).
+                        const std::size_t axis = last_refine_axis_;
+                        const double x = last_refine_coord_;
+                        for (std::size_t j = k; j < count; ++j) {
+                            cells[j][axis] +=
+                                points[i + j][axis] >= x ? 1u : 0u;
+                        }
+                    } else if (refinements_ != before && k < count) {
+                        // Cascaded refinements (rare, skewed data): give up
+                        // on patching and re-locate the tail outright.
+                        locate_cells(&points[i + k], count - k,
+                                     cells.data() + k);
+                    }
+                }
+            }
+            record_count_ += count;
+            i += count;
         }
     }
 
@@ -225,8 +284,10 @@ public:
         out.clear();
         query_buckets(q, scratch, scratch.buckets);
         out.reserve(candidate_records(scratch.buckets));
+        const Bucket* const buckets = buckets_.data();
         for (BucketId b : scratch.buckets) {
-            for (const auto& r : buckets_[b].records) {
+            const std::vector<GridRecord<D>>& records = buckets[b].records;
+            for (const GridRecord<D>& r : records) {
                 if (q.contains(r.point)) out.push_back(r);
             }
         }
@@ -279,8 +340,10 @@ public:
         out.clear();
         query_buckets(q, scratch, scratch.buckets);
         out.reserve(candidate_records(scratch.buckets));
+        const Bucket* const buckets = buckets_.data();
         for (BucketId b : scratch.buckets) {
-            for (const auto& r : buckets_[b].records) {
+            const std::vector<GridRecord<D>>& records = buckets[b].records;
+            for (const GridRecord<D>& r : records) {
                 bool match = true;
                 for (std::size_t i = 0; i < D && match; ++i) {
                     if (q.key[i].has_value() && r.point[i] != *q.key[i]) {
@@ -314,6 +377,10 @@ public:
         }
         return r;
     }
+
+    /// Number of grid refinements performed so far (scale splits that grew
+    /// the directory). Bucket splits along existing grid lines don't count.
+    std::uint64_t refinement_count() const { return refinements_; }
 
     std::size_t merged_bucket_count() const {
         std::size_t n = 0;
@@ -380,12 +447,26 @@ public:
 
 private:
     /// Total records held by the given buckets — the reserve() upper bound
-    /// for record-query results.
+    /// for record-query results. The bucket-table base pointer is hoisted
+    /// into a local so the size loads don't re-read buckets_.data() per id.
     std::size_t candidate_records(
         const std::vector<BucketId>& bucket_ids) const {
+        const Bucket* const buckets = buckets_.data();
         std::size_t n = 0;
-        for (BucketId b : bucket_ids) n += buckets_[b].records.size();
+        for (BucketId b : bucket_ids) n += buckets[b].records.size();
         return n;
+    }
+
+    /// Batched locate_cell over `count` points, dimension-major so each
+    /// scale's split array stays cache-resident across the whole block.
+    void locate_cells(const Point<D>* points, std::size_t count,
+                      std::array<std::uint32_t, D>* cells) const {
+        for (std::size_t d = 0; d < D; ++d) {
+            const LinearScale& scale = scales_[d];
+            for (std::size_t k = 0; k < count; ++k) {
+                cells[k][d] = scale.locate(points[k][d]);
+            }
+        }
     }
 
     void handle_overflow(BucketId overflowing) {
@@ -429,6 +510,9 @@ private:
             if (!scales_[axis].insert_split(x, &interval)) continue;
             dir_.expand(axis, interval);
             shift_cell_boxes(axis, interval);
+            ++refinements_;
+            last_refine_axis_ = axis;
+            last_refine_coord_ = x;
             return true;
         }
         return false;
@@ -487,6 +571,10 @@ private:
         upper.cells = buckets_[b].cells;
         upper.cells.lo[axis] = mid;
         buckets_[b].cells.hi[axis] = mid;
+        // Reserve to capacity + 1 up front (the lower half keeps its
+        // original reservation) so neither half reallocates its record
+        // vector again before its own overflow.
+        upper.records.reserve(config_.bucket_capacity + 1);
 
         // Move records whose cell falls in the upper half.
         auto& lower_records = buckets_[b].records;
@@ -517,6 +605,11 @@ private:
     GridDirectory<D> dir_;
     std::vector<Bucket> buckets_;
     std::size_t record_count_ = 0;
+    std::uint64_t refinements_ = 0;
+    // Axis and coordinate of the most recent scale split, consumed by
+    // bulk_load to patch its cached cell block without re-locating.
+    std::size_t last_refine_axis_ = 0;
+    double last_refine_coord_ = 0.0;
 };
 
 }  // namespace pgf

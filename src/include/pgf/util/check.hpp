@@ -73,3 +73,20 @@ private:
 
 /// Shorthand for argument validation with a default message.
 #define PGF_REQUIRE(cond) PGF_CHECK(cond, "requirement violated")
+
+/// Debug-only check for per-element validation on hot paths (per-cell
+/// directory lookups, per-record scans): a full PGF_CHECK in debug builds
+/// (and in any build defining PGF_DEBUG_CHECKS — the sanitizer presets turn
+/// it on), compiled out entirely otherwise. Use only where the enclosing
+/// operation's inputs are already validated once up front and the
+/// per-element condition merely restates that invariant. Tests that assert
+/// the throwing behavior should guard on PGF_DCHECK_ACTIVE.
+#if !defined(NDEBUG) || defined(PGF_DEBUG_CHECKS)
+#define PGF_DCHECK_ACTIVE 1
+#define PGF_DCHECK(cond, msg) PGF_CHECK(cond, msg)
+#else
+#define PGF_DCHECK_ACTIVE 0
+#define PGF_DCHECK(cond, msg) \
+    do {                      \
+    } while (0)
+#endif

@@ -1,0 +1,159 @@
+// BuildCache: memoized deterministic construction with Rng stream replay.
+#include "pgf/core/build_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
+
+namespace pgf {
+namespace {
+
+struct Product {
+    std::vector<std::uint32_t> values;
+};
+
+BuildKey key_for(const std::string& name, const Rng& rng, std::uint64_t n) {
+    return BuildKey{name, rng.state(), n, 2, 0};
+}
+
+Product build_product(Rng& rng, std::size_t n) {
+    Product p;
+    for (std::size_t i = 0; i < n; ++i) p.values.push_back(rng.next_u32());
+    return p;
+}
+
+TEST(BuildKey, EqualityCoversEveryField) {
+    Rng rng(1);
+    BuildKey a = key_for("d", rng, 10);
+    EXPECT_EQ(a, key_for("d", rng, 10));
+    EXPECT_NE(a, key_for("e", rng, 10));
+    EXPECT_NE(a, key_for("d", rng, 11));
+    BuildKey b = a;
+    b.dims = 3;
+    EXPECT_NE(a, b);
+    b = a;
+    b.bucket_capacity = 8;
+    EXPECT_NE(a, b);
+    b = a;
+    b.rng_before.state ^= 1;
+    EXPECT_NE(a, b);
+    EXPECT_NE(BuildKeyHash{}(a), BuildKeyHash{}(b));
+}
+
+TEST(BuildCache, HitReturnsSameObjectAndReplaysRng) {
+    BuildCache cache;
+    Rng rng1(42);
+    auto p1 = cache.get_or_build<Product>(
+        key_for("d", rng1, 16), rng1,
+        [](Rng& r) { return build_product(r, 16); });
+    const std::uint32_t after1 = rng1.next_u32();
+
+    Rng rng2(42);  // same seed -> same pre-state -> cache hit
+    auto p2 = cache.get_or_build<Product>(
+        key_for("d", rng2, 16), rng2, [](Rng& r) -> Product {
+            ADD_FAILURE() << "build function must not run on a hit";
+            return build_product(r, 16);
+        });
+    EXPECT_EQ(p1.get(), p2.get());
+    // The hit fast-forwarded rng2 past the 16 draws the build consumed.
+    EXPECT_EQ(rng2.next_u32(), after1);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(BuildCache, DifferentRngPositionIsADifferentKey) {
+    BuildCache cache;
+    Rng rng(7);
+    auto p1 = cache.get_or_build<Product>(
+        key_for("d", rng, 4), rng,
+        [](Rng& r) { return build_product(r, 4); });
+    // Same distribution and n, but the stream has advanced: must rebuild.
+    auto p2 = cache.get_or_build<Product>(
+        key_for("d", rng, 4), rng,
+        [](Rng& r) { return build_product(r, 4); });
+    EXPECT_NE(p1.get(), p2.get());
+    EXPECT_NE(p1->values, p2->values);
+    EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(BuildCache, DisabledCacheAlwaysBuilds) {
+    BuildCache cache(false);
+    Rng rng1(42);
+    auto p1 = cache.get_or_build<Product>(
+        key_for("d", rng1, 8), rng1,
+        [](Rng& r) { return build_product(r, 8); });
+    Rng rng2(42);
+    auto p2 = cache.get_or_build<Product>(
+        key_for("d", rng2, 8), rng2,
+        [](Rng& r) { return build_product(r, 8); });
+    EXPECT_NE(p1.get(), p2.get());
+    EXPECT_EQ(p1->values, p2->values);  // deterministic, just not shared
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 2u);
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(BuildCache, StaleRngSnapshotRejected) {
+    BuildCache cache;
+    Rng rng(3);
+    BuildKey key = key_for("d", rng, 4);
+    rng.next_u32();  // key.rng_before no longer matches rng.state()
+    EXPECT_THROW(cache.get_or_build<Product>(
+                     key, rng, [](Rng& r) { return build_product(r, 4); }),
+                 CheckError);
+}
+
+TEST(BuildCache, TypeMismatchRejected) {
+    BuildCache cache;
+    Rng rng1(5);
+    BuildKey key = key_for("d", rng1, 4);
+    (void)cache.get_or_build<Product>(
+        key, rng1, [](Rng& r) { return build_product(r, 4); });
+    Rng rng2(5);
+    EXPECT_THROW(cache.get_or_build<int>(key, rng2,
+                                         [](Rng&) { return 1; }),
+                 CheckError);
+}
+
+TEST(BuildCache, ClearDropsEntriesAndStats) {
+    BuildCache cache;
+    Rng rng(9);
+    (void)cache.get_or_build<Product>(
+        key_for("d", rng, 4), rng,
+        [](Rng& r) { return build_product(r, 4); });
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(BuildCache, SharedProductOutlivesConcurrentReaders) {
+    BuildCache cache;
+    Rng rng(11);
+    auto p = cache.get_or_build<Product>(
+        key_for("d", rng, 64), rng,
+        [](Rng& r) { return build_product(r, 64); });
+    // Concurrent hits from multiple threads all observe the same object.
+    std::vector<std::thread> threads;
+    std::vector<const Product*> seen(4, nullptr);
+    for (int t = 0; t < 4; ++t) {
+        threads.emplace_back([&cache, &seen, t] {
+            Rng local(11);
+            auto h = cache.get_or_build<Product>(
+                key_for("d", local, 64), local,
+                [](Rng& r) { return build_product(r, 64); });
+            seen[static_cast<std::size_t>(t)] = h.get();
+        });
+    }
+    for (auto& th : threads) th.join();
+    for (const Product* ptr : seen) EXPECT_EQ(ptr, p.get());
+}
+
+}  // namespace
+}  // namespace pgf

@@ -1,0 +1,159 @@
+// Structural golden tests for GridFile::bulk_load: the batched build path
+// must produce a grid file byte-identical to the one-record-at-a-time
+// insert() loop — same scales, same directory, same buckets, same record
+// order inside every bucket. The bench harness and the storage layer both
+// rely on this equivalence (DESIGN.md §4d).
+#include "pgf/gridfile/grid_file.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "pgf/analysis/grid_file_audit.hpp"
+#include "pgf/util/rng.hpp"
+#include "pgf/workload/datasets.hpp"
+
+namespace pgf {
+namespace {
+
+template <std::size_t D>
+void expect_identical(const GridFile<D>& a, const GridFile<D>& b) {
+    ASSERT_EQ(a.record_count(), b.record_count());
+    ASSERT_EQ(a.bucket_count(), b.bucket_count());
+    ASSERT_EQ(a.refinement_count(), b.refinement_count());
+    ASSERT_EQ(a.grid_shape(), b.grid_shape());
+    for (std::size_t i = 0; i < D; ++i) {
+        const LinearScale& sa = a.scale(i);
+        const LinearScale& sb = b.scale(i);
+        ASSERT_EQ(sa.intervals(), sb.intervals());
+        for (std::uint32_t k = 0; k < sa.intervals(); ++k) {
+            ASSERT_EQ(sa.interval_lo(k), sb.interval_lo(k));
+            ASSERT_EQ(sa.interval_hi(k), sb.interval_hi(k));
+        }
+    }
+    // Bucket ids must match cell-for-cell, not just up to renumbering: the
+    // split sequence (and hence bucket numbering) is part of the contract.
+    std::array<std::uint32_t, D> cell{};
+    for (std::uint64_t idx = 0; idx < a.directory().cell_count(); ++idx) {
+        ASSERT_EQ(a.directory().at(cell), b.directory().at(cell));
+        for (std::size_t i = D; i-- > 0;) {
+            if (++cell[i] < a.grid_shape()[i]) break;
+            cell[i] = 0;
+        }
+    }
+    for (std::uint32_t bi = 0; bi < a.bucket_count(); ++bi) {
+        const auto& ba = a.bucket(bi);
+        const auto& bb = b.bucket(bi);
+        ASSERT_EQ(ba.cells.lo, bb.cells.lo);
+        ASSERT_EQ(ba.cells.hi, bb.cells.hi);
+        ASSERT_EQ(ba.records.size(), bb.records.size());
+        for (std::size_t r = 0; r < ba.records.size(); ++r) {
+            ASSERT_EQ(ba.records[r].id, bb.records[r].id);
+            for (std::size_t i = 0; i < D; ++i) {
+                ASSERT_EQ(ba.records[r].point[i], bb.records[r].point[i]);
+            }
+        }
+    }
+}
+
+template <std::size_t D>
+void check_bulk_matches_inserts(const Rect<D>& domain,
+                                const std::vector<Point<D>>& points,
+                                std::size_t bucket_capacity) {
+    typename GridFile<D>::Config config;
+    config.bucket_capacity = bucket_capacity;
+
+    GridFile<D> incremental(domain, config);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        incremental.insert(points[i], i);
+    }
+    GridFile<D> bulk(domain, config);
+    bulk.bulk_load(points);
+
+    expect_identical(incremental, bulk);
+    analysis::ValidationReport r =
+        analysis::audit_grid_file(bulk, analysis::ValidationLevel::kDeep);
+    EXPECT_TRUE(r.ok()) << r.summary();
+}
+
+TEST(BulkLoad, MatchesInsertLoopUniform2D) {
+    Rng rng(71);
+    Rect<2> domain;
+    domain.lo = {0.0, 0.0};
+    domain.hi = {100.0, 100.0};
+    std::vector<Point<2>> points;
+    for (int i = 0; i < 5000; ++i) {
+        points.push_back({rng.uniform(0.0, 100.0), rng.uniform(0.0, 100.0)});
+    }
+    check_bulk_matches_inserts(domain, points, 8);
+}
+
+TEST(BulkLoad, MatchesInsertLoopSkewed3D) {
+    Rng rng(72);
+    Rect<3> domain;
+    domain.lo = {0.0, 0.0, 0.0};
+    domain.hi = {1.0, 1.0, 1.0};
+    std::vector<Point<3>> points;
+    for (int i = 0; i < 4000; ++i) {
+        // Clustered around a corner so refinements concentrate and cached
+        // cells are invalidated mid-block frequently.
+        double x = rng.uniform() * rng.uniform();
+        double y = rng.uniform() * rng.uniform();
+        points.push_back({x, y, rng.uniform()});
+    }
+    check_bulk_matches_inserts(domain, points, 4);
+}
+
+TEST(BulkLoad, MatchesInsertLoopDuplicateHeavy) {
+    // Duplicate coordinates can never be separated by refinement; the
+    // overflow path must give up identically in both build modes.
+    Rng rng(73);
+    Rect<2> domain;
+    domain.lo = {0.0, 0.0};
+    domain.hi = {10.0, 10.0};
+    std::vector<Point<2>> points;
+    for (int i = 0; i < 500; ++i) {
+        double x = static_cast<double>(rng.below(4));
+        double y = static_cast<double>(rng.below(4));
+        points.push_back({x + 1.0, y + 1.0});
+    }
+    check_bulk_matches_inserts(domain, points, 4);
+}
+
+TEST(BulkLoad, MatchesInsertLoopSmallAndEmpty) {
+    Rect<2> domain;
+    domain.lo = {0.0, 0.0};
+    domain.hi = {1.0, 1.0};
+    check_bulk_matches_inserts<2>(domain, {}, 4);
+    check_bulk_matches_inserts<2>(domain, {{0.5, 0.5}}, 4);
+}
+
+TEST(BulkLoad, MatchesInsertLoopPaperDatasets) {
+    // The bench datasets exercise merged buckets, clamped out-of-domain
+    // points and the midpoint split policy at realistic scale.
+    Rng rng(1);
+    Dataset<2> ds = make_hotspot2d(rng, 6000);
+    check_bulk_matches_inserts(ds.domain, ds.points, ds.bucket_capacity);
+}
+
+TEST(BulkLoad, IdBaseOffsetsRecordIds) {
+    Rng rng(74);
+    Rect<2> domain;
+    domain.lo = {0.0, 0.0};
+    domain.hi = {1.0, 1.0};
+    std::vector<Point<2>> points;
+    for (int i = 0; i < 100; ++i) {
+        points.push_back({rng.uniform(), rng.uniform()});
+    }
+    GridFile<2> incremental(domain, {});
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        incremental.insert(points[i], 1000 + i);
+    }
+    GridFile<2> bulk(domain, {});
+    bulk.bulk_load(points, 1000);
+    expect_identical(incremental, bulk);
+}
+
+}  // namespace
+}  // namespace pgf

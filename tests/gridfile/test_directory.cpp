@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <vector>
 
 #include "pgf/util/check.hpp"
+#include "pgf/util/rng.hpp"
 
 namespace pgf {
 namespace {
@@ -110,9 +112,132 @@ TEST(GridDirectory, ExpandThreeDimensional) {
 
 TEST(GridDirectory, OutOfRangeAccessThrows) {
     GridDirectory<2> dir(0);
+#if PGF_DCHECK_ACTIVE
+    // Cell bounds are PGF_DCHECK-validated: debug/sanitizer builds throw,
+    // release builds make the caller responsible (flatten_unchecked
+    // contract).
     EXPECT_THROW(dir.at({1, 0}), CheckError);
+#endif
     EXPECT_THROW(dir.expand(2, 0), CheckError);
     EXPECT_THROW(dir.expand(0, 1), CheckError);
+}
+
+// Reference model for expand(): a plain row-major array grown one cell at
+// a time with explicit index arithmetic. expand() itself is implemented
+// with contiguous run copies; this model re-derives the same semantics
+// independently — new index j along `axis` reads old index j for
+// j <= interval and j - 1 above it (interval and its copy both inherit the
+// old interval's buckets).
+template <std::size_t D>
+class DirectoryModel {
+public:
+    explicit DirectoryModel(std::uint32_t fill) : cells_(1, fill) {
+        shape_.fill(1);
+    }
+
+    void expand(std::size_t axis, std::uint32_t interval) {
+        std::array<std::uint32_t, D> new_shape = shape_;
+        ++new_shape[axis];
+        std::vector<std::uint32_t> grown(cell_count(new_shape));
+        std::array<std::uint32_t, D> cell{};
+        for (std::uint64_t idx = 0; idx < grown.size(); ++idx) {
+            std::array<std::uint32_t, D> src = cell;
+            if (src[axis] > interval) --src[axis];
+            grown[idx] = cells_[flatten(src, shape_)];
+            // row-major increment, last axis fastest
+            for (std::size_t i = D; i-- > 0;) {
+                if (++cell[i] < new_shape[i]) break;
+                cell[i] = 0;
+            }
+        }
+        shape_ = new_shape;
+        cells_ = std::move(grown);
+    }
+
+    void set(const std::array<std::uint32_t, D>& cell, std::uint32_t v) {
+        cells_[flatten(cell, shape_)] = v;
+    }
+
+    std::uint32_t at(const std::array<std::uint32_t, D>& cell) const {
+        return cells_[flatten(cell, shape_)];
+    }
+
+    const std::array<std::uint32_t, D>& shape() const { return shape_; }
+    const std::vector<std::uint32_t>& cells() const { return cells_; }
+
+private:
+    static std::uint64_t cell_count(const std::array<std::uint32_t, D>& s) {
+        std::uint64_t n = 1;
+        for (std::uint32_t e : s) n *= e;
+        return n;
+    }
+
+    static std::uint64_t flatten(const std::array<std::uint32_t, D>& cell,
+                                 const std::array<std::uint32_t, D>& s) {
+        std::uint64_t idx = 0;
+        for (std::size_t i = 0; i < D; ++i) idx = idx * s[i] + cell[i];
+        return idx;
+    }
+
+    std::array<std::uint32_t, D> shape_;
+    std::vector<std::uint32_t> cells_;
+};
+
+template <std::size_t D>
+void random_expand_equivalence(std::uint64_t seed) {
+    Rng rng(seed);
+    GridDirectory<D> dir(0);
+    DirectoryModel<D> model(0u);
+    for (int step = 0; step < 60; ++step) {
+        // Mutate a few random cells so copied runs carry distinct values.
+        for (int w = 0; w < 3; ++w) {
+            std::array<std::uint32_t, D> cell;
+            for (std::size_t i = 0; i < D; ++i) {
+                cell[i] = rng.below(dir.shape()[i]);
+            }
+            const std::uint32_t v = rng.next_u32() % 1000;
+            dir.set(cell, v);
+            model.set(cell, v);
+        }
+        const auto axis = static_cast<std::size_t>(
+            rng.below(static_cast<std::uint32_t>(D)));
+        const std::uint32_t interval = rng.below(dir.shape()[axis]);
+        dir.expand(axis, interval);
+        model.expand(axis, interval);
+
+        ASSERT_EQ(dir.shape(), model.shape());
+        std::array<std::uint32_t, D> cell{};
+        for (std::uint64_t idx = 0; idx < dir.cell_count(); ++idx) {
+            ASSERT_EQ(dir.at(cell), model.at(cell))
+                << "step " << step << " flat index " << idx;
+            for (std::size_t i = D; i-- > 0;) {
+                if (++cell[i] < dir.shape()[i]) break;
+                cell[i] = 0;
+            }
+        }
+        // Keep directory size bounded: stop growing large dimensions.
+        if (dir.cell_count() > 200000) break;
+    }
+}
+
+TEST(GridDirectory, RandomExpandMatchesPerCellModel1D) {
+    random_expand_equivalence<1>(101);
+    random_expand_equivalence<1>(102);
+}
+
+TEST(GridDirectory, RandomExpandMatchesPerCellModel2D) {
+    random_expand_equivalence<2>(201);
+    random_expand_equivalence<2>(202);
+}
+
+TEST(GridDirectory, RandomExpandMatchesPerCellModel3D) {
+    random_expand_equivalence<3>(301);
+    random_expand_equivalence<3>(302);
+}
+
+TEST(GridDirectory, RandomExpandMatchesPerCellModel4D) {
+    random_expand_equivalence<4>(401);
+    random_expand_equivalence<4>(402);
 }
 
 TEST(GridDirectory, FlattenIsRowMajor) {

@@ -1,0 +1,27 @@
+// Unique per-test-case temp paths for the storage tests. ctest runs each
+// gtest case in its own process, so a fixed file name shared by all of a
+// fixture's cases collides when the suite runs with -j (one process's
+// TearDown unlinks the file another process is still reading). Suffixing
+// the current test name keeps paths distinct while staying deterministic
+// and debuggable.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+namespace pgf::test {
+
+inline std::filesystem::path unique_temp_path(const std::string& stem,
+                                              const std::string& ext = ".db") {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = stem;
+    if (info != nullptr) {
+        name += '.';
+        name += info->name();
+    }
+    return std::filesystem::temp_directory_path() / (name + ext);
+}
+
+}  // namespace pgf::test

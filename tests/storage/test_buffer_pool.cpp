@@ -5,14 +5,14 @@
 #include <filesystem>
 
 #include "pgf/util/check.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class BufferPoolTest : public ::testing::Test {
 protected:
-    std::filesystem::path path_ =
-        std::filesystem::temp_directory_path() / "pgf_bufpool_test.db";
+    std::filesystem::path path_ = test::unique_temp_path("pgf_bufpool_test");
 
     void TearDown() override { std::filesystem::remove(path_); }
 };

@@ -7,14 +7,14 @@
 #include "pgf/util/rng.hpp"
 #include "pgf/workload/datasets.hpp"
 #include "pgf/workload/query_gen.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class GridFileIoTest : public ::testing::Test {
 protected:
-    std::filesystem::path path_ =
-        std::filesystem::temp_directory_path() / "pgf_gridfile_io_test.db";
+    std::filesystem::path path_ = test::unique_temp_path("pgf_gridfile_io_test");
 
     void TearDown() override { std::filesystem::remove(path_); }
 };

@@ -8,14 +8,14 @@
 
 #include "pgf/util/check.hpp"
 #include "pgf/util/rng.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class PageFileTest : public ::testing::Test {
 protected:
-    std::filesystem::path path_ =
-        std::filesystem::temp_directory_path() / "pgf_pagefile_test.db";
+    std::filesystem::path path_ = test::unique_temp_path("pgf_pagefile_test");
 
     void TearDown() override { std::filesystem::remove(path_); }
 };

@@ -8,14 +8,14 @@
 
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/util/rng.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class PagedGridFileTest : public ::testing::Test {
 protected:
-    std::filesystem::path path_ =
-        std::filesystem::temp_directory_path() / "pgf_paged_test.db";
+    std::filesystem::path path_ = test::unique_temp_path("pgf_paged_test");
     Rect<2> domain_{{{0.0, 0.0}}, {{1.0, 1.0}}};
 
     void TearDown() override { std::filesystem::remove(path_); }

@@ -7,17 +7,16 @@
 #include "pgf/decluster/registry.hpp"
 #include "pgf/storage/paged_grid_file.hpp"
 #include "pgf/util/rng.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class PartitionTest : public ::testing::Test {
 protected:
-    std::filesystem::path store_ =
-        std::filesystem::temp_directory_path() / "pgf_partition_src.db";
+    std::filesystem::path store_ = test::unique_temp_path("pgf_partition_src");
     std::string prefix_ =
-        (std::filesystem::temp_directory_path() / "pgf_partition_out")
-            .string();
+        test::unique_temp_path("pgf_partition_out", "").string();
     std::uint32_t disks_ = 4;
 
     void TearDown() override {

@@ -7,14 +7,14 @@
 #include <limits>
 
 #include "pgf/util/rng.hpp"
+#include "temp_path.hpp"
 
 namespace pgf {
 namespace {
 
 class SerializerTest : public ::testing::Test {
 protected:
-    std::filesystem::path path_ =
-        std::filesystem::temp_directory_path() / "pgf_serializer_test.db";
+    std::filesystem::path path_ = test::unique_temp_path("pgf_serializer_test");
 
     void TearDown() override { std::filesystem::remove(path_); }
 };
