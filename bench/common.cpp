@@ -1,5 +1,9 @@
 #include "common.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -32,6 +36,13 @@ unsigned default_inner_threads() {
     return 1;  // inner scans stay serial unless asked for
 }
 
+std::string default_backend() {
+    if (const char* env = std::getenv("PGF_BACKEND")) {
+        if (*env != '\0') return env;
+    }
+    return "memory";
+}
+
 /// Minimal JSON string escaping (paths and sweep names only).
 std::string json_escape(const std::string& s) {
     std::string out;
@@ -61,6 +72,14 @@ Options::Options(int argc, const char* const* argv) {
         "inner-threads", static_cast<std::int64_t>(default_inner_threads())));
     bench_json = cli.get_string("bench-json", "");
     build_cache = cli.get_bool("build-cache", default_build_cache());
+    backend = cli.get_string("backend", default_backend());
+    if (backend != "memory" && backend != "paged") {
+        std::cerr << "unknown --backend '" << backend
+                  << "' (expected memory|paged)\n";
+        std::exit(2);
+    }
+    node_pool_pages =
+        static_cast<std::size_t>(cli.get_int("node-pool-pages", 1024));
     const char* env = std::getenv("PGF_FULL_SCALE");
     full_scale = cli.get_bool("full", env != nullptr &&
                                           std::string(env) == "1");
@@ -121,6 +140,22 @@ std::vector<std::uint32_t> disk_sweep() {
     std::vector<std::uint32_t> disks;
     for (std::uint32_t m = 4; m <= 32; m += 2) disks.push_back(m);
     return disks;
+}
+
+std::string unique_backing_path(const std::string& tag) {
+    static std::atomic<unsigned> counter{0};
+    std::string safe;
+    for (char c : tag) {
+        safe += (std::isalnum(static_cast<unsigned char>(c)) || c == '.' ||
+                 c == '-')
+                    ? c
+                    : '_';
+    }
+    const char* tmp = std::getenv("TMPDIR");
+    std::string dir = (tmp != nullptr && *tmp != '\0') ? tmp : "/tmp";
+    return dir + "/pgf-bench-" + safe + "-" +
+           std::to_string(static_cast<long long>(::getpid())) + "-" +
+           std::to_string(counter.fetch_add(1)) + ".paged";
 }
 
 SweepHarness::SweepHarness(const Options& opt, std::string binary)

@@ -22,11 +22,23 @@
 //                       repeated identical build requests (default: on;
 //                       PGF_BUILD_CACHE=0 in the environment disables).
 //                       Output is byte-identical either way.
+//   --backend <b>       grid-file backend: memory (default) or paged.
+//                       Paged builds the workbench's dataset into a real
+//                       one-bucket-per-page disk file too; experiments
+//                       that support it (table45_sp2) then run the
+//                       parallel server disk-backed, with physical
+//                       reads / cache hits counted by per-node buffer
+//                       pools. (PGF_BACKEND in the environment sets the
+//                       default.) Response-block columns are identical
+//                       across backends by construction.
+//   --node-pool-pages <n>  buffer-pool frames per simulated node in the
+//                       disk-backed mode (default 1024)
 //   --full              full paper scale for the SP-2 experiment
 //                       (also enabled by PGF_FULL_SCALE=1 in the environment)
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <memory>
 #include <string>
 #include <utility>
@@ -36,6 +48,7 @@
 #include "pgf/core/declusterer.hpp"
 #include "pgf/core/sweep.hpp"
 #include "pgf/disksim/simulator.hpp"
+#include "pgf/storage/paged_grid_file.hpp"
 #include "pgf/util/cli.hpp"
 #include "pgf/util/table.hpp"
 #include "pgf/util/thread_pool.hpp"
@@ -52,9 +65,13 @@ struct Options {
     unsigned inner_threads = 1;  ///< intra-algorithm scans; 0 = hw concurrency
     std::string bench_json;
     bool build_cache = true;
+    std::string backend = "memory";  ///< "memory" or "paged"
+    std::size_t node_pool_pages = 1024;  ///< disk-backed per-node pool frames
     bool full_scale = false;
 
     Options(int argc, const char* const* argv);
+
+    bool paged() const { return backend == "paged"; }
 
     /// Thread count after resolving 0 to the hardware concurrency.
     unsigned resolved_threads() const;
@@ -79,6 +96,11 @@ void emit(const Options& opt, const TextTable& table, const std::string& name);
 
 /// The paper's disk sweep: M = 4, 6, ..., 32.
 std::vector<std::uint32_t> disk_sweep();
+
+/// A fresh unique path under the system temp directory for a paged
+/// workbench's backing file (tag is sanitized into the file name). The
+/// caller owns cleanup.
+std::string unique_backing_path(const std::string& tag);
 
 /// One worker pool + sweep engine + timing log per bench binary. The
 /// sweep() results come back in declaration order, so stdout/CSV bytes
@@ -144,15 +166,36 @@ private:
 };
 
 /// A dataset loaded into a grid file with its structural snapshot — the
-/// starting state of every simulation experiment.
+/// starting state of every simulation experiment. With `with_paged` the
+/// same dataset is also bulk-loaded into a disk-backed grid file whose
+/// page capacity equals the in-memory bucket capacity, so the two
+/// backends are cell-for-cell identical; the backing file is removed
+/// when the last handle drops.
 template <std::size_t D>
 struct Workbench {
     Dataset<D> dataset;
     GridFile<D> gf;
     GridStructure gs;
+    std::shared_ptr<PagedGridFile<D>> paged;  ///< set only with with_paged
 
-    explicit Workbench(Dataset<D> ds)
-        : dataset(std::move(ds)), gf(dataset.build()), gs(gf.structure()) {}
+    explicit Workbench(Dataset<D> ds, bool with_paged = false)
+        : dataset(std::move(ds)), gf(dataset.build()), gs(gf.structure()) {
+        if (with_paged) {
+            typename PagedGridFile<D>::Config cfg;
+            cfg.page_size = PagedBucketStore<D>::page_size_for(
+                dataset.bucket_capacity);
+            paged = std::shared_ptr<PagedGridFile<D>>(
+                new PagedGridFile<D>(unique_backing_path(dataset.name),
+                                     dataset.domain, cfg),
+                [](PagedGridFile<D>* p) {
+                    const std::string path = p->path();
+                    delete p;
+                    std::remove(path.c_str());
+                });
+            paged->bulk_load(dataset.points);
+            paged->flush();
+        }
+    }
 
     /// Precollects the bucket sets of a fresh random square-query workload
     /// (reused across every method/M configuration). A pool fans the
@@ -191,11 +234,17 @@ template <std::size_t D, typename Maker>
 std::shared_ptr<const Workbench<D>> cached_workbench(
     const Options& opt, std::string distribution, std::size_t n, Rng& rng,
     Maker&& maker, std::uint64_t bucket_capacity = 0) {
+    // The paged workbench carries extra state (the backing file), so it
+    // never aliases a memory-backend cache entry.
+    const bool with_paged = opt.paged();
+    if (with_paged) distribution += "/backend=paged";
     BuildKey key{std::move(distribution), rng.state(), n,
                  static_cast<std::uint32_t>(D), bucket_capacity};
     return workbench_cache(opt).get_or_build<Workbench<D>>(
         key, rng,
-        [&maker](Rng& r) { return Workbench<D>(maker(r)); });
+        [&maker, with_paged](Rng& r) {
+            return Workbench<D>(maker(r), with_paged);
+        });
 }
 
 }  // namespace pgf::bench

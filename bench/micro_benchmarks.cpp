@@ -8,7 +8,11 @@
 // All other flags pass through to google-benchmark.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +25,7 @@
 #include "pgf/gridfile/directory.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/sfc/hilbert.hpp"
+#include "pgf/storage/paged_grid_file.hpp"
 #include "pgf/util/rng.hpp"
 #include "pgf/util/thread_pool.hpp"
 #include "pgf/workload/datasets.hpp"
@@ -283,6 +288,41 @@ void BM_GridFileBuildBulk(benchmark::State& state) {
 BENCHMARK_TEMPLATE(BM_GridFileBuildBulk, 2)->Arg(10000)->Arg(100000);
 BENCHMARK_TEMPLATE(BM_GridFileBuildBulk, 3)->Arg(10000)->Arg(100000);
 
+// This binary does not link pgf_bench_common, so it carries its own
+// collision-free backing-path helper for the disk-backed benchmarks.
+std::string paged_backing_path(const std::string& tag) {
+    static std::atomic<std::uint64_t> counter{0};
+    return (std::filesystem::temp_directory_path() /
+            ("pgf-micro-" + tag + "-" + std::to_string(::getpid()) + "-" +
+             std::to_string(counter.fetch_add(1)) + ".paged"))
+        .string();
+}
+
+// Disk-backed construction: the same batched bulk load, but every bucket
+// mutation round-trips through the page codec and the LRU buffer pool
+// (sized so the working set stays resident — the honest "paging tax"
+// floor). Compare against BM_GridFileBuildBulk at equal capacity.
+template <std::size_t D>
+void BM_PagedBuild(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    const auto pts = uniform_points<D>(n);
+    const std::string path = paged_backing_path("build");
+    typename PagedGridFile<D>::Config cfg;
+    cfg.page_size = PagedBucketStore<D>::page_size_for(56);
+    cfg.pool_pages = 8192;
+    for (auto _ : state) {
+        PagedGridFile<D> pf(path, build_domain<D>(), cfg);
+        pf.bulk_load(pts);
+        benchmark::DoNotOptimize(pf.bucket_count());
+    }
+    std::filesystem::remove(path);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK_TEMPLATE(BM_PagedBuild, 2)->Arg(10000)->Arg(100000);
+BENCHMARK_TEMPLATE(BM_PagedBuild, 3)->Arg(10000)->Arg(100000);
+
 // Directory growth in isolation: grow 1x1 to side x side by alternating
 // axis expansions (the run-copying rewrite's target operation).
 void BM_DirectoryExpand(benchmark::State& state) {
@@ -354,6 +394,49 @@ void BM_GridFileRangeQueryScratch(benchmark::State& state) {
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_GridFileRangeQueryScratch);
+
+// Record materialization from the in-memory store: the baseline for the
+// paged variant below (same dataset, same 512 queries).
+void BM_GridFileQueryRecords(benchmark::State& state) {
+    Rng rng(4);
+    auto ds = make_hotspot2d(rng, 10000);
+    GridFile<2> gf = ds.build();
+    Rng qrng(5);
+    auto queries = square_queries(ds.domain, 0.05, 512, qrng);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(gf.query_records(queries[q]));
+        q = (q + 1) % queries.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GridFileQueryRecords);
+
+// Record materialization through the buffer pool. The argument is the pool
+// size in frames: 1024 keeps every bucket resident after the first pass
+// (pure decode cost), 16 forces evictions and re-reads on every query.
+void BM_PagedQueryRecords(benchmark::State& state) {
+    Rng rng(4);
+    auto ds = make_hotspot2d(rng, 10000);
+    const std::string path = paged_backing_path("query");
+    PagedGridFile<2>::Config cfg;
+    cfg.page_size = PagedBucketStore<2>::page_size_for(ds.bucket_capacity);
+    cfg.pool_pages = static_cast<std::size_t>(state.range(0));
+    PagedGridFile<2> pf(path, ds.domain, cfg);
+    pf.bulk_load(ds.points);
+    Rng qrng(5);
+    auto queries = square_queries(ds.domain, 0.05, 512, qrng);
+    std::size_t q = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pf.query_records(queries[q]));
+        q = (q + 1) % queries.size();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+    state.SetLabel(std::to_string(pf.bucket_count()) + " buckets, " +
+                   std::to_string(cfg.pool_pages) + " frames");
+    std::filesystem::remove(path);
+}
+BENCHMARK(BM_PagedQueryRecords)->Arg(1024)->Arg(16);
 
 void BM_EvaluateWorkload(benchmark::State& state) {
     // The inner loop of every sweep configuration: precollected bucket

@@ -5,10 +5,12 @@
 #
 # Generates a dataset, builds a grid file, and checks that:
 #   1. a healthy file passes a deep audit (exit 0),
-#   2. a complete round-robin assignment passes (exit 0),
-#   3. a truncated assignment is flagged as incomplete (exit 1),
-#   4. an assignment naming an out-of-range disk is flagged (exit 1),
-#   5. a truncated .pgf fails loudly rather than validating (exit != 0).
+#   2. the same file passes a deep paged-backend audit (rebuilds the
+#      records disk-backed and runs the page-level checkers, exit 0),
+#   3. a complete round-robin assignment passes (exit 0),
+#   4. a truncated assignment is flagged as incomplete (exit 1),
+#   5. an assignment naming an out-of-range disk is flagged (exit 1),
+#   6. a truncated .pgf fails loudly rather than validating (exit != 0).
 set -u
 
 PGFCLI="${1:?usage: validate_smoke.sh <path-to-pgfcli>}"
@@ -29,7 +31,16 @@ fail() {
 "${PGFCLI}" validate --file "${WORK}/data.pgf" --level deep \
     || fail "healthy file did not validate"
 
-# 2. Complete round-robin assignment over 8 disks.
+# 2. Paged backend: rebuild disk-backed, run the page-level checkers too.
+"${PGFCLI}" validate --file "${WORK}/data.pgf" --level deep \
+    --backend paged > "${WORK}/paged.out" 2>&1 \
+    || fail "healthy file did not validate on the paged backend"
+grep -q 'paged backend: rebuilt' "${WORK}/paged.out" \
+    || fail "paged validate did not run the page-level checkers"
+[ ! -e "${WORK}/data.pgf.paged-validate" ] \
+    || fail "paged validate left its staging file behind"
+
+# 3. Complete round-robin assignment over 8 disks.
 buckets=$("${PGFCLI}" info --file "${WORK}/data.pgf" \
     | sed -n 's/.*buckets *\([0-9][0-9]*\).*/\1/p' | head -1)
 [ -n "${buckets}" ] || fail "could not read bucket count from pgfcli info"
@@ -41,7 +52,7 @@ buckets=$("${PGFCLI}" info --file "${WORK}/data.pgf" \
     --assignment "${WORK}/assign.csv" --disks 8 \
     || fail "complete assignment did not validate"
 
-# 3. Truncated assignment: the audit must flag it incomplete.
+# 4. Truncated assignment: the audit must flag it incomplete.
 head -n "$((buckets / 2))" "${WORK}/assign.csv" > "${WORK}/short.csv"
 if "${PGFCLI}" validate --file "${WORK}/data.pgf" --level standard \
     --assignment "${WORK}/short.csv" --disks 8 > "${WORK}/short.out" 2>&1; then
@@ -50,7 +61,7 @@ fi
 grep -q 'decluster.assignment.incomplete' "${WORK}/short.out" \
     || fail "truncated assignment not reported as incomplete"
 
-# 4. Out-of-range disk id.
+# 5. Out-of-range disk id.
 sed '2s/,.*/,99/' "${WORK}/assign.csv" > "${WORK}/bad-disk.csv"
 if "${PGFCLI}" validate --file "${WORK}/data.pgf" --level standard \
     --assignment "${WORK}/bad-disk.csv" --disks 8 > "${WORK}/bad.out" 2>&1; then
@@ -59,7 +70,7 @@ fi
 grep -q 'decluster.assignment.disk_range' "${WORK}/bad.out" \
     || fail "out-of-range disk not reported"
 
-# 5. Corrupted (truncated) grid file must not validate.
+# 6. Corrupted (truncated) grid file must not validate.
 cp "${WORK}/data.pgf" "${WORK}/corrupt.pgf"
 truncate -s -200 "${WORK}/corrupt.pgf"
 if "${PGFCLI}" validate --file "${WORK}/corrupt.pgf" > /dev/null 2>&1; then

@@ -1,4 +1,4 @@
-// Deep structural audit of a live GridFile<D>.
+// Deep structural audit of a live grid file (any backend).
 //
 // Unlike audit_structure (which sees only the dimension-erased snapshot),
 // this audit has access to the real linear scales, the grid directory and
@@ -12,6 +12,13 @@
 //     oversized buckets only where refinement cannot separate records;
 //   - (deep) every record lies in the bucket that the directory assigns to
 //     its coordinates.
+//
+// The audit is generic over the BucketStore backend: it reads records
+// through GridFileCore's bucket_records()/bucket_cells() accessors, so the
+// same checks run against an in-memory GridFile or a disk-backed
+// PagedGridFile (whose record reads go through the buffer pool — the deep
+// level therefore also exercises every page decode). Paged-only page-level
+// checks live in paged_audit.hpp.
 #pragma once
 
 #include <cstdint>
@@ -19,12 +26,12 @@
 #include <string>
 
 #include "pgf/analysis/report.hpp"
-#include "pgf/gridfile/grid_file.hpp"
+#include "pgf/gridfile/grid_file_core.hpp"
 
 namespace pgf::analysis {
 
-template <std::size_t D>
-ValidationReport audit_grid_file(const GridFile<D>& gf,
+template <std::size_t D, typename Store>
+ValidationReport audit_grid_file(const GridFileCore<D, Store>& gf,
                                  ValidationLevel level) {
     ValidationReport r("gridfile", level);
     detail::CheckReportScope scope(
@@ -73,24 +80,24 @@ ValidationReport audit_grid_file(const GridFile<D>& gf,
     std::size_t record_sum = 0;
     bool boxes_ok = true;
     for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
-        const auto& bucket = gf.bucket(b);
+        const CellBox<D>& cells = gf.bucket_cells(b);
+        const std::size_t records = gf.bucket_record_count(b);
         const std::string which = "bucket " + std::to_string(b);
         bool ok = true;
         for (std::size_t i = 0; i < D; ++i) {
-            if (bucket.cells.lo[i] >= bucket.cells.hi[i] ||
-                bucket.cells.hi[i] > shape[i]) {
+            if (cells.lo[i] >= cells.hi[i] || cells.hi[i] > shape[i]) {
                 ok = false;
             }
         }
         r.require(ok, "gridfile.bucket.cellbox",
                   which + " cell box is empty or out of the grid");
         boxes_ok = boxes_ok && ok;
-        record_sum += bucket.records.size();
-        r.require_lazy(bucket.records.size() <= gf.config().bucket_capacity ||
-                           bucket.cells.cell_count() == 1,
+        record_sum += records;
+        r.require_lazy(records <= gf.bucket_capacity() ||
+                           cells.cell_count() == 1,
                        "gridfile.bucket.oversized_merged", [&] {
                            return which + " is over capacity (" +
-                                  std::to_string(bucket.records.size()) +
+                                  std::to_string(records) +
                                   " records) yet spans multiple cells — it "
                                   "should have been split along a grid line";
                        });
@@ -121,7 +128,7 @@ ValidationReport audit_grid_file(const GridFile<D>& gf,
                                   std::to_string(gf.bucket_count());
                        });
         if (b < gf.bucket_count()) {
-            r.require_lazy(gf.bucket(b).cells.contains(cell),
+            r.require_lazy(gf.bucket_cells(b).contains(cell),
                            "gridfile.directory.box_mismatch", [&] {
                                return "a directory cell maps to bucket " +
                                       std::to_string(b) +
@@ -133,7 +140,7 @@ ValidationReport audit_grid_file(const GridFile<D>& gf,
     // the total-coverage identity makes merged regions rectangular and
     // disjoint.
     for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
-        for_each_cell(gf.bucket(b).cells,
+        for_each_cell(gf.bucket_cells(b),
                       [&](const std::array<std::uint32_t, D>& cell) {
                           r.require_lazy(gf.directory().at(cell) == b,
                                          "gridfile.bucket.box_mismatch", [&] {
@@ -150,15 +157,16 @@ ValidationReport audit_grid_file(const GridFile<D>& gf,
 
     // -- per-record placement (O(records · D)) -----------------------------
     for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
-        const auto& bucket = gf.bucket(b);
-        for (std::size_t k = 0; k < bucket.records.size(); ++k) {
-            const auto cell = gf.locate_cell(bucket.records[k].point);
-            r.require_lazy(bucket.cells.contains(cell),
+        const CellBox<D>& cells = gf.bucket_cells(b);
+        const auto& records = gf.bucket_records(b);
+        for (std::size_t k = 0; k < records.size(); ++k) {
+            const auto cell = gf.locate_cell(records[k].point);
+            r.require_lazy(cells.contains(cell),
                            "gridfile.record.misplaced", [&] {
                                std::ostringstream os;
                                os << "bucket " << b << " record " << k
-                                  << " (id " << bucket.records[k].id
-                                  << ") at " << bucket.records[k].point
+                                  << " (id " << records[k].id
+                                  << ") at " << records[k].point
                                   << " belongs to a different bucket's "
                                   << "region";
                                return os.str();

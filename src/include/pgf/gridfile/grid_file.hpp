@@ -1,85 +1,33 @@
-// The grid file of Nievergelt & Hinterberger: an adaptive, symmetric,
-// multi-key file structure over d attributes.
+// The in-memory grid file: GridFileCore over a VectorBucketStore (every
+// bucket's records held resident in a std::vector).
 //
-// Structure: one linear scale per dimension partitions the domain into a
-// grid of cells; a grid directory maps each cell to a data bucket; several
-// adjacent cells may share one bucket (a "merged" bucket), and the set of
-// cells sharing a bucket always forms a box. Buckets hold up to
-// `bucket_capacity` records. When a bucket overflows:
-//   - if it spans more than one cell along some axis, the bucket is split
-//     along an existing grid line (no directory growth);
-//   - otherwise the grid itself is refined (a new split point enters one
-//     scale and the directory doubles along that axis), after which the
-//     bucket spans two cells and is split as above.
-//
-// This implementation supports insertion, deletion (without bucket
-// re-merging: emptied buckets simply stay under-full, which is the common
-// simplification and does not affect any experiment in the paper, which
-// only loads and queries), exact multidimensional range queries, and a
-// structural export for the declustering layer.
+// All structure and query logic lives in the shared engine
+// (grid_file_core.hpp); this subclass adds the in-memory-only surface:
+// direct Bucket access (records + cell box as one unit, consumed by the
+// snapshot save path) and restore(), which reassembles a file from
+// persisted scales and buckets.
 #pragma once
 
-#include <algorithm>
 #include <cstdint>
-#include <limits>
+#include <utility>
 #include <vector>
 
 #include "pgf/geom/point.hpp"
+#include "pgf/gridfile/bucket_store.hpp"
 #include "pgf/gridfile/directory.hpp"
-#include "pgf/gridfile/partial_match.hpp"
+#include "pgf/gridfile/grid_file_core.hpp"
 #include "pgf/gridfile/scales.hpp"
-#include "pgf/gridfile/structure.hpp"
 #include "pgf/util/check.hpp"
 
 namespace pgf {
 
-/// A stored record: an indexing point plus an opaque record id (in a real
-/// deployment the id keys the non-indexed payload).
 template <std::size_t D>
-struct GridRecord {
-    Point<D> point;
-    std::uint64_t id = 0;
-};
+class GridFile : public GridFileCore<D, VectorBucketStore<D>> {
+    using Core = GridFileCore<D, VectorBucketStore<D>>;
 
-/// Reusable cursor for the query hot path: an epoch-stamped visited array
-/// replaces the fresh `seen` vector (and its allocation) every query would
-/// otherwise pay. Bumping the epoch invalidates all stamps at once, so
-/// between queries nothing is cleared. One scratch per thread — instances
-/// must not be shared concurrently.
-class QueryScratch {
-public:
-    /// Starts a new query over a file with `bucket_count` buckets.
-    void begin(std::size_t bucket_count) {
-        if (stamp_.size() < bucket_count) stamp_.resize(bucket_count, 0);
-        ++epoch_;
-    }
-
-    /// True the first time bucket `b` is seen in the current query.
-    bool visit(std::uint32_t b) {
-        if (stamp_[b] == epoch_) return false;
-        stamp_[b] = epoch_;
-        return true;
-    }
-
-    /// Scratch buffer for bucket-id lists (used by the record-query paths
-    /// so they don't allocate a fresh id vector per query).
-    std::vector<std::uint32_t> buckets;
-
-private:
-    std::vector<std::uint64_t> stamp_;
-    std::uint64_t epoch_ = 0;
-};
-
-/// Where a grid refinement places the new split inside an overflowing cell.
-enum class SplitPolicy {
-    kMidpoint,  ///< geometric midpoint of the cell interval (default)
-    kMedian,    ///< median of the overflowing bucket's coordinates
-};
-
-template <std::size_t D>
-class GridFile {
 public:
     using BucketId = std::uint32_t;
+    using Bucket = typename VectorBucketStore<D>::Bucket;
 
     struct Config {
         /// Maximum records per bucket. The paper fixes bucket size at 4 KB;
@@ -88,24 +36,16 @@ public:
         SplitPolicy split_policy = SplitPolicy::kMidpoint;
     };
 
-    struct Bucket {
-        std::vector<GridRecord<D>> records;
-        CellBox<D> cells;
-    };
-
     GridFile(const Rect<D>& domain, Config config = {})
-        : domain_(domain), config_(config), dir_(BucketId{0}) {
-        PGF_CHECK(config_.bucket_capacity >= 2,
-                  "bucket capacity must be at least 2");
-        scales_.reserve(D);
-        for (std::size_t i = 0; i < D; ++i) {
-            scales_.emplace_back(domain.lo[i], domain.hi[i]);
-        }
-        Bucket root;
-        root.cells.lo.fill(0);
-        for (std::size_t i = 0; i < D; ++i) root.cells.hi[i] = 1;
-        root.records.reserve(config_.bucket_capacity + 1);
-        buckets_.push_back(std::move(root));
+        : Core(domain, config.bucket_capacity, config.split_policy),
+          config_(config) {}
+
+    const Config& config() const { return config_; }
+
+    /// Direct access to a bucket's records and cell box (in-memory only;
+    /// the storage layer's save path serializes buckets through this).
+    const Bucket& bucket(BucketId b) const {
+        return this->store_.entries()[b];
     }
 
     /// Reassembles a grid file from persisted state: the per-dimension
@@ -127,11 +67,12 @@ public:
             shape[i] = gf.scales_[i].intervals();
         }
         gf.dir_ = GridDirectory<D>(shape, GridDirectory<D>::kNoBucket);
-        gf.buckets_ = std::move(buckets);
+        gf.store_.entries() = std::move(buckets);
         gf.record_count_ = 0;
         std::uint64_t covered = 0;
-        for (BucketId b = 0; b < gf.buckets_.size(); ++b) {
-            const CellBox<D>& box = gf.buckets_[b].cells;
+        const auto& entries = gf.store_.entries();
+        for (BucketId b = 0; b < entries.size(); ++b) {
+            const CellBox<D>& box = entries[b].cells;
             for (std::size_t i = 0; i < D; ++i) {
                 PGF_CHECK(box.lo[i] < box.hi[i] && box.hi[i] <= shape[i],
                           "restore: bucket cell box out of grid");
@@ -142,474 +83,15 @@ public:
                 gf.dir_.set(cell, b);
             });
             covered += box.cell_count();
-            gf.record_count_ += gf.buckets_[b].records.size();
+            gf.record_count_ += entries[b].records.size();
         }
         PGF_CHECK(covered == gf.dir_.cell_count(),
                   "restore: buckets must tile the whole grid");
         return gf;
     }
 
-    // -- modification ------------------------------------------------------
-
-    /// Inserts one record. Out-of-domain coordinates are clamped into the
-    /// boundary cells (the scales' locate() semantics).
-    void insert(const Point<D>& p, std::uint64_t id) {
-        BucketId b = dir_.at(locate_cell(p));
-        buckets_[b].records.push_back(GridRecord<D>{p, id});
-        ++record_count_;
-        if (buckets_[b].records.size() > config_.bucket_capacity) {
-            handle_overflow(b);
-        }
-    }
-
-    /// Bulk insertion (ids are assigned 0..n-1 plus `id_base`), structurally
-    /// byte-identical to inserting the points one by one in order: same
-    /// scales, same directory, same bucket contents in the same order
-    /// (asserted by tests/gridfile/test_bulk_load.cpp).
-    ///
-    /// The fast path over the insert loop: the bucket table is pre-reserved
-    /// for the expected final split count, and the per-point locate_cell()
-    /// scale walks are batched dimension-major over blocks of points, so
-    /// each scale's split array streams once per block instead of being
-    /// re-fetched per point. Cached cells stay valid until a grid
-    /// refinement changes a scale (and renumbers directory slices); since
-    /// locate() counts splits <= x, a single new split at coordinate x
-    /// shifts a cached index by exactly (point >= x) along the split axis,
-    /// so the unconsumed tail of the block is patched with one compare per
-    /// point instead of re-searched. Bucket splits without refinement keep
-    /// all cached cells valid — only the directory's cell → bucket mapping
-    /// moved, and that is consulted at insertion time.
-    void bulk_load(const std::vector<Point<D>>& points,
-                   std::uint64_t id_base = 0) {
-        const std::size_t n = points.size();
-        // Each split adds one bucket and frees ~capacity/2 slots, so the
-        // final bucket count is about 2n/capacity; headroom avoids moving
-        // the bucket table more than once even on skewed data.
-        buckets_.reserve(buckets_.size() + 2 * n / config_.bucket_capacity +
-                         8);
-        const std::size_t capacity = config_.bucket_capacity;
-        constexpr std::size_t kBlock = 256;
-        std::array<std::array<std::uint32_t, D>, kBlock> cells;
-        std::size_t i = 0;
-        while (i < n) {
-            const std::size_t count = std::min(kBlock, n - i);
-            locate_cells(&points[i], count, cells.data());
-            std::size_t k = 0;
-            while (k < count) {
-                const BucketId b = dir_.at(cells[k]);
-                std::vector<GridRecord<D>>& records = buckets_[b].records;
-                records.push_back(
-                    GridRecord<D>{points[i + k], id_base + i + k});
-                ++k;
-                if (records.size() > capacity) {
-                    const std::uint64_t before = refinements_;
-                    handle_overflow(b);
-                    if (refinements_ == before + 1 && k < count) {
-                        // One scale split at (axis, x): the cell index of a
-                        // cached point along that axis grows by one iff the
-                        // point lies at/above the new boundary (the clamped
-                        // out-of-domain cases shift consistently too).
-                        const std::size_t axis = last_refine_axis_;
-                        const double x = last_refine_coord_;
-                        for (std::size_t j = k; j < count; ++j) {
-                            cells[j][axis] +=
-                                points[i + j][axis] >= x ? 1u : 0u;
-                        }
-                    } else if (refinements_ != before && k < count) {
-                        // Cascaded refinements (rare, skewed data): give up
-                        // on patching and re-locate the tail outright.
-                        locate_cells(&points[i + k], count - k,
-                                     cells.data() + k);
-                    }
-                }
-            }
-            record_count_ += count;
-            i += count;
-        }
-    }
-
-    /// Erases the record with the given point and id; returns true when a
-    /// record was removed. Buckets are not re-merged on underflow.
-    bool erase(const Point<D>& p, std::uint64_t id) {
-        Bucket& b = buckets_[dir_.at(locate_cell(p))];
-        auto it = std::find_if(b.records.begin(), b.records.end(),
-                               [&](const GridRecord<D>& r) {
-                                   return r.id == id && r.point == p;
-                               });
-        if (it == b.records.end()) return false;
-        b.records.erase(it);
-        --record_count_;
-        return true;
-    }
-
-    // -- queries -----------------------------------------------------------
-
-    /// Ids of the buckets whose region overlaps query box `q` — this is the
-    /// unit of I/O the response-time metric counts.
-    std::vector<BucketId> query_buckets(const Rect<D>& q) const {
-        QueryScratch scratch;
-        std::vector<BucketId> out;
-        query_buckets(q, scratch, out);
-        return out;
-    }
-
-    /// Allocation-free variant of the hot path: appends the touched bucket
-    /// ids into `out` (cleared first) in the same first-visit cell order as
-    /// query_buckets(q), deduplicating through the caller's scratch. After
-    /// the first few queries neither `scratch` nor `out` reallocates.
-    void query_buckets(const Rect<D>& q, QueryScratch& scratch,
-                       std::vector<BucketId>& out) const {
-        out.clear();
-        CellBox<D> box;
-        if (!query_cell_box(q, &box)) return;
-        scratch.begin(buckets_.size());
-        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
-            BucketId b = dir_.at(cell);
-            if (scratch.visit(b)) out.push_back(b);
-        });
-    }
-
-    /// Exact range query: records whose point lies in `q` (half-open).
-    std::vector<GridRecord<D>> query_records(const Rect<D>& q) const {
-        QueryScratch scratch;
-        std::vector<GridRecord<D>> out;
-        query_records(q, scratch, out);
-        return out;
-    }
-
-    /// Scratch-reusing form of the exact range query; `out` is cleared and
-    /// reserved for the candidate count before filtering.
-    void query_records(const Rect<D>& q, QueryScratch& scratch,
-                       std::vector<GridRecord<D>>& out) const {
-        out.clear();
-        query_buckets(q, scratch, scratch.buckets);
-        out.reserve(candidate_records(scratch.buckets));
-        const Bucket* const buckets = buckets_.data();
-        for (BucketId b : scratch.buckets) {
-            const std::vector<GridRecord<D>>& records = buckets[b].records;
-            for (const GridRecord<D>& r : records) {
-                if (q.contains(r.point)) out.push_back(r);
-            }
-        }
-    }
-
-    /// Buckets a partial match query must read: specified attributes pin
-    /// one scale interval, unspecified attributes span the whole axis.
-    std::vector<BucketId> query_buckets(const PartialMatch<D>& q) const {
-        QueryScratch scratch;
-        std::vector<BucketId> out;
-        query_buckets(q, scratch, out);
-        return out;
-    }
-
-    /// Allocation-free partial-match bucket lookup (see the Rect variant).
-    void query_buckets(const PartialMatch<D>& q, QueryScratch& scratch,
-                       std::vector<BucketId>& out) const {
-        PGF_CHECK(q.valid(),
-                  "partial match must leave at least one attribute free");
-        out.clear();
-        CellBox<D> box;
-        for (std::size_t i = 0; i < D; ++i) {
-            if (q.key[i].has_value()) {
-                std::uint32_t cell = scales_[i].locate(*q.key[i]);
-                box.lo[i] = cell;
-                box.hi[i] = cell + 1;
-            } else {
-                box.lo[i] = 0;
-                box.hi[i] = dir_.shape()[i];
-            }
-        }
-        scratch.begin(buckets_.size());
-        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
-            BucketId b = dir_.at(cell);
-            if (scratch.visit(b)) out.push_back(b);
-        });
-    }
-
-    /// Records whose specified attributes match exactly.
-    std::vector<GridRecord<D>> query_records(const PartialMatch<D>& q) const {
-        QueryScratch scratch;
-        std::vector<GridRecord<D>> out;
-        query_records(q, scratch, out);
-        return out;
-    }
-
-    /// Scratch-reusing form of the partial-match record query.
-    void query_records(const PartialMatch<D>& q, QueryScratch& scratch,
-                       std::vector<GridRecord<D>>& out) const {
-        out.clear();
-        query_buckets(q, scratch, scratch.buckets);
-        out.reserve(candidate_records(scratch.buckets));
-        const Bucket* const buckets = buckets_.data();
-        for (BucketId b : scratch.buckets) {
-            const std::vector<GridRecord<D>>& records = buckets[b].records;
-            for (const GridRecord<D>& r : records) {
-                bool match = true;
-                for (std::size_t i = 0; i < D && match; ++i) {
-                    if (q.key[i].has_value() && r.point[i] != *q.key[i]) {
-                        match = false;
-                    }
-                }
-                if (match) out.push_back(r);
-            }
-        }
-    }
-
-    // -- structure accessors ------------------------------------------------
-
-    const Rect<D>& domain() const { return domain_; }
-    const Config& config() const { return config_; }
-    std::size_t record_count() const { return record_count_; }
-    std::size_t bucket_count() const { return buckets_.size(); }
-    const Bucket& bucket(BucketId b) const { return buckets_[b]; }
-    const LinearScale& scale(std::size_t axis) const { return scales_[axis]; }
-    const GridDirectory<D>& directory() const { return dir_; }
-
-    std::array<std::uint32_t, D> grid_shape() const { return dir_.shape(); }
-
-    /// Data-space region covered by bucket `b` (union of its cells).
-    Rect<D> bucket_region(BucketId b) const {
-        const CellBox<D>& c = buckets_[b].cells;
-        Rect<D> r;
-        for (std::size_t i = 0; i < D; ++i) {
-            r.lo[i] = scales_[i].interval_lo(c.lo[i]);
-            r.hi[i] = scales_[i].interval_hi(c.hi[i] - 1);
-        }
-        return r;
-    }
-
-    /// Number of grid refinements performed so far (scale splits that grew
-    /// the directory). Bucket splits along existing grid lines don't count.
-    std::uint64_t refinement_count() const { return refinements_; }
-
-    std::size_t merged_bucket_count() const {
-        std::size_t n = 0;
-        for (const auto& b : buckets_) n += b.cells.cell_count() > 1 ? 1u : 0u;
-        return n;
-    }
-
-    /// Number of buckets that exceed capacity because their records could
-    /// not be separated by further refinement (duplicate-heavy data).
-    std::size_t oversized_bucket_count() const {
-        std::size_t n = 0;
-        for (const auto& b : buckets_)
-            n += b.records.size() > config_.bucket_capacity ? 1u : 0u;
-        return n;
-    }
-
-    /// Grid cell containing point `p` (out-of-domain values clamp).
-    std::array<std::uint32_t, D> locate_cell(const Point<D>& p) const {
-        std::array<std::uint32_t, D> cell;
-        for (std::size_t i = 0; i < D; ++i) cell[i] = scales_[i].locate(p[i]);
-        return cell;
-    }
-
-    /// Exports the dimension-erased structural snapshot consumed by the
-    /// declustering layer.
-    GridStructure structure() const {
-        GridStructure gs;
-        gs.shape.assign(dir_.shape().begin(), dir_.shape().end());
-        gs.domain_lo.assign(domain_.lo.x.begin(), domain_.lo.x.end());
-        gs.domain_hi.assign(domain_.hi.x.begin(), domain_.hi.x.end());
-        gs.buckets.reserve(buckets_.size());
-        for (BucketId b = 0; b < buckets_.size(); ++b) {
-            BucketInfo info;
-            info.cell_lo.assign(buckets_[b].cells.lo.begin(),
-                                buckets_[b].cells.lo.end());
-            info.cell_hi.assign(buckets_[b].cells.hi.begin(),
-                                buckets_[b].cells.hi.end());
-            Rect<D> region = bucket_region(b);
-            info.region_lo.assign(region.lo.x.begin(), region.lo.x.end());
-            info.region_hi.assign(region.hi.x.begin(), region.hi.x.end());
-            info.record_count = buckets_[b].records.size();
-            gs.buckets.push_back(std::move(info));
-        }
-        return gs;
-    }
-
-    /// Cell box of grid cells overlapping query box `q`; false when the
-    /// query misses the domain entirely or is empty.
-    bool query_cell_box(const Rect<D>& q, CellBox<D>* box) const {
-        for (std::size_t i = 0; i < D; ++i) {
-            if (q.hi[i] <= q.lo[i]) return false;
-            if (q.hi[i] <= domain_.lo[i] || q.lo[i] >= domain_.hi[i])
-                return false;
-            // First interval whose upper bound exceeds q.lo[i].
-            std::uint32_t first = scales_[i].locate(std::max(q.lo[i], domain_.lo[i]));
-            // Last interval whose lower bound is below q.hi[i].
-            std::uint32_t last = scales_[i].locate(std::min(q.hi[i], domain_.hi[i]));
-            if (scales_[i].interval_lo(last) >= q.hi[i] && last > 0) --last;
-            box->lo[i] = first;
-            box->hi[i] = last + 1;
-        }
-        return true;
-    }
-
 private:
-    /// Total records held by the given buckets — the reserve() upper bound
-    /// for record-query results. The bucket-table base pointer is hoisted
-    /// into a local so the size loads don't re-read buckets_.data() per id.
-    std::size_t candidate_records(
-        const std::vector<BucketId>& bucket_ids) const {
-        const Bucket* const buckets = buckets_.data();
-        std::size_t n = 0;
-        for (BucketId b : bucket_ids) n += buckets[b].records.size();
-        return n;
-    }
-
-    /// Batched locate_cell over `count` points, dimension-major so each
-    /// scale's split array stays cache-resident across the whole block.
-    void locate_cells(const Point<D>* points, std::size_t count,
-                      std::array<std::uint32_t, D>* cells) const {
-        for (std::size_t d = 0; d < D; ++d) {
-            const LinearScale& scale = scales_[d];
-            for (std::size_t k = 0; k < count; ++k) {
-                cells[k][d] = scale.locate(points[k][d]);
-            }
-        }
-    }
-
-    void handle_overflow(BucketId overflowing) {
-        // A split may leave one half still overflowing (skewed data), so
-        // iterate until resolved or refinement becomes impossible.
-        BucketId b = overflowing;
-        while (buckets_[b].records.size() > config_.bucket_capacity) {
-            if (max_cell_extent(b) == 1 && !refine_grid(b)) {
-                return;  // cannot separate further; bucket stays oversized
-            }
-            b = split_bucket(b);
-        }
-    }
-
-    std::uint32_t max_cell_extent(BucketId b) const {
-        std::uint32_t m = 0;
-        for (std::size_t i = 0; i < D; ++i)
-            m = std::max(m, buckets_[b].cells.extent(i));
-        return m;
-    }
-
-    /// Refines the grid through bucket `b`'s single cell. Returns false if
-    /// no axis can be split (degenerate region or duplicate coordinates).
-    bool refine_grid(BucketId b) {
-        // Prefer the axis where the cell is relatively longest, so the grid
-        // adapts its shape to the data distribution.
-        Rect<D> region = bucket_region(b);
-        std::array<std::size_t, D> axes;
-        for (std::size_t i = 0; i < D; ++i) axes[i] = i;
-        std::sort(axes.begin(), axes.end(), [&](std::size_t a, std::size_t c) {
-            return region.extent(a) / domain_.extent(a) >
-                   region.extent(c) / domain_.extent(c);
-        });
-        for (std::size_t axis : axes) {
-            double lo = region.lo[axis];
-            double hi = region.hi[axis];
-            if (hi - lo <= domain_.extent(axis) * 1e-12) continue;
-            double x = split_coordinate(b, axis, lo, hi);
-            if (!(x > lo && x < hi)) continue;
-            std::uint32_t interval = 0;
-            if (!scales_[axis].insert_split(x, &interval)) continue;
-            dir_.expand(axis, interval);
-            shift_cell_boxes(axis, interval);
-            ++refinements_;
-            last_refine_axis_ = axis;
-            last_refine_coord_ = x;
-            return true;
-        }
-        return false;
-    }
-
-    double split_coordinate(BucketId b, std::size_t axis, double lo,
-                            double hi) const {
-        if (config_.split_policy == SplitPolicy::kMidpoint) {
-            return 0.5 * (lo + hi);
-        }
-        // Median policy: the middle record coordinate, clamped strictly
-        // inside the cell (falls back to midpoint for degenerate medians).
-        std::vector<double> xs;
-        xs.reserve(buckets_[b].records.size());
-        for (const auto& r : buckets_[b].records) xs.push_back(r.point[axis]);
-        auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
-        std::nth_element(xs.begin(), mid, xs.end());
-        double x = *mid;
-        if (x > lo && x < hi) return x;
-        return 0.5 * (lo + hi);
-    }
-
-    /// After a directory expansion at (axis, interval), renumber every
-    /// bucket's cell box: intervals above the split shift up by one, and
-    /// boxes containing the split interval grow by one.
-    void shift_cell_boxes(std::size_t axis, std::uint32_t interval) {
-        for (Bucket& bucket : buckets_) {
-            if (bucket.cells.lo[axis] > interval) {
-                ++bucket.cells.lo[axis];
-                ++bucket.cells.hi[axis];
-            } else if (bucket.cells.hi[axis] > interval) {
-                ++bucket.cells.hi[axis];
-            }
-        }
-    }
-
-    /// Splits bucket `b` along its widest cell axis at the middle grid
-    /// line; returns whichever half is overflowing (or `b` if neither —
-    /// callers re-check the loop condition).
-    BucketId split_bucket(BucketId b) {
-        std::size_t axis = 0;
-        std::uint32_t widest = 0;
-        for (std::size_t i = 0; i < D; ++i) {
-            if (buckets_[b].cells.extent(i) > widest) {
-                widest = buckets_[b].cells.extent(i);
-                axis = i;
-            }
-        }
-        PGF_CHECK(widest >= 2, "split_bucket requires a multi-cell bucket");
-
-        const std::uint32_t mid =
-            buckets_[b].cells.lo[axis] + buckets_[b].cells.extent(axis) / 2;
-
-        auto new_id = static_cast<BucketId>(buckets_.size());
-        Bucket upper;
-        upper.cells = buckets_[b].cells;
-        upper.cells.lo[axis] = mid;
-        buckets_[b].cells.hi[axis] = mid;
-        // Reserve to capacity + 1 up front (the lower half keeps its
-        // original reservation) so neither half reallocates its record
-        // vector again before its own overflow.
-        upper.records.reserve(config_.bucket_capacity + 1);
-
-        // Move records whose cell falls in the upper half.
-        auto& lower_records = buckets_[b].records;
-        auto pivot = std::partition(
-            lower_records.begin(), lower_records.end(),
-            [&](const GridRecord<D>& r) {
-                return scales_[axis].locate(r.point[axis]) < mid;
-            });
-        upper.records.assign(std::make_move_iterator(pivot),
-                             std::make_move_iterator(lower_records.end()));
-        lower_records.erase(pivot, lower_records.end());
-
-        buckets_.push_back(std::move(upper));
-        for_each_cell(buckets_[new_id].cells,
-                      [&](const std::array<std::uint32_t, D>& cell) {
-                          dir_.set(cell, new_id);
-                      });
-
-        return buckets_[new_id].records.size() >
-                       buckets_[b].records.size()
-                   ? new_id
-                   : b;
-    }
-
-    Rect<D> domain_;
     Config config_;
-    std::vector<LinearScale> scales_;
-    GridDirectory<D> dir_;
-    std::vector<Bucket> buckets_;
-    std::size_t record_count_ = 0;
-    std::uint64_t refinements_ = 0;
-    // Axis and coordinate of the most recent scale split, consumed by
-    // bulk_load to patch its cached cell block without re-locating.
-    std::size_t last_refine_axis_ = 0;
-    double last_refine_coord_ = 0.0;
 };
 
 }  // namespace pgf

@@ -1,0 +1,615 @@
+// The shared grid-file engine behind GridFile (in-memory) and
+// PagedGridFile (disk-resident).
+//
+// The grid file of Nievergelt & Hinterberger: an adaptive, symmetric,
+// multi-key file structure over d attributes. One linear scale per
+// dimension partitions the domain into a grid of cells; a grid directory
+// maps each cell to a data bucket; several adjacent cells may share one
+// bucket (a "merged" bucket), and the set of cells sharing a bucket always
+// forms a box. Buckets hold up to `bucket_capacity` records. When a bucket
+// overflows:
+//   - if it spans more than one cell along some axis, the bucket is split
+//     along an existing grid line (no directory growth);
+//   - otherwise the grid itself is refined (a new split point enters one
+//     scale and the directory doubles along that axis), after which the
+//     bucket spans two cells and is split as above.
+//
+// GridFileCore owns exactly this access structure — scales, directory,
+// cell-box bookkeeping, the relative-longest-axis refinement rule and the
+// split loop — and is parameterized over a BucketStore (bucket_store.hpp)
+// that decides where record payloads live. The split decisions depend only
+// on record *sets* (counts and coordinate multisets), never on record
+// order, so every store that receives the same insertion sequence produces
+// byte-identical scales, directory, and bucket numbering.
+//
+// Supports insertion, deletion (without bucket re-merging: emptied buckets
+// simply stay under-full, which is the common simplification and does not
+// affect any experiment in the paper, which only loads and queries), exact
+// multidimensional range queries, partial-match queries, and a structural
+// export for the declustering layer.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pgf/geom/point.hpp"
+#include "pgf/gridfile/bucket_store.hpp"
+#include "pgf/gridfile/directory.hpp"
+#include "pgf/gridfile/partial_match.hpp"
+#include "pgf/gridfile/scales.hpp"
+#include "pgf/gridfile/structure.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+/// Reusable cursor for the query hot path: an epoch-stamped visited array
+/// replaces the fresh `seen` vector (and its allocation) every query would
+/// otherwise pay. Bumping the epoch invalidates all stamps at once, so
+/// between queries nothing is cleared. One scratch per thread — instances
+/// must not be shared concurrently.
+class QueryScratch {
+public:
+    /// Starts a new query over a file with `bucket_count` buckets.
+    void begin(std::size_t bucket_count) {
+        if (stamp_.size() < bucket_count) stamp_.resize(bucket_count, 0);
+        ++epoch_;
+    }
+
+    /// True the first time bucket `b` is seen in the current query.
+    bool visit(std::uint32_t b) {
+        if (stamp_[b] == epoch_) return false;
+        stamp_[b] = epoch_;
+        return true;
+    }
+
+    /// Scratch buffer for bucket-id lists (used by the record-query paths
+    /// so they don't allocate a fresh id vector per query).
+    std::vector<std::uint32_t> buckets;
+
+private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t epoch_ = 0;
+};
+
+/// Where a grid refinement places the new split inside an overflowing cell.
+enum class SplitPolicy {
+    kMidpoint,  ///< geometric midpoint of the cell interval (default)
+    kMedian,    ///< median of the overflowing bucket's coordinates
+};
+
+template <std::size_t D, typename Store>
+class GridFileCore {
+public:
+    using BucketId = std::uint32_t;
+    using Records = std::vector<GridRecord<D>>;
+    using StoreType = Store;
+    static constexpr std::size_t kDims = D;
+
+    // -- modification ------------------------------------------------------
+
+    /// Inserts one record. Out-of-domain coordinates are clamped into the
+    /// boundary cells (the scales' locate() semantics). On a strict-
+    /// capacity store (paged), records that cannot be separated by
+    /// refinement — more identical points than one bucket holds — are
+    /// rejected with CheckError instead of growing an oversized bucket.
+    void insert(const Point<D>& p, std::uint64_t id) {
+        BucketId b = dir_.at(locate_cell(p));
+        Records& records = store_.edit(b);
+        records.push_back(GridRecord<D>{p, id});
+        ++record_count_;
+        if (records.size() > bucket_capacity_) {
+            b = resolve_overflow(b);
+        }
+        store_.commit(b);
+    }
+
+    /// Bulk insertion (ids are assigned 0..n-1 plus `id_base`), structurally
+    /// byte-identical to inserting the points one by one in order: same
+    /// scales, same directory, same bucket contents in the same order
+    /// (asserted by tests/gridfile/test_bulk_load.cpp).
+    ///
+    /// The fast path over the insert loop: the bucket table is pre-reserved
+    /// for the expected final split count, and the per-point locate_cell()
+    /// scale walks are batched dimension-major over blocks of points, so
+    /// each scale's split array streams once per block instead of being
+    /// re-fetched per point. Cached cells stay valid until a grid
+    /// refinement changes a scale (and renumbers directory slices); since
+    /// locate() counts splits <= x, a single new split at coordinate x
+    /// shifts a cached index by exactly (point >= x) along the split axis,
+    /// so the unconsumed tail of the block is patched with one compare per
+    /// point instead of re-searched. Bucket splits without refinement keep
+    /// all cached cells valid — only the directory's cell → bucket mapping
+    /// moved, and that is consulted at insertion time.
+    void bulk_load(const std::vector<Point<D>>& points,
+                   std::uint64_t id_base = 0) {
+        const std::size_t n = points.size();
+        // Each split adds one bucket and frees ~capacity/2 slots, so the
+        // final bucket count is about 2n/capacity; headroom avoids moving
+        // the bucket table more than once even on skewed data.
+        store_.reserve(store_.bucket_count() + 2 * n / bucket_capacity_ + 8);
+        const std::size_t capacity = bucket_capacity_;
+        constexpr std::size_t kBlock = 256;
+        std::array<std::array<std::uint32_t, D>, kBlock> cells;
+        std::size_t i = 0;
+        while (i < n) {
+            const std::size_t count = std::min(kBlock, n - i);
+            locate_cells(&points[i], count, cells.data());
+            std::size_t k = 0;
+            while (k < count) {
+                BucketId b = dir_.at(cells[k]);
+                Records& records = store_.edit(b);
+                records.push_back(
+                    GridRecord<D>{points[i + k], id_base + i + k});
+                ++k;
+                if (records.size() > capacity) {
+                    const std::uint64_t before = refinements_;
+                    b = resolve_overflow(b);
+                    if (refinements_ == before + 1 && k < count) {
+                        // One scale split at (axis, x): the cell index of a
+                        // cached point along that axis grows by one iff the
+                        // point lies at/above the new boundary (the clamped
+                        // out-of-domain cases shift consistently too).
+                        const std::size_t axis = last_refine_axis_;
+                        const double x = last_refine_coord_;
+                        for (std::size_t j = k; j < count; ++j) {
+                            cells[j][axis] +=
+                                points[i + j][axis] >= x ? 1u : 0u;
+                        }
+                    } else if (refinements_ != before && k < count) {
+                        // Cascaded refinements (rare, skewed data): give up
+                        // on patching and re-locate the tail outright.
+                        locate_cells(&points[i + k], count - k,
+                                     cells.data() + k);
+                    }
+                }
+                store_.commit(b);
+            }
+            record_count_ += count;
+            i += count;
+        }
+    }
+
+    /// Erases the record with the given point and id; returns true when a
+    /// record was removed. Buckets are not re-merged on underflow.
+    bool erase(const Point<D>& p, std::uint64_t id) {
+        BucketId b = dir_.at(locate_cell(p));
+        Records& records = store_.edit(b);
+        auto it = std::find_if(records.begin(), records.end(),
+                               [&](const GridRecord<D>& r) {
+                                   return r.id == id && r.point == p;
+                               });
+        if (it == records.end()) return false;
+        records.erase(it);
+        store_.commit(b);
+        --record_count_;
+        return true;
+    }
+
+    // -- queries -----------------------------------------------------------
+
+    /// Ids of the buckets whose region overlaps query box `q` — this is the
+    /// unit of I/O the response-time metric counts.
+    std::vector<BucketId> query_buckets(const Rect<D>& q) const {
+        QueryScratch scratch;
+        std::vector<BucketId> out;
+        query_buckets(q, scratch, out);
+        return out;
+    }
+
+    /// Allocation-free variant of the hot path: appends the touched bucket
+    /// ids into `out` (cleared first) in the same first-visit cell order as
+    /// query_buckets(q), deduplicating through the caller's scratch. After
+    /// the first few queries neither `scratch` nor `out` reallocates.
+    void query_buckets(const Rect<D>& q, QueryScratch& scratch,
+                       std::vector<BucketId>& out) const {
+        out.clear();
+        CellBox<D> box;
+        if (!query_cell_box(q, &box)) return;
+        scratch.begin(store_.bucket_count());
+        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
+            BucketId b = dir_.at(cell);
+            if (scratch.visit(b)) out.push_back(b);
+        });
+    }
+
+    /// Exact range query: records whose point lies in `q` (half-open).
+    /// On a paged store every touched bucket costs one buffer-pool fetch
+    /// (hit or page read).
+    std::vector<GridRecord<D>> query_records(const Rect<D>& q) const {
+        QueryScratch scratch;
+        std::vector<GridRecord<D>> out;
+        query_records(q, scratch, out);
+        return out;
+    }
+
+    /// Scratch-reusing form of the exact range query; `out` is cleared and
+    /// reserved for the candidate count before filtering.
+    void query_records(const Rect<D>& q, QueryScratch& scratch,
+                       std::vector<GridRecord<D>>& out) const {
+        out.clear();
+        query_buckets(q, scratch, scratch.buckets);
+        out.reserve(candidate_records(scratch.buckets));
+        for (BucketId b : scratch.buckets) {
+            const Records& records = store_.read(b);
+            for (const GridRecord<D>& r : records) {
+                if (q.contains(r.point)) out.push_back(r);
+            }
+        }
+    }
+
+    /// Buckets a partial match query must read: specified attributes pin
+    /// one scale interval, unspecified attributes span the whole axis.
+    std::vector<BucketId> query_buckets(const PartialMatch<D>& q) const {
+        QueryScratch scratch;
+        std::vector<BucketId> out;
+        query_buckets(q, scratch, out);
+        return out;
+    }
+
+    /// Allocation-free partial-match bucket lookup (see the Rect variant).
+    void query_buckets(const PartialMatch<D>& q, QueryScratch& scratch,
+                       std::vector<BucketId>& out) const {
+        PGF_CHECK(q.valid(),
+                  "partial match must leave at least one attribute free");
+        out.clear();
+        CellBox<D> box;
+        for (std::size_t i = 0; i < D; ++i) {
+            if (q.key[i].has_value()) {
+                std::uint32_t cell = scales_[i].locate(*q.key[i]);
+                box.lo[i] = cell;
+                box.hi[i] = cell + 1;
+            } else {
+                box.lo[i] = 0;
+                box.hi[i] = dir_.shape()[i];
+            }
+        }
+        scratch.begin(store_.bucket_count());
+        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
+            BucketId b = dir_.at(cell);
+            if (scratch.visit(b)) out.push_back(b);
+        });
+    }
+
+    /// Records whose specified attributes match exactly.
+    std::vector<GridRecord<D>> query_records(const PartialMatch<D>& q) const {
+        QueryScratch scratch;
+        std::vector<GridRecord<D>> out;
+        query_records(q, scratch, out);
+        return out;
+    }
+
+    /// Scratch-reusing form of the partial-match record query.
+    void query_records(const PartialMatch<D>& q, QueryScratch& scratch,
+                       std::vector<GridRecord<D>>& out) const {
+        out.clear();
+        query_buckets(q, scratch, scratch.buckets);
+        out.reserve(candidate_records(scratch.buckets));
+        for (BucketId b : scratch.buckets) {
+            const Records& records = store_.read(b);
+            for (const GridRecord<D>& r : records) {
+                bool match = true;
+                for (std::size_t i = 0; i < D && match; ++i) {
+                    if (q.key[i].has_value() && r.point[i] != *q.key[i]) {
+                        match = false;
+                    }
+                }
+                if (match) out.push_back(r);
+            }
+        }
+    }
+
+    // -- structure accessors ------------------------------------------------
+
+    const Rect<D>& domain() const { return domain_; }
+    std::size_t record_count() const { return record_count_; }
+    std::size_t bucket_count() const { return store_.bucket_count(); }
+    const LinearScale& scale(std::size_t axis) const { return scales_[axis]; }
+    const GridDirectory<D>& directory() const { return dir_; }
+
+    std::array<std::uint32_t, D> grid_shape() const { return dir_.shape(); }
+
+    /// Maximum records per bucket (page-derived for paged stores).
+    std::size_t bucket_capacity() const { return bucket_capacity_; }
+    SplitPolicy split_policy() const { return split_policy_; }
+
+    /// Box of grid cells covered by bucket `b`.
+    const CellBox<D>& bucket_cells(BucketId b) const {
+        return store_.cells(b);
+    }
+
+    /// Records held by bucket `b`. For paged stores this fetches the page
+    /// through the buffer pool and the reference is valid only until the
+    /// next read or edit on the file.
+    const Records& bucket_records(BucketId b) const { return store_.read(b); }
+
+    /// Record count of bucket `b` from metadata alone (no page I/O).
+    std::size_t bucket_record_count(BucketId b) const {
+        return store_.size(b);
+    }
+
+    /// Data-space region covered by bucket `b` (union of its cells).
+    Rect<D> bucket_region(BucketId b) const {
+        const CellBox<D>& c = store_.cells(b);
+        Rect<D> r;
+        for (std::size_t i = 0; i < D; ++i) {
+            r.lo[i] = scales_[i].interval_lo(c.lo[i]);
+            r.hi[i] = scales_[i].interval_hi(c.hi[i] - 1);
+        }
+        return r;
+    }
+
+    /// Number of grid refinements performed so far (scale splits that grew
+    /// the directory). Bucket splits along existing grid lines don't count.
+    std::uint64_t refinement_count() const { return refinements_; }
+
+    std::size_t merged_bucket_count() const {
+        std::size_t n = 0;
+        for (BucketId b = 0; b < store_.bucket_count(); ++b) {
+            n += store_.cells(b).cell_count() > 1 ? 1u : 0u;
+        }
+        return n;
+    }
+
+    /// Number of buckets that exceed capacity because their records could
+    /// not be separated by further refinement (duplicate-heavy data; always
+    /// zero on strict-capacity stores, which reject such inserts).
+    std::size_t oversized_bucket_count() const {
+        std::size_t n = 0;
+        for (BucketId b = 0; b < store_.bucket_count(); ++b) {
+            n += store_.size(b) > bucket_capacity_ ? 1u : 0u;
+        }
+        return n;
+    }
+
+    /// Grid cell containing point `p` (out-of-domain values clamp).
+    std::array<std::uint32_t, D> locate_cell(const Point<D>& p) const {
+        std::array<std::uint32_t, D> cell;
+        for (std::size_t i = 0; i < D; ++i) cell[i] = scales_[i].locate(p[i]);
+        return cell;
+    }
+
+    /// Exports the dimension-erased structural snapshot consumed by the
+    /// declustering layer.
+    GridStructure structure() const {
+        GridStructure gs;
+        gs.shape.assign(dir_.shape().begin(), dir_.shape().end());
+        gs.domain_lo.assign(domain_.lo.x.begin(), domain_.lo.x.end());
+        gs.domain_hi.assign(domain_.hi.x.begin(), domain_.hi.x.end());
+        gs.buckets.reserve(store_.bucket_count());
+        for (BucketId b = 0; b < store_.bucket_count(); ++b) {
+            const CellBox<D>& cells = store_.cells(b);
+            BucketInfo info;
+            info.cell_lo.assign(cells.lo.begin(), cells.lo.end());
+            info.cell_hi.assign(cells.hi.begin(), cells.hi.end());
+            Rect<D> region = bucket_region(b);
+            info.region_lo.assign(region.lo.x.begin(), region.lo.x.end());
+            info.region_hi.assign(region.hi.x.begin(), region.hi.x.end());
+            info.record_count = store_.size(b);
+            gs.buckets.push_back(std::move(info));
+        }
+        return gs;
+    }
+
+    /// Cell box of grid cells overlapping query box `q`; false when the
+    /// query misses the domain entirely or is empty.
+    bool query_cell_box(const Rect<D>& q, CellBox<D>* box) const {
+        for (std::size_t i = 0; i < D; ++i) {
+            if (q.hi[i] <= q.lo[i]) return false;
+            if (q.hi[i] <= domain_.lo[i] || q.lo[i] >= domain_.hi[i])
+                return false;
+            // First interval whose upper bound exceeds q.lo[i].
+            std::uint32_t first =
+                scales_[i].locate(std::max(q.lo[i], domain_.lo[i]));
+            // Last interval whose lower bound is below q.hi[i].
+            std::uint32_t last =
+                scales_[i].locate(std::min(q.hi[i], domain_.hi[i]));
+            if (scales_[i].interval_lo(last) >= q.hi[i] && last > 0) --last;
+            box->lo[i] = first;
+            box->hi[i] = last + 1;
+        }
+        return true;
+    }
+
+protected:
+    /// Builds the one-cell, one-bucket initial state. Store constructor
+    /// arguments are forwarded in place because stores may be immovable
+    /// (the paged store pins a BufferPool).
+    template <typename... StoreArgs>
+    explicit GridFileCore(const Rect<D>& domain, std::size_t bucket_capacity,
+                          SplitPolicy split_policy, StoreArgs&&... store_args)
+        : store_(std::forward<StoreArgs>(store_args)...),
+          domain_(domain),
+          bucket_capacity_(bucket_capacity),
+          split_policy_(split_policy),
+          dir_(BucketId{0}) {
+        PGF_CHECK(bucket_capacity_ >= 2,
+                  "bucket capacity must be at least 2");
+        scales_.reserve(D);
+        for (std::size_t i = 0; i < D; ++i) {
+            scales_.emplace_back(domain.lo[i], domain.hi[i]);
+        }
+        CellBox<D> root;
+        root.lo.fill(0);
+        for (std::size_t i = 0; i < D; ++i) root.hi[i] = 1;
+        store_.create_bucket(root, bucket_capacity_ + 1);
+    }
+
+    Store& store() { return store_; }
+    const Store& store() const { return store_; }
+
+    Store store_;
+    Rect<D> domain_;
+    std::size_t bucket_capacity_;
+    SplitPolicy split_policy_;
+    std::vector<LinearScale> scales_;
+    GridDirectory<D> dir_;
+    std::size_t record_count_ = 0;
+    std::uint64_t refinements_ = 0;
+    // Axis and coordinate of the most recent scale split, consumed by
+    // bulk_load to patch its cached cell block without re-locating.
+    std::size_t last_refine_axis_ = 0;
+    double last_refine_coord_ = 0.0;
+
+private:
+    /// Total records held by the given buckets — the reserve() upper bound
+    /// for record-query results.
+    std::size_t candidate_records(
+        const std::vector<BucketId>& bucket_ids) const {
+        std::size_t n = 0;
+        for (BucketId b : bucket_ids) n += store_.size(b);
+        return n;
+    }
+
+    /// Batched locate_cell over `count` points, dimension-major so each
+    /// scale's split array stays cache-resident across the whole block.
+    void locate_cells(const Point<D>* points, std::size_t count,
+                      std::array<std::uint32_t, D>* cells) const {
+        for (std::size_t d = 0; d < D; ++d) {
+            const LinearScale& scale = scales_[d];
+            for (std::size_t k = 0; k < count; ++k) {
+                cells[k][d] = scale.locate(points[k][d]);
+            }
+        }
+    }
+
+    /// Resolves an overflow of the session's active bucket. A split may
+    /// leave one half still overflowing (skewed data), so iterate until
+    /// resolved or refinement becomes impossible. Returns the bucket that
+    /// owns the session's remaining records.
+    BucketId resolve_overflow(BucketId overflowing) {
+        BucketId b = overflowing;
+        while (store_.active().size() > bucket_capacity_) {
+            if (max_cell_extent(b) == 1 && !refine_grid(b)) {
+                if constexpr (Store::kStrictCapacity) {
+                    PGF_CHECK(false,
+                              "records cannot be separated (too many "
+                              "duplicates for one bucket page)");
+                }
+                return b;  // cannot separate further; bucket stays oversized
+            }
+            b = split_bucket(b);
+        }
+        return b;
+    }
+
+    std::uint32_t max_cell_extent(BucketId b) const {
+        std::uint32_t m = 0;
+        for (std::size_t i = 0; i < D; ++i)
+            m = std::max(m, store_.cells(b).extent(i));
+        return m;
+    }
+
+    /// Refines the grid through bucket `b`'s single cell. Returns false if
+    /// no axis can be split (degenerate region or duplicate coordinates).
+    bool refine_grid(BucketId b) {
+        // Prefer the axis where the cell is relatively longest, so the grid
+        // adapts its shape to the data distribution.
+        Rect<D> region = bucket_region(b);
+        std::array<std::size_t, D> axes;
+        for (std::size_t i = 0; i < D; ++i) axes[i] = i;
+        std::sort(axes.begin(), axes.end(), [&](std::size_t a, std::size_t c) {
+            return region.extent(a) / domain_.extent(a) >
+                   region.extent(c) / domain_.extent(c);
+        });
+        for (std::size_t axis : axes) {
+            double lo = region.lo[axis];
+            double hi = region.hi[axis];
+            if (hi - lo <= domain_.extent(axis) * 1e-12) continue;
+            double x = split_coordinate(store_.active(), axis, lo, hi);
+            if (!(x > lo && x < hi)) continue;
+            std::uint32_t interval = 0;
+            if (!scales_[axis].insert_split(x, &interval)) continue;
+            dir_.expand(axis, interval);
+            shift_cell_boxes(axis, interval);
+            ++refinements_;
+            last_refine_axis_ = axis;
+            last_refine_coord_ = x;
+            return true;
+        }
+        return false;
+    }
+
+    double split_coordinate(const Records& records, std::size_t axis,
+                            double lo, double hi) const {
+        if (split_policy_ == SplitPolicy::kMidpoint) {
+            return 0.5 * (lo + hi);
+        }
+        // Median policy: the middle record coordinate, clamped strictly
+        // inside the cell (falls back to midpoint for degenerate medians).
+        std::vector<double> xs;
+        xs.reserve(records.size());
+        for (const auto& r : records) xs.push_back(r.point[axis]);
+        auto mid = xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2);
+        std::nth_element(xs.begin(), mid, xs.end());
+        double x = *mid;
+        if (x > lo && x < hi) return x;
+        return 0.5 * (lo + hi);
+    }
+
+    /// After a directory expansion at (axis, interval), renumber every
+    /// bucket's cell box: intervals above the split shift up by one, and
+    /// boxes containing the split interval grow by one.
+    void shift_cell_boxes(std::size_t axis, std::uint32_t interval) {
+        const std::size_t n = store_.bucket_count();
+        for (BucketId b = 0; b < n; ++b) {
+            CellBox<D>& cells = store_.cells(b);
+            if (cells.lo[axis] > interval) {
+                ++cells.lo[axis];
+                ++cells.hi[axis];
+            } else if (cells.hi[axis] > interval) {
+                ++cells.hi[axis];
+            }
+        }
+    }
+
+    /// Splits the session's bucket `b` along its widest cell axis at the
+    /// middle grid line; returns whichever half is overflowing (or `b` if
+    /// neither — callers re-check the loop condition).
+    BucketId split_bucket(BucketId b) {
+        std::size_t axis = 0;
+        std::uint32_t widest = 0;
+        for (std::size_t i = 0; i < D; ++i) {
+            if (store_.cells(b).extent(i) > widest) {
+                widest = store_.cells(b).extent(i);
+                axis = i;
+            }
+        }
+        PGF_CHECK(widest >= 2, "split_bucket requires a multi-cell bucket");
+
+        const std::uint32_t mid =
+            store_.cells(b).lo[axis] + store_.cells(b).extent(axis) / 2;
+
+        CellBox<D> upper_cells = store_.cells(b);
+        upper_cells.lo[axis] = mid;
+        // Reserve to capacity + 1 up front (the lower half keeps its
+        // original reservation) so neither half reallocates its record
+        // vector again before its own overflow.
+        const BucketId new_id =
+            store_.create_bucket(upper_cells, bucket_capacity_ + 1);
+        store_.cells(b).hi[axis] = mid;
+        for_each_cell(upper_cells,
+                      [&](const std::array<std::uint32_t, D>& cell) {
+                          dir_.set(cell, new_id);
+                      });
+
+        // Partition the session's records: lower half [0, pivot) stays with
+        // b, upper half [pivot, end) moves to new_id. The partition is
+        // unstable, but split decisions never depend on record order.
+        Records& records = store_.active();
+        auto pivot = std::partition(
+            records.begin(), records.end(), [&](const GridRecord<D>& r) {
+                return scales_[axis].locate(r.point[axis]) < mid;
+            });
+        const auto pivot_idx =
+            static_cast<std::size_t>(pivot - records.begin());
+        const std::size_t upper_size = records.size() - pivot_idx;
+        const bool continue_with_upper = upper_size > pivot_idx;
+        store_.split_active(b, new_id, pivot_idx, continue_with_upper);
+        return continue_with_upper ? new_id : b;
+    }
+};
+
+}  // namespace pgf

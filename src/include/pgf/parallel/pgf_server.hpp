@@ -8,6 +8,17 @@
 // queries are processed one at a time (the workloads in Tables 4-5 are
 // sequential query streams).
 //
+// The server is generic over the grid-file backend (GF). Two modes:
+//   - simulated-cache mode (any backend, the default): block residency is
+//     decided by each SimulatedDisk's internal LRU model;
+//   - disk-backed mode (paged backend, DiskBackedConfig): every worker
+//     block read goes through a real per-node BufferPool over the paged
+//     file's backing pages, and the pool's hit/miss counters replace the
+//     simulated block cache — physical_reads/cache_hits then report actual
+//     page I/O, validating the Sec. 2.2 response metric against real
+//     misses. Response blocks depend only on structure + assignment, so
+//     they are identical across modes by construction.
+//
 // Reported quantities match the paper's three columns:
 //   - response blocks: sum over queries of max_i N_i(q) (Sec. 2.2 metric),
 //   - communication seconds: total time spent in message transfer,
@@ -17,12 +28,16 @@
 #include <algorithm>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "pgf/decluster/types.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/parallel/cluster.hpp"
 #include "pgf/sim/des.hpp"
+#include "pgf/storage/buffer_pool.hpp"
+#include "pgf/storage/page_file.hpp"
 
 namespace pgf {
 
@@ -37,12 +52,28 @@ struct BatchResult {
     double elapsed_s = 0.0;
 };
 
-template <std::size_t D>
+/// Enables the disk-backed mode: each node opens its own BufferPool of
+/// `pool_pages` frames over the paged file's backing PageFile. The file
+/// must be flushed (PagedGridFile::flush) before the server is built, so
+/// the node pools read current page images.
+struct DiskBackedConfig {
+    std::size_t pool_pages = 1024;
+};
+
+/// Grid-file backends that expose a disk image the server can open
+/// directly: a backing file path plus a page id per bucket.
+template <typename GF>
+concept PagedBackend = requires(const GF& gf) {
+    { gf.path() } -> std::convertible_to<std::string>;
+    { gf.bucket_page(std::uint32_t{0}) } -> std::convertible_to<std::uint64_t>;
+};
+
+template <std::size_t D, typename GF = GridFile<D>>
 class ParallelGridFileServer {
 public:
     /// `assignment` maps every bucket of `gf` to a *disk* in
     /// [0, nodes * disks_per_node); disk d lives on node d / disks_per_node.
-    ParallelGridFileServer(const GridFile<D>& gf, Assignment assignment,
+    ParallelGridFileServer(const GF& gf, Assignment assignment,
                            ClusterConfig config)
         : gf_(gf), assignment_(std::move(assignment)), config_(config) {
         PGF_CHECK(config_.disks_per_node >= 1,
@@ -59,9 +90,24 @@ public:
         }
     }
 
-    /// Runs the query batch on a fresh simulated clock (the block caches
-    /// persist across queries within the batch, and across batches unless
-    /// drop_caches() is called).
+    /// Disk-backed mode: worker reads go through real per-node buffer
+    /// pools over `gf`'s backing file. Call gf.flush() first so the pages
+    /// on disk are current.
+    ParallelGridFileServer(const GF& gf, Assignment assignment,
+                           ClusterConfig config, DiskBackedConfig disk_backed)
+        requires PagedBackend<GF>
+        : ParallelGridFileServer(gf, std::move(assignment), config) {
+        backing_path_ = gf.path();
+        backing_pool_pages_ = disk_backed.pool_pages;
+        PGF_CHECK(backing_pool_pages_ >= 1,
+                  "disk-backed mode needs at least one pool frame per node");
+        open_backing();
+    }
+
+    /// Runs the query batch on a fresh simulated clock (the block caches —
+    /// simulated LRU or real per-node pools — persist across queries
+    /// within the batch, and across batches unless drop_caches() is
+    /// called).
     ///
     /// `concurrency` is the number of outstanding queries the coordinator
     /// keeps in flight (closed loop). The paper's workloads are sequential
@@ -130,10 +176,7 @@ public:
                     sim::SimTime disk_done =
                         std::max(arrival, disk_busy_until[disk]);
                     for (std::uint32_t b : per_disk[disk]) {
-                        disk_done += disks_[disk].read(b);
-                        for (const auto& rec : gf_.bucket(b).records) {
-                            if (q.contains(rec.point)) ++matched;
-                        }
+                        disk_done += service_block(q, node, disk, b, matched);
                     }
                     disk_busy_until[disk] = disk_done;
                     node_done = std::max(node_done, disk_done);
@@ -157,26 +200,94 @@ public:
         for (std::uint32_t k = 0; k < concurrency; ++k) start_query();
         des.run();
         result.elapsed_s = des.now();
-        for (const auto& d : disks_) {
-            result.physical_reads += d.physical_reads();
-            result.cache_hits += d.cache_hits();
+        if (!backing_.empty()) {
+            // Disk-backed: I/O counters come from the real pools
+            // (snapshot-and-zero; page contents stay resident).
+            for (auto& nb : backing_) {
+                BufferPool::Stats stats = nb->pool.reset();
+                result.physical_reads += stats.misses;
+                result.cache_hits += stats.hits;
+            }
+            for (auto& d : disks_) d.reset_counters();
+        } else {
+            for (const auto& d : disks_) {
+                result.physical_reads += d.physical_reads();
+                result.cache_hits += d.cache_hits();
+            }
+            for (auto& d : disks_) d.reset_counters();
         }
-        for (auto& d : disks_) d.reset_counters();
         return result;
     }
 
-    /// Clears every node's block cache (for cold-start measurements).
+    /// Clears every node's block cache (for cold-start measurements). In
+    /// disk-backed mode the per-node pools are reopened empty.
     void drop_caches() {
         for (auto& d : disks_) d.drop_cache();
+        if (!backing_.empty()) open_backing();
     }
+
+    /// True when worker reads go through real per-node buffer pools.
+    bool disk_backed() const { return !backing_.empty(); }
 
     const ClusterConfig& config() const { return config_; }
 
 private:
-    const GridFile<D>& gf_;
+    /// A worker node's view of the shared page image: its own file handle
+    /// and buffer pool (shared-nothing nodes cache independently).
+    struct NodeBacking {
+        PageFile file;
+        BufferPool pool;
+        NodeBacking(const std::string& path, std::size_t pool_pages)
+            : file(PageFile::open(path)), pool(file, pool_pages) {}
+    };
+
+    void open_backing() {
+        backing_.clear();
+        backing_.reserve(config_.nodes);
+        for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+            backing_.push_back(std::make_unique<NodeBacking>(
+                backing_path_, backing_pool_pages_));
+        }
+    }
+
+    /// Reads bucket `b`'s block on `disk` and filters its records against
+    /// `q` (adding to `matched`); returns the block's service time. In
+    /// disk-backed mode the node's pool fetches the real page, its
+    /// hit/miss verdict feeds the timing model, and the records are
+    /// decoded from the fetched page image — the worker touches only
+    /// bytes that came through its own pool. Otherwise the simulated LRU
+    /// decides residency and the backend's records are scanned directly.
+    sim::SimTime service_block(const Rect<D>& q, std::uint32_t node,
+                               std::uint32_t disk, std::uint32_t b,
+                               std::uint64_t& matched) {
+        if constexpr (PagedBackend<GF>) {
+            if (!backing_.empty()) {
+                NodeBacking& nb = *backing_[node];
+                const std::uint64_t page = gf_.bucket_page(b);
+                const std::uint64_t misses_before = nb.pool.misses();
+                auto ref = nb.pool.fetch(page);
+                const bool hit = nb.pool.misses() == misses_before;
+                GF::StoreType::decode_page(ref.data(), page_scratch_);
+                for (const auto& rec : page_scratch_) {
+                    if (q.contains(rec.point)) ++matched;
+                }
+                return disks_[disk].read_with(page, hit);
+            }
+        }
+        for (const auto& rec : gf_.bucket_records(b)) {
+            if (q.contains(rec.point)) ++matched;
+        }
+        return disks_[disk].read(b);
+    }
+
+    const GF& gf_;
     Assignment assignment_;
     ClusterConfig config_;
     std::vector<SimulatedDisk> disks_;
+    std::string backing_path_;
+    std::size_t backing_pool_pages_ = 0;
+    std::vector<std::unique_ptr<NodeBacking>> backing_;
+    std::vector<GridRecord<D>> page_scratch_;
 };
 
 }  // namespace pgf

@@ -71,6 +71,22 @@ public:
     std::uint64_t evictions() const { return evictions_; }
     std::uint64_t writebacks() const { return writebacks_; }
 
+    /// Counter snapshot (see stats()/reset()).
+    struct Stats {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t writebacks = 0;
+    };
+
+    Stats stats() const { return {hits_, misses_, evictions_, writebacks_}; }
+
+    /// Snapshot-and-zero: returns the counters accumulated since the last
+    /// reset and clears them, so callers measuring per-phase deltas (e.g.
+    /// the disk-backed server's per-batch I/O) need no external
+    /// bookkeeping. Page contents and recency are untouched.
+    Stats reset();
+
 private:
     struct Frame {
         std::uint64_t page_id = 0;

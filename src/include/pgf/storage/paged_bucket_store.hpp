@@ -1,0 +1,214 @@
+// Disk-resident BucketStore: one bucket == one page of a PageFile, read
+// and written through the LRU BufferPool. Only bucket metadata (cell box,
+// page id, record count) stays in memory.
+//
+// Page layout (little-endian): u64 record count, then `count` records of
+// (D+1) u64 words — D coordinate doubles (bit-cast) plus the record id.
+// The capacity follows from the page size: (page_size - 8) / ((D+1)*8).
+//
+// Edit protocol (see bucket_store.hpp): edit(b) decodes b's page into one
+// in-memory buffer; the engine mutates it (an overflowing buffer may
+// transiently exceed the page capacity — it lives in memory until splits
+// produce page-sized halves); split_active encodes the non-continuing half
+// to its page; commit(b) encodes the buffer back to b's page. A strict-
+// capacity store: a bucket can never stay oversized, so the engine rejects
+// inseparable duplicate overflows with CheckError.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pgf/gridfile/bucket_store.hpp"
+#include "pgf/gridfile/directory.hpp"
+#include "pgf/storage/buffer_pool.hpp"
+#include "pgf/storage/page_file.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+template <std::size_t D>
+class PagedBucketStore {
+public:
+    using Records = std::vector<GridRecord<D>>;
+    static constexpr bool kStrictCapacity = true;
+    static constexpr std::size_t kRecordBytes = (D + 1) * 8;
+    static constexpr std::size_t kCountBytes = 8;
+
+    /// Records per page for a given page size (0 when the header alone
+    /// doesn't fit — callers must check the result is usable).
+    static std::size_t capacity_for(std::size_t page_size) {
+        if (page_size <= kCountBytes) return 0;
+        return (page_size - kCountBytes) / kRecordBytes;
+    }
+
+    /// Smallest page size holding exactly `capacity` records — the inverse
+    /// of capacity_for, used to build a paged file cell-for-cell comparable
+    /// to an in-memory one with that bucket capacity.
+    static std::size_t page_size_for(std::size_t capacity) {
+        return kCountBytes + capacity * kRecordBytes;
+    }
+
+    /// Creates (truncating) the backing file at `path`.
+    PagedBucketStore(const std::string& path, std::size_t page_size,
+                     std::size_t pool_pages)
+        : file_(PageFile::create(path, page_size)),
+          pool_(file_, pool_pages),
+          capacity_(capacity_for(page_size)) {}
+
+    std::size_t bucket_count() const { return metas_.size(); }
+    void reserve(std::size_t buckets) { metas_.reserve(buckets); }
+
+    std::uint32_t create_bucket(const CellBox<D>& cells,
+                                std::size_t /*reserve_hint*/) {
+        auto id = static_cast<std::uint32_t>(metas_.size());
+        Meta meta;
+        meta.cells = cells;
+        meta.page = pool_.allocate().page_id();
+        metas_.push_back(meta);
+        return id;
+    }
+
+    const CellBox<D>& cells(std::uint32_t b) const { return metas_[b].cells; }
+    CellBox<D>& cells(std::uint32_t b) { return metas_[b].cells; }
+    std::size_t size(std::uint32_t b) const { return metas_[b].count; }
+
+    const Records& read(std::uint32_t b) const {
+        load(b, read_buf_);
+        return read_buf_;
+    }
+
+    Records& edit(std::uint32_t b) {
+        active_ = b;
+        load(b, edit_buf_);
+        return edit_buf_;
+    }
+    Records& active() { return edit_buf_; }
+
+    void split_active(std::uint32_t b, std::uint32_t new_id, std::size_t pivot,
+                      bool continue_with_upper) {
+        auto split = edit_buf_.begin() + static_cast<std::ptrdiff_t>(pivot);
+        if (continue_with_upper) {
+            // Persist the lower half to b's page; keep the upper in memory.
+            store(b, edit_buf_.data(), pivot);
+            edit_buf_.erase(edit_buf_.begin(), split);
+            active_ = new_id;
+        } else {
+            store(new_id, edit_buf_.data() + pivot, edit_buf_.size() - pivot);
+            edit_buf_.erase(split, edit_buf_.end());
+        }
+    }
+
+    void commit(std::uint32_t b) { store(b, edit_buf_.data(), edit_buf_.size()); }
+
+    // -- paged-only surface --------------------------------------------------
+
+    /// Page id backing bucket `b` (for partitioned-storage experiments and
+    /// the disk-backed parallel server).
+    std::uint64_t page(std::uint32_t b) const { return metas_[b].page; }
+
+    const BufferPool& pool() const { return pool_; }
+    BufferPool& pool() { return pool_; }
+    const std::string& path() const { return file_.path(); }
+
+    /// Writes back every dirty page and syncs the file.
+    void flush() { pool_.flush_all(); }
+
+    /// Copies the raw bytes of bucket `b`'s page (through the pool) into
+    /// `out` — the audit layer's window for header/roundtrip checks.
+    void read_bucket_page(std::uint32_t b, std::vector<std::byte>& out) const {
+        auto page = pool_.fetch(metas_[b].page);
+        auto data = page.data();
+        out.assign(data.begin(), data.end());
+    }
+
+    /// Record count claimed by a raw page image's header (no validation —
+    /// audits compare this against the in-memory metadata before trusting
+    /// it for a decode).
+    static std::uint64_t page_record_count(std::span<const std::byte> data) {
+        return read_u64(data.data());
+    }
+
+    /// Decodes a raw page image (header + records) into `out`. Usable on
+    /// any copy of a bucket page — the disk-backed server reads pages
+    /// through its own per-node pools and decodes with this.
+    static void decode_page(std::span<const std::byte> data, Records& out) {
+        const std::byte* p = data.data();
+        const std::uint64_t count = read_u64(p);
+        out.resize(count);
+        for (std::uint64_t k = 0; k < count; ++k) {
+            const std::byte* rec = p + kCountBytes + k * kRecordBytes;
+            for (std::size_t i = 0; i < D; ++i) {
+                out[k].point[i] = std::bit_cast<double>(read_u64(rec + i * 8));
+            }
+            out[k].id = read_u64(rec + D * 8);
+        }
+    }
+
+    /// Encodes `count` records into a raw page image (the inverse of
+    /// decode_page); bytes past the last record are left untouched.
+    static void encode_page(std::span<std::byte> data,
+                            const GridRecord<D>* records, std::size_t count) {
+        std::byte* p = data.data();
+        write_u64(p, count);
+        for (std::size_t k = 0; k < count; ++k) {
+            std::byte* rec = p + kCountBytes + k * kRecordBytes;
+            for (std::size_t i = 0; i < D; ++i) {
+                write_u64(rec + i * 8,
+                          std::bit_cast<std::uint64_t>(records[k].point[i]));
+            }
+            write_u64(rec + D * 8, records[k].id);
+        }
+    }
+
+private:
+    struct Meta {
+        CellBox<D> cells;
+        std::uint64_t page = 0;
+        std::size_t count = 0;  ///< mirrored from the page header
+    };
+
+    static std::uint64_t read_u64(const std::byte* p) {
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+        }
+        return v;
+    }
+
+    static void write_u64(std::byte* p, std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+        }
+    }
+
+    void load(std::uint32_t b, Records& out) const {
+        auto page = pool_.fetch(metas_[b].page);
+        const std::byte* data = page.data().data();
+        const std::uint64_t count = read_u64(data);
+        PGF_CHECK(count == metas_[b].count,
+                  "page header disagrees with bucket metadata");
+        decode_page(page.data(), out);
+    }
+
+    void store(std::uint32_t b, const GridRecord<D>* records,
+               std::size_t count) {
+        PGF_CHECK(count <= capacity_, "store: bucket exceeds its page");
+        auto page = pool_.fetch(metas_[b].page);
+        encode_page(page.data(), records, count);
+        page.mark_dirty();
+        metas_[b].count = count;
+    }
+
+    PageFile file_;
+    mutable BufferPool pool_;
+    std::size_t capacity_;
+    std::vector<Meta> metas_;
+    std::uint32_t active_ = 0;
+    Records edit_buf_;
+    mutable Records read_buf_;
+};
+
+}  // namespace pgf

@@ -1,15 +1,17 @@
-// Disk-resident grid file: bucket contents live in pages of a PageFile,
-// read and written through the LRU BufferPool; only the access structure
-// (scales, directory, bucket metadata) stays in memory — the classic
-// deployment the paper assumes ("the scale and directory of the grid file
-// are stored only on the local disk of the coordinator", Sec. 3.5, with
-// data buckets as disk blocks).
+// Disk-resident grid file: GridFileCore over a PagedBucketStore — bucket
+// contents live in pages of a PageFile, read and written through the LRU
+// BufferPool; only the access structure (scales, directory, bucket
+// metadata) stays in memory. This is the classic deployment the paper
+// assumes ("the scale and directory of the grid file are stored only on
+// the local disk of the coordinator", Sec. 3.5, with data buckets as disk
+// blocks).
 //
 // One bucket == one page; the bucket capacity follows from the page size
-// and the fixed record encoding (D coordinates + id, 8 bytes each). Splits
-// re-partition a page's records into two pages using the same refinement
-// rules as the in-memory GridFile (relative-longest-axis, midpoint or
-// median split point).
+// and the fixed record encoding (D coordinates + id, 8 bytes each). All
+// split/refinement logic is the shared engine's (grid_file_core.hpp) —
+// given the same insertion sequence, this file and an in-memory GridFile
+// with the same capacity produce byte-identical scales, directory, and
+// bucket numbering (asserted by tests/storage/test_backend_equivalence).
 //
 // The in-memory structure is rebuilt on open only via the snapshot path
 // (save_grid_file/load_grid_file); this engine is the *working* store whose
@@ -18,26 +20,25 @@
 // against actual page misses).
 #pragma once
 
-#include <algorithm>
-#include <bit>
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "pgf/geom/point.hpp"
-#include "pgf/gridfile/directory.hpp"
-#include "pgf/gridfile/grid_file.hpp"
-#include "pgf/gridfile/partial_match.hpp"
-#include "pgf/gridfile/scales.hpp"
-#include "pgf/gridfile/structure.hpp"
+#include "pgf/gridfile/grid_file_core.hpp"
 #include "pgf/storage/buffer_pool.hpp"
-#include "pgf/storage/page_file.hpp"
+#include "pgf/storage/paged_bucket_store.hpp"
 #include "pgf/util/check.hpp"
 
 namespace pgf {
 
 template <std::size_t D>
-class PagedGridFile {
+class PagedGridFile : public GridFileCore<D, PagedBucketStore<D>> {
+    using Core = GridFileCore<D, PagedBucketStore<D>>;
+
 public:
     using BucketId = std::uint32_t;
+    using Store = PagedBucketStore<D>;
 
     struct Config {
         std::size_t page_size = 4096;
@@ -48,369 +49,50 @@ public:
     /// Creates (truncating) the backing file at `path`.
     PagedGridFile(const std::string& path, const Rect<D>& domain,
                   Config config = {})
-        : domain_(domain),
-          config_(config),
-          file_(PageFile::create(path, config.page_size)),
-          pool_(file_, config.pool_pages),
-          dir_(BucketId{0}) {
-        capacity_ = (config_.page_size - kCountBytes) / kRecordBytes;
-        PGF_CHECK(capacity_ >= 2,
-                  "page size too small for at least two records");
-        scales_.reserve(D);
-        for (std::size_t i = 0; i < D; ++i) {
-            scales_.emplace_back(domain.lo[i], domain.hi[i]);
-        }
-        BucketMeta root;
-        root.cells.lo.fill(0);
-        for (std::size_t i = 0; i < D; ++i) root.cells.hi[i] = 1;
-        root.page = pool_.allocate().page_id();
-        buckets_.push_back(root);
+        : Core(domain, checked_capacity(config.page_size),
+               config.split_policy, path, config.page_size,
+               config.pool_pages),
+          config_(config) {}
+
+    const Config& config() const { return config_; }
+
+    /// Records per bucket page — the capacity an in-memory GridFile must
+    /// be configured with for cell-for-cell comparison with this file.
+    std::size_t capacity() const { return this->bucket_capacity_; }
+
+    /// Page id backing bucket `b` (for partitioned-storage experiments and
+    /// the disk-backed parallel server).
+    std::uint64_t bucket_page(BucketId b) const {
+        return this->store_.page(b);
     }
 
-    /// Records per bucket page.
-    std::size_t bucket_capacity() const { return capacity_; }
-    std::size_t bucket_count() const { return buckets_.size(); }
-    std::size_t record_count() const { return record_count_; }
-    const Rect<D>& domain() const { return domain_; }
-    const BufferPool& pool() const { return pool_; }
+    const BufferPool& pool() const { return this->store_.pool(); }
+    BufferPool& pool() { return this->store_.pool(); }
 
-    /// Inserts one record. Unlike the in-memory GridFile, a paged bucket
-    /// cannot exceed its page, so records that cannot be separated by
-    /// refinement (more identical points than one page holds) are rejected
-    /// with CheckError instead of silently growing an oversized bucket.
-    void insert(const Point<D>& p, std::uint64_t id) {
-        BucketId b = dir_.at(locate_cell(p));
-        auto records = load_records(b);
-        records.push_back(GridRecord<D>{p, id});
-        ++record_count_;
-        // Overflowing record sets stay in memory until a split produces
-        // page-sized halves (usually one round).
-        while (records.size() > capacity_) {
-            if (max_cell_extent(b) == 1) {
-                PGF_CHECK(refine_grid(b, records),
-                          "PagedGridFile: records cannot be separated "
-                          "(too many duplicates for one page)");
-            }
-            b = split_bucket(b, records);
-        }
-        store_records(b, records);
+    /// Path of the backing page file.
+    const std::string& path() const { return this->store_.path(); }
+
+    /// Writes back every dirty page and syncs the file. Call before other
+    /// readers (e.g. the disk-backed server's per-node pools) open the
+    /// backing file.
+    void flush() { this->store_.flush(); }
+
+    /// Copies the raw bytes of bucket `b`'s page into `out` (audit hook).
+    void read_bucket_page(BucketId b, std::vector<std::byte>& out) const {
+        this->store_.read_bucket_page(b, out);
     }
-
-    std::vector<BucketId> query_buckets(const Rect<D>& q) const {
-        std::vector<BucketId> out;
-        CellBox<D> box;
-        if (!query_cell_box(q, &box)) return out;
-        std::vector<char> seen(buckets_.size(), 0);
-        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
-            BucketId b = dir_.at(cell);
-            if (!seen[b]) {
-                seen[b] = 1;
-                out.push_back(b);
-            }
-        });
-        return out;
-    }
-
-    /// Exact range query; every touched bucket costs one buffer-pool fetch
-    /// (hit or page read).
-    std::vector<GridRecord<D>> query_records(const Rect<D>& q) {
-        std::vector<GridRecord<D>> out;
-        for (BucketId b : query_buckets(q)) {
-            for (const auto& r : load_records(b)) {
-                if (q.contains(r.point)) out.push_back(r);
-            }
-        }
-        return out;
-    }
-
-    /// Erases the record with the given point and id; returns true when a
-    /// record was removed. Buckets are not re-merged on underflow
-    /// (matching GridFile's policy).
-    bool erase(const Point<D>& p, std::uint64_t id) {
-        BucketId b = dir_.at(locate_cell(p));
-        auto records = load_records(b);
-        auto it = std::find_if(records.begin(), records.end(),
-                               [&](const GridRecord<D>& r) {
-                                   return r.id == id && r.point == p;
-                               });
-        if (it == records.end()) return false;
-        records.erase(it);
-        store_records(b, records);
-        --record_count_;
-        return true;
-    }
-
-    /// Buckets a partial match query must read (same contract as
-    /// GridFile<D>::query_buckets(PartialMatch)).
-    std::vector<BucketId> query_buckets(const PartialMatch<D>& q) const {
-        PGF_CHECK(q.valid(),
-                  "partial match must leave at least one attribute free");
-        CellBox<D> box;
-        for (std::size_t i = 0; i < D; ++i) {
-            if (q.key[i].has_value()) {
-                std::uint32_t cell = scales_[i].locate(*q.key[i]);
-                box.lo[i] = cell;
-                box.hi[i] = cell + 1;
-            } else {
-                box.lo[i] = 0;
-                box.hi[i] = dir_.shape()[i];
-            }
-        }
-        std::vector<BucketId> out;
-        std::vector<char> seen(buckets_.size(), 0);
-        for_each_cell(box, [&](const std::array<std::uint32_t, D>& cell) {
-            BucketId b = dir_.at(cell);
-            if (!seen[b]) {
-                seen[b] = 1;
-                out.push_back(b);
-            }
-        });
-        return out;
-    }
-
-    /// Records whose specified attributes match exactly.
-    std::vector<GridRecord<D>> query_records(const PartialMatch<D>& q) {
-        std::vector<GridRecord<D>> out;
-        for (BucketId b : query_buckets(q)) {
-            for (const auto& r : load_records(b)) {
-                bool match = true;
-                for (std::size_t i = 0; i < D && match; ++i) {
-                    if (q.key[i].has_value() && r.point[i] != *q.key[i]) {
-                        match = false;
-                    }
-                }
-                if (match) out.push_back(r);
-            }
-        }
-        return out;
-    }
-
-    /// Page id backing bucket `b` (for partitioned-storage experiments).
-    std::uint64_t bucket_page(BucketId b) const { return buckets_[b].page; }
-
-    GridStructure structure() const {
-        GridStructure gs;
-        gs.shape.assign(dir_.shape().begin(), dir_.shape().end());
-        gs.domain_lo.assign(domain_.lo.x.begin(), domain_.lo.x.end());
-        gs.domain_hi.assign(domain_.hi.x.begin(), domain_.hi.x.end());
-        gs.buckets.reserve(buckets_.size());
-        for (const BucketMeta& meta : buckets_) {
-            BucketInfo info;
-            info.cell_lo.assign(meta.cells.lo.begin(), meta.cells.lo.end());
-            info.cell_hi.assign(meta.cells.hi.begin(), meta.cells.hi.end());
-            info.region_lo.resize(D);
-            info.region_hi.resize(D);
-            for (std::size_t i = 0; i < D; ++i) {
-                info.region_lo[i] = scales_[i].interval_lo(meta.cells.lo[i]);
-                info.region_hi[i] =
-                    scales_[i].interval_hi(meta.cells.hi[i] - 1);
-            }
-            info.record_count = meta.count;
-            gs.buckets.push_back(std::move(info));
-        }
-        return gs;
-    }
-
-    void flush() { pool_.flush_all(); }
 
 private:
-    static constexpr std::size_t kRecordBytes = (D + 1) * 8;
-    static constexpr std::size_t kCountBytes = 8;
-
-    struct BucketMeta {
-        CellBox<D> cells;
-        std::uint64_t page = 0;
-        std::size_t count = 0;  ///< mirrored from the page header
-    };
-
-    static std::uint64_t read_u64(const std::byte* p) {
-        std::uint64_t v = 0;
-        for (int i = 0; i < 8; ++i) {
-            v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-        }
-        return v;
+    /// Validates the page size before the store (and its backing file) is
+    /// constructed; returns the resulting bucket capacity.
+    static std::size_t checked_capacity(std::size_t page_size) {
+        const std::size_t capacity = Store::capacity_for(page_size);
+        PGF_CHECK(capacity >= 2,
+                  "page size too small for at least two records");
+        return capacity;
     }
 
-    static void write_u64(std::byte* p, std::uint64_t v) {
-        for (int i = 0; i < 8; ++i) {
-            p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
-        }
-    }
-
-    std::vector<GridRecord<D>> load_records(BucketId b) {
-        auto page = pool_.fetch(buckets_[b].page);
-        const std::byte* data = page.data().data();
-        std::uint64_t count = read_u64(data);
-        PGF_CHECK(count == buckets_[b].count,
-                  "page header disagrees with bucket metadata");
-        std::vector<GridRecord<D>> records(count);
-        for (std::uint64_t k = 0; k < count; ++k) {
-            const std::byte* rec = data + kCountBytes + k * kRecordBytes;
-            for (std::size_t i = 0; i < D; ++i) {
-                records[k].point[i] =
-                    std::bit_cast<double>(read_u64(rec + i * 8));
-            }
-            records[k].id = read_u64(rec + D * 8);
-        }
-        return records;
-    }
-
-    void store_records(BucketId b, const std::vector<GridRecord<D>>& records) {
-        PGF_CHECK(records.size() <= capacity_,
-                  "store_records: bucket exceeds its page");
-        auto page = pool_.fetch(buckets_[b].page);
-        std::byte* data = page.data().data();
-        write_u64(data, records.size());
-        for (std::size_t k = 0; k < records.size(); ++k) {
-            std::byte* rec = data + kCountBytes + k * kRecordBytes;
-            for (std::size_t i = 0; i < D; ++i) {
-                write_u64(rec + i * 8,
-                          std::bit_cast<std::uint64_t>(records[k].point[i]));
-            }
-            write_u64(rec + D * 8, records[k].id);
-        }
-        page.mark_dirty();
-        buckets_[b].count = records.size();
-    }
-
-    std::array<std::uint32_t, D> locate_cell(const Point<D>& p) const {
-        std::array<std::uint32_t, D> cell;
-        for (std::size_t i = 0; i < D; ++i) cell[i] = scales_[i].locate(p[i]);
-        return cell;
-    }
-
-    std::uint32_t max_cell_extent(BucketId b) const {
-        std::uint32_t m = 0;
-        for (std::size_t i = 0; i < D; ++i) {
-            m = std::max(m, buckets_[b].cells.extent(i));
-        }
-        return m;
-    }
-
-    Rect<D> bucket_region(BucketId b) const {
-        Rect<D> r;
-        for (std::size_t i = 0; i < D; ++i) {
-            r.lo[i] = scales_[i].interval_lo(buckets_[b].cells.lo[i]);
-            r.hi[i] = scales_[i].interval_hi(buckets_[b].cells.hi[i] - 1);
-        }
-        return r;
-    }
-
-    /// Refines the grid through bucket b's single cell; `records` are the
-    /// bucket's (in-memory, overflowing) records for the median policy.
-    bool refine_grid(BucketId b, const std::vector<GridRecord<D>>& records) {
-        Rect<D> region = bucket_region(b);
-        std::array<std::size_t, D> axes;
-        for (std::size_t i = 0; i < D; ++i) axes[i] = i;
-        std::sort(axes.begin(), axes.end(), [&](std::size_t a, std::size_t c) {
-            return region.extent(a) / domain_.extent(a) >
-                   region.extent(c) / domain_.extent(c);
-        });
-        for (std::size_t axis : axes) {
-            double lo = region.lo[axis];
-            double hi = region.hi[axis];
-            if (hi - lo <= domain_.extent(axis) * 1e-12) continue;
-            double x = 0.5 * (lo + hi);
-            if (config_.split_policy == SplitPolicy::kMedian) {
-                std::vector<double> xs;
-                xs.reserve(records.size());
-                for (const auto& r : records) xs.push_back(r.point[axis]);
-                auto mid = xs.begin() +
-                           static_cast<std::ptrdiff_t>(xs.size() / 2);
-                std::nth_element(xs.begin(), mid, xs.end());
-                if (*mid > lo && *mid < hi) x = *mid;
-            }
-            if (!(x > lo && x < hi)) continue;
-            std::uint32_t interval = 0;
-            if (!scales_[axis].insert_split(x, &interval)) continue;
-            dir_.expand(axis, interval);
-            for (BucketMeta& meta : buckets_) {
-                if (meta.cells.lo[axis] > interval) {
-                    ++meta.cells.lo[axis];
-                    ++meta.cells.hi[axis];
-                } else if (meta.cells.hi[axis] > interval) {
-                    ++meta.cells.hi[axis];
-                }
-            }
-            return true;
-        }
-        return false;
-    }
-
-    /// Splits bucket b whose (overflowing) records are passed in memory.
-    /// On return `records` holds whichever half is still too large (or the
-    /// final half to be stored by the caller); the other half has been
-    /// written to its page. Returns the bucket that owns `records`.
-    BucketId split_bucket(BucketId b, std::vector<GridRecord<D>>& records) {
-        std::size_t axis = 0;
-        std::uint32_t widest = 0;
-        for (std::size_t i = 0; i < D; ++i) {
-            if (buckets_[b].cells.extent(i) > widest) {
-                widest = buckets_[b].cells.extent(i);
-                axis = i;
-            }
-        }
-        PGF_CHECK(widest >= 2, "split requires a multi-cell bucket");
-        const std::uint32_t mid =
-            buckets_[b].cells.lo[axis] + buckets_[b].cells.extent(axis) / 2;
-
-        auto new_id = static_cast<BucketId>(buckets_.size());
-        BucketMeta upper;
-        upper.cells = buckets_[b].cells;
-        upper.cells.lo[axis] = mid;
-        upper.page = pool_.allocate().page_id();
-        buckets_[b].cells.hi[axis] = mid;
-        buckets_.push_back(upper);
-        for_each_cell(buckets_[new_id].cells,
-                      [&](const std::array<std::uint32_t, D>& cell) {
-                          dir_.set(cell, new_id);
-                      });
-
-        std::vector<GridRecord<D>> lower_records, upper_records;
-        for (const auto& r : records) {
-            if (scales_[axis].locate(r.point[axis]) < mid) {
-                lower_records.push_back(r);
-            } else {
-                upper_records.push_back(r);
-            }
-        }
-        // Keep the larger half in memory; persist the other one.
-        if (upper_records.size() > lower_records.size()) {
-            store_records(b, lower_records);
-            records = std::move(upper_records);
-            return new_id;
-        }
-        store_records(new_id, upper_records);
-        records = std::move(lower_records);
-        return b;
-    }
-
-    bool query_cell_box(const Rect<D>& q, CellBox<D>* box) const {
-        for (std::size_t i = 0; i < D; ++i) {
-            if (q.hi[i] <= q.lo[i]) return false;
-            if (q.hi[i] <= domain_.lo[i] || q.lo[i] >= domain_.hi[i]) {
-                return false;
-            }
-            std::uint32_t first =
-                scales_[i].locate(std::max(q.lo[i], domain_.lo[i]));
-            std::uint32_t last =
-                scales_[i].locate(std::min(q.hi[i], domain_.hi[i]));
-            if (scales_[i].interval_lo(last) >= q.hi[i] && last > 0) --last;
-            box->lo[i] = first;
-            box->hi[i] = last + 1;
-        }
-        return true;
-    }
-
-    Rect<D> domain_;
     Config config_;
-    std::size_t capacity_ = 0;
-    PageFile file_;
-    mutable BufferPool pool_;
-    std::vector<LinearScale> scales_;
-    GridDirectory<D> dir_;
-    std::vector<BucketMeta> buckets_;
-    std::size_t record_count_ = 0;
 };
 
 }  // namespace pgf

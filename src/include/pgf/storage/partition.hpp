@@ -36,4 +36,19 @@ PartitionResult partition_pages(const std::string& source_path,
                                 const Assignment& assignment,
                                 const std::string& output_prefix);
 
+/// Convenience overload for any paged backend (e.g. PagedGridFile): the
+/// file is flushed so the on-disk pages are current, the per-bucket page
+/// ids are gathered, and the pages are scattered to the per-disk files.
+template <typename PagedGF>
+PartitionResult partition_pages(PagedGF& gf, const Assignment& assignment,
+                                const std::string& output_prefix) {
+    gf.flush();
+    std::vector<std::uint64_t> pages;
+    pages.reserve(gf.bucket_count());
+    for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
+        pages.push_back(gf.bucket_page(b));
+    }
+    return partition_pages(gf.path(), pages, assignment, output_prefix);
+}
+
 }  // namespace pgf

@@ -102,6 +102,15 @@ void BufferPool::unpin(std::size_t frame) {
     --f.pin_count;
 }
 
+BufferPool::Stats BufferPool::reset() {
+    Stats snapshot{hits_, misses_, evictions_, writebacks_};
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    writebacks_ = 0;
+    return snapshot;
+}
+
 void BufferPool::flush_all() {
     for (Frame& f : frames_) {
         if (f.in_use && f.dirty) {

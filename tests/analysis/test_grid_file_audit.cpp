@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "pgf/gridfile/grid_file.hpp"
 #include "pgf/util/rng.hpp"
 
 namespace pgf::analysis {

@@ -113,6 +113,38 @@ TEST_F(BufferPoolTest, StatsStartAtZero) {
     EXPECT_THROW(BufferPool(pf, 0), CheckError);
 }
 
+TEST_F(BufferPoolTest, ResetSnapshotsAndZeroesCounters) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 2);
+    for (int i = 0; i < 3; ++i) pf.allocate();
+    (void)pool.fetch(0);
+    (void)pool.fetch(1);
+    (void)pool.fetch(0);  // hit
+    {
+        auto page = pool.fetch(2);  // evicts, and dirty so it writes back
+        page.mark_dirty();
+    }
+    pool.flush_all();
+
+    BufferPool::Stats stats = pool.reset();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 3u);
+    EXPECT_GE(stats.evictions, 1u);
+    EXPECT_GE(stats.writebacks, 1u);
+
+    // Counters are zeroed but the page contents and recency are untouched:
+    // the snapshot is a batch boundary, not a cache drop.
+    EXPECT_EQ(pool.hits(), 0u);
+    EXPECT_EQ(pool.misses(), 0u);
+    EXPECT_EQ(pool.evictions(), 0u);
+    EXPECT_EQ(pool.writebacks(), 0u);
+    (void)pool.fetch(2);  // still resident from before the reset
+    BufferPool::Stats next = pool.reset();
+    EXPECT_EQ(next.hits, 1u);
+    EXPECT_EQ(next.misses, 0u);
+    EXPECT_EQ(pool.stats().hits, 0u);
+}
+
 TEST_F(BufferPoolTest, MoveOfPageRefTransfersPin) {
     auto pf = PageFile::create(path_.string(), 128);
     BufferPool pool(pf, 1);

@@ -36,6 +36,18 @@ TEST_F(PagedGridFileTest, CapacityFollowsPageSize) {
     EXPECT_EQ(pf.bucket_count(), 1u);
 }
 
+TEST_F(PagedGridFileTest, CapacityAccessorRoundTripsThroughPageSize) {
+    auto pf = make(256);
+    EXPECT_EQ(pf.capacity(), 10u);
+    EXPECT_EQ(pf.capacity(), pf.bucket_capacity());
+    // page_size_for is the least page size yielding this capacity, so a
+    // memory-backend twin built with capacity() is cell-for-cell
+    // comparable to this file.
+    EXPECT_EQ(PagedBucketStore<2>::page_size_for(pf.capacity()), 248u);
+    EXPECT_EQ(PagedBucketStore<2>::capacity_for(248), 10u);
+    EXPECT_EQ(PagedBucketStore<2>::capacity_for(247), 9u);
+}
+
 TEST_F(PagedGridFileTest, InsertAndExactQueries) {
     auto pf = make();
     Rng rng(3);

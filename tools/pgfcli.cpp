@@ -18,16 +18,21 @@
 //       Full deployment: decluster, rebuild the records as one-bucket-per-
 //       page stores, and write one page file per disk (prefix.disk<k>).
 //   pgfcli validate --file store.pgf [--level fast|standard|deep]
+//                   [--backend memory|paged] [--page-size N]
 //                   [--assignment a.csv --disks M]
 //       Runs the pgf::analysis invariant checkers over a persisted grid
 //       file (and optionally a bucket->disk assignment CSV as written by
-//       `decluster --out`). Exit 0 = clean, 1 = findings or unreadable.
+//       `decluster --out`). With --backend paged the records are also
+//       rebuilt in a temporary disk-backed grid file and the page-level
+//       checkers (page ownership, scale reconstruction, header/roundtrip)
+//       run against it. Exit 0 = clean, 1 = findings or unreadable.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "pgf/analysis/grid_file_audit.hpp"
+#include "pgf/analysis/paged_audit.hpp"
 #include "pgf/analysis/validate.hpp"
 #include "pgf/core/declusterer.hpp"
 #include "pgf/storage/gridfile_io.hpp"
@@ -333,10 +338,56 @@ int validate_impl(const Cli& cli, const std::string& file) {
         return 2;
     }
 
+    const std::string backend = cli.get_string("backend", "memory");
+    if (backend != "memory" && backend != "paged") {
+        std::cerr << "unknown --backend '" << backend
+                  << "' (expected memory|paged)\n";
+        return 2;
+    }
+
     GridFile<D> gf = load_grid_file<D>(file);
     analysis::ValidationReport report = analysis::audit_grid_file(gf, level);
     GridStructure gs = gf.structure();
     report.merge(analysis::audit_structure(gs, level));
+
+    if (backend == "paged") {
+        if (gf.oversized_bucket_count() > 0) {
+            std::cerr << "validate: snapshot has oversized buckets "
+                         "(inseparable duplicates) — the strict-capacity "
+                         "paged backend cannot hold them\n";
+            return 1;
+        }
+        // Rebuild the snapshot's records in a disk-backed file (bucket
+        // order, page capacity matching the snapshot's bucket capacity by
+        // default) and run the page-level checkers against it.
+        const std::size_t default_page = PagedBucketStore<D>::page_size_for(
+            gf.config().bucket_capacity);
+        typename PagedGridFile<D>::Config cfg;
+        cfg.page_size = static_cast<std::size_t>(
+            cli.get_int("page-size", static_cast<long long>(default_page)));
+        cfg.pool_pages =
+            static_cast<std::size_t>(cli.get_int("pool-pages", 128));
+        cfg.split_policy = gf.config().split_policy;
+        const std::string staging = file + ".paged-validate";
+        {
+            PagedGridFile<D> paged(staging, gf.domain(), cfg);
+            for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
+                for (const auto& rec : gf.bucket(b).records) {
+                    paged.insert(rec.point, rec.id);
+                }
+            }
+            paged.flush();
+            report.merge(analysis::audit_paged_grid_file(paged, level));
+            report.require(paged.record_count() == gf.record_count(),
+                           "paged.records.total",
+                           "paged rebuild lost or duplicated records");
+            std::cout << "paged backend: rebuilt " << paged.record_count()
+                      << " records in " << paged.bucket_count()
+                      << " page buckets (page size " << cfg.page_size
+                      << ")\n";
+        }
+        std::remove(staging.c_str());
+    }
 
     std::string assignment_csv = cli.get_string("assignment", "");
     if (!assignment_csv.empty()) {
@@ -395,6 +446,7 @@ int cmd_validate(const Cli& cli) {
     std::string file = cli.get_string("file", "");
     if (file.empty()) {
         std::cerr << "validate requires --file <pgf> [--level deep] "
+                     "[--backend memory|paged] [--page-size N] "
                      "[--assignment a.csv --disks M]\n";
         return 2;
     }
