@@ -158,16 +158,24 @@ std::string unique_backing_path(const std::string& tag) {
            std::to_string(counter.fetch_add(1)) + ".paged";
 }
 
-SweepHarness::SweepHarness(const Options& opt, std::string binary)
-    : opt_(opt), binary_(std::move(binary)) {
+namespace {
+std::unique_ptr<ThreadPool> make_sweep_pool(const Options& opt) {
     const unsigned threads = opt.resolved_threads();
-    if (threads > 1) {
-        // parallelism = workers + the calling thread.
-        pool_ = std::make_unique<ThreadPool>(threads - 1);
-    }
-    inner_pool_ = make_inner_pool(opt);
-    runner_ = SweepRunner(pool_.get(), opt.seed);
+    // parallelism = workers + the calling thread.
+    if (threads > 1) return std::make_unique<ThreadPool>(threads - 1);
+    return nullptr;
 }
+}  // namespace
+
+// runner_ is initialized in the member list (pool_ is declared first):
+// SweepRunner owns a stats mutex now, so it is neither movable nor
+// reassignable after construction.
+SweepHarness::SweepHarness(const Options& opt, std::string binary)
+    : opt_(opt),
+      binary_(std::move(binary)),
+      pool_(make_sweep_pool(opt)),
+      inner_pool_(make_inner_pool(opt)),
+      runner_(pool_.get(), opt.seed) {}
 
 double SweepHarness::now_ms() {
     return std::chrono::duration<double, std::milli>(

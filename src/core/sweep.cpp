@@ -32,6 +32,7 @@ void SweepRunner::run_indexed(
         run_range(0, n);
     }
     const auto stop = std::chrono::steady_clock::now();
+    MutexLock lock(stats_mutex_);
     last_.tasks = n;
     last_.threads = threads();
     last_.wall_ms =

@@ -49,6 +49,18 @@ ValidationReport audit_paged_grid_file(const PagedGridFile<D>& gf,
               "paged.page.unique",
               "two buckets share one backing page");
 
+    // -- pool pin discipline (O(frames)) -----------------------------------
+    // Every PageRef the engine takes is scoped to one operation, so a
+    // quiescent grid file holds no pins; a nonzero count means a pin leaked
+    // (and its frame is permanently unevictable). Checked before the
+    // standard-level page reads below take (and release) pins of their own.
+    r.require_lazy(gf.pool().pinned_frames() == 0, "paged.pool.pins", [&] {
+        return "buffer pool holds " +
+               std::to_string(gf.pool().pinned_frames()) +
+               " pinned frame(s) on a quiescent grid file — a PageRef "
+               "outlived its operation";
+    });
+
     // -- scale reconstruction from bucket boxes (O(buckets · D)) -----------
     for (std::size_t i = 0; i < D; ++i) {
         const std::uint32_t intervals = gf.directory().shape()[i];

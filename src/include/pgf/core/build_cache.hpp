@@ -23,13 +23,14 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <typeindex>
 #include <unordered_map>
 #include <utility>
 
+#include "pgf/util/annotations.hpp"
 #include "pgf/util/check.hpp"
 #include "pgf/util/rng.hpp"
 
@@ -91,8 +92,10 @@ public:
 
     explicit BuildCache(bool enabled = true) : enabled_(enabled) {}
 
-    bool enabled() const { return enabled_; }
-    void set_enabled(bool enabled) { enabled_ = enabled; }
+    bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+    void set_enabled(bool enabled) {
+        enabled_.store(enabled, std::memory_order_relaxed);
+    }
 
     /// Returns the cached product for `key`, building it via
     /// `build(rng)` on a miss. On a hit the build function is not called
@@ -108,14 +111,14 @@ public:
                                           BuildFn&& build) {
         PGF_CHECK(key.rng_before == rng.state(),
                   "BuildKey.rng_before must snapshot the caller's Rng");
-        if (!enabled_) {
+        if (!enabled()) {
             {
-                std::lock_guard<std::mutex> lock(mutex_);
+                MutexLock lock(mutex_);
                 ++stats_.misses;
             }
             return std::make_shared<const T>(build(rng));
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = entries_.find(key);
         if (it != entries_.end()) {
             PGF_CHECK(it->second.type == std::type_index(typeid(T)),
@@ -132,17 +135,17 @@ public:
     }
 
     Stats stats() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return stats_;
     }
 
     std::size_t size() const {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         return entries_.size();
     }
 
     void clear() {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         entries_.clear();
         stats_ = Stats{};
     }
@@ -154,10 +157,11 @@ private:
         RngState rng_after;
     };
 
-    bool enabled_;
-    mutable std::mutex mutex_;
-    std::unordered_map<BuildKey, Entry, BuildKeyHash> entries_;
-    Stats stats_;
+    std::atomic<bool> enabled_;
+    mutable Mutex mutex_;
+    std::unordered_map<BuildKey, Entry, BuildKeyHash> entries_
+        PGF_GUARDED_BY(mutex_);
+    Stats stats_ PGF_GUARDED_BY(mutex_);
 };
 
 }  // namespace pgf

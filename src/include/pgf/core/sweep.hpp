@@ -27,6 +27,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "pgf/util/annotations.hpp"
 #include "pgf/util/thread_pool.hpp"
 
 namespace pgf {
@@ -86,17 +87,28 @@ public:
     void run_indexed(std::size_t n,
                      const std::function<void(const SweepTask&)>& fn);
 
-    /// Stats of the most recent run_indexed/map call.
-    const SweepStats& last() const { return last_; }
+    /// Stats of the most recent run_indexed/map call (by value: several
+    /// external threads may share one runner over a common pool, so the
+    /// gathered stats are read under the stats mutex).
+    SweepStats last() const {
+        MutexLock lock(stats_mutex_);
+        return last_;
+    }
 
     /// Wall-clock milliseconds accumulated over every sweep so far.
-    double total_wall_ms() const { return total_wall_ms_; }
+    double total_wall_ms() const {
+        MutexLock lock(stats_mutex_);
+        return total_wall_ms_;
+    }
 
 private:
     ThreadPool* pool_;
     std::uint64_t base_seed_;
-    SweepStats last_{};
-    double total_wall_ms_ = 0.0;
+    /// Guards the gather-side stats; the per-task result slots need no
+    /// lock (each task writes only its own declaration-indexed slot).
+    mutable Mutex stats_mutex_;
+    SweepStats last_ PGF_GUARDED_BY(stats_mutex_);
+    double total_wall_ms_ PGF_GUARDED_BY(stats_mutex_) = 0.0;
 };
 
 }  // namespace pgf

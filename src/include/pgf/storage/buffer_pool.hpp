@@ -1,11 +1,33 @@
-// LRU buffer pool over a PageFile.
+// Latched, thread-safe LRU buffer pool over a PageFile.
 //
 // Pages are pinned through RAII PageRef handles; unpinned pages stay
-// cached until LRU eviction. Dirty pages are written back on eviction and
-// on flush_all(). Statistics (hits/misses/evictions/writebacks) feed the
-// storage micro-benchmarks and tests.
+// cached until LRU eviction (only pin == 0 frames are evictable). Dirty
+// pages are written back on eviction and on flush_all(). Statistics
+// (hits/misses/evictions/writebacks) feed the storage micro-benchmarks and
+// tests.
+//
+// Concurrency (lock discipline machine-checked via pgf/util/annotations.hpp):
+//   - One pool latch guards the page table, the frame metadata (pin
+//     counts, dirty bits, LRU stamps) and all PageFile I/O — the PageFile's
+//     seek+read/write stream is not independently thread-safe, so misses,
+//     evictions and flushes serialize on the latch.
+//   - A PageRef captures its frame's data span at pin time; readers of a
+//     pinned page touch no shared pool state at all. A frame's bytes are
+//     stable while pinned because eviction skips pin > 0 frames and the
+//     backing vector is only reallocated when a frame is re-grabbed.
+//   - Concurrent access to one page's *bytes* is the caller's problem
+//     (page-level latching lives above this layer); concurrent fetch /
+//     mark_dirty / unpin / allocate on the pool itself are safe.
+//   - Counters are relaxed atomics so stats() never blocks; single-threaded
+//     callers observe exactly the pre-refactor values.
+//
+// When every frame is pinned, fetch/allocate throw CheckError ("pool
+// exhausted") rather than wait — a deliberate choice: the single-threaded
+// engine treats exhaustion as a configuration bug, and concurrent callers
+// bound their in-flight pins (see tests/storage/test_buffer_pool_concurrent).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -13,6 +35,7 @@
 #include <vector>
 
 #include "pgf/storage/page_file.hpp"
+#include "pgf/util/annotations.hpp"
 #include "pgf/util/check.hpp"
 
 namespace pgf {
@@ -26,10 +49,17 @@ public:
     BufferPool& operator=(const BufferPool&) = delete;
     ~BufferPool();
 
-    /// RAII pin on a buffered page.
+    /// RAII pin on a buffered page. The handle owns a snapshot of the
+    /// frame's data span and page id, taken under the pool latch at pin
+    /// time — data()/page_id() are lock-free and safe to use concurrently
+    /// with any pool operation (the pinned frame cannot be evicted).
     class PageRef {
     public:
-        PageRef(PageRef&& o) noexcept : pool_(o.pool_), frame_(o.frame_) {
+        PageRef(PageRef&& o) noexcept
+            : pool_(o.pool_),
+              frame_(o.frame_),
+              data_(o.data_),
+              page_id_(o.page_id_) {
             o.pool_ = nullptr;
         }
         PageRef& operator=(PageRef&&) = delete;
@@ -39,37 +69,57 @@ public:
             if (pool_ != nullptr) pool_->unpin(frame_);
         }
 
-        std::span<std::byte> data();
-        std::span<const std::byte> data() const;
-        std::uint64_t page_id() const;
-        /// Marks the page for write-back.
+        std::span<std::byte> data() { return data_; }
+        std::span<const std::byte> data() const { return data_; }
+        std::uint64_t page_id() const { return page_id_; }
+        /// Marks the page for write-back (takes the pool latch).
         void mark_dirty();
 
     private:
         friend class BufferPool;
-        PageRef(BufferPool* pool, std::size_t frame)
-            : pool_(pool), frame_(frame) {}
+        PageRef(BufferPool* pool, std::size_t frame, std::span<std::byte> data,
+                std::uint64_t page_id)
+            : pool_(pool), frame_(frame), data_(data), page_id_(page_id) {}
         BufferPool* pool_;
         std::size_t frame_;
+        std::span<std::byte> data_;
+        std::uint64_t page_id_;
     };
 
     /// Fetches (and pins) page `id`, reading it from the file on a miss.
-    PageRef fetch(std::uint64_t id);
+    /// Safe for concurrent callers; two threads fetching the same page
+    /// share one frame (and each holds its own pin on it).
+    PageRef fetch(std::uint64_t id) PGF_EXCLUDES(latch_);
 
     /// Allocates a fresh zeroed page in the file and pins it.
-    PageRef allocate();
+    PageRef allocate() PGF_EXCLUDES(latch_);
 
-    /// Writes back every dirty page and syncs the file. Requires no pinned
-    /// pages with outstanding writes is NOT required — pinned pages are
-    /// flushed too (they stay resident).
-    void flush_all();
+    /// Writes back every dirty page and syncs the file. Pinned pages are
+    /// no obstacle: they are flushed like any other dirty page and stay
+    /// resident with their pins intact. With writers concurrently mutating
+    /// a pinned page the flushed image is an unspecified interleaving —
+    /// call flush_all at quiescent points when durability of the latest
+    /// bytes matters.
+    void flush_all() PGF_EXCLUDES(latch_);
 
     std::size_t capacity() const { return capacity_; }
-    std::size_t resident() const { return table_.size(); }
-    std::uint64_t hits() const { return hits_; }
-    std::uint64_t misses() const { return misses_; }
-    std::uint64_t evictions() const { return evictions_; }
-    std::uint64_t writebacks() const { return writebacks_; }
+    std::size_t resident() const PGF_EXCLUDES(latch_);
+    /// Number of frames currently holding at least one pin. A quiescent
+    /// pool (no live PageRef) reports 0 — the audit layer checks this.
+    std::size_t pinned_frames() const PGF_EXCLUDES(latch_);
+
+    std::uint64_t hits() const {
+        return hits_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t misses() const {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t evictions() const {
+        return evictions_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t writebacks() const {
+        return writebacks_.load(std::memory_order_relaxed);
+    }
 
     /// Counter snapshot (see stats()/reset()).
     struct Stats {
@@ -79,12 +129,15 @@ public:
         std::uint64_t writebacks = 0;
     };
 
-    Stats stats() const { return {hits_, misses_, evictions_, writebacks_}; }
+    Stats stats() const { return {hits(), misses(), evictions(), writebacks()}; }
 
     /// Snapshot-and-zero: returns the counters accumulated since the last
     /// reset and clears them, so callers measuring per-phase deltas (e.g.
     /// the disk-backed server's per-batch I/O) need no external
-    /// bookkeeping. Page contents and recency are untouched.
+    /// bookkeeping. Page contents and recency are untouched. Each counter
+    /// is exchanged atomically; take the snapshot at a phase boundary (no
+    /// in-flight operations) when the four values must be mutually
+    /// consistent.
     Stats reset();
 
 private:
@@ -97,19 +150,24 @@ private:
         bool in_use = false;
     };
 
-    std::size_t frame_for(std::uint64_t id);
-    std::size_t grab_frame();
-    void unpin(std::size_t frame);
+    /// Returns a frame ready for reuse: a never-used frame if one exists,
+    /// otherwise the least-recently-used unpinned frame (written back first
+    /// when dirty). Throws CheckError when every frame is pinned.
+    std::size_t grab_frame() PGF_REQUIRES(latch_);
+    void unpin(std::size_t frame) PGF_EXCLUDES(latch_);
+    void mark_dirty_frame(std::size_t frame) PGF_EXCLUDES(latch_);
 
-    PageFile& file_;
-    std::size_t capacity_;
-    std::vector<Frame> frames_;
-    std::unordered_map<std::uint64_t, std::size_t> table_;  // page -> frame
-    std::uint64_t clock_ = 0;
-    std::uint64_t hits_ = 0;
-    std::uint64_t misses_ = 0;
-    std::uint64_t evictions_ = 0;
-    std::uint64_t writebacks_ = 0;
+    PageFile& file_ PGF_PT_GUARDED_BY(latch_);
+    const std::size_t capacity_;
+    mutable Mutex latch_;
+    std::vector<Frame> frames_ PGF_GUARDED_BY(latch_);
+    std::unordered_map<std::uint64_t, std::size_t> table_
+        PGF_GUARDED_BY(latch_);  // page -> frame
+    std::uint64_t clock_ PGF_GUARDED_BY(latch_) = 0;
+    std::atomic<std::uint64_t> hits_{0};
+    std::atomic<std::uint64_t> misses_{0};
+    std::atomic<std::uint64_t> evictions_{0};
+    std::atomic<std::uint64_t> writebacks_{0};
 };
 
 }  // namespace pgf

@@ -1,0 +1,138 @@
+// Compiler-enforced lock discipline: Clang Thread Safety annotations and
+// the annotated mutex wrappers every pgf shared-state class must use.
+//
+// Clang's `-Wthread-safety` capability analysis proves at compile time
+// that every access to a `PGF_GUARDED_BY(mu)` member happens with `mu`
+// held, that functions marked `PGF_REQUIRES(mu)` are only called under the
+// lock, and that scoped locks are never leaked or double-released. Unlike
+// TSan — which only catches the races the tests happen to execute — the
+// analysis covers every path in the translation unit. The macros expand to
+// nothing on non-Clang compilers, so GCC builds see plain std::mutex
+// behavior with zero overhead.
+//
+// House rules (enforced by scripts/check_locks.sh and the
+// clang-threadsafety CI job):
+//   - raw std::mutex / std::lock_guard / std::unique_lock never appear
+//     outside this header; library code uses pgf::Mutex + pgf::MutexLock;
+//   - every Mutex member guards something: at least one PGF_GUARDED_BY
+//     names it;
+//   - condition-variable waits go through MutexLock::wait so the analysis
+//     sees the capability as continuously held across the wait (matching
+//     the caller's view: the predicate re-check happens under the lock).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Clang has shipped the capability attributes since 3.5; other compilers
+// (and SWIG-style header scanners) get empty expansions.
+#if defined(__clang__) && !defined(SWIG)
+#define PGF_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define PGF_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable). The string names the
+/// capability kind in diagnostics, conventionally "mutex".
+#define PGF_CAPABILITY(x) PGF_THREAD_ANNOTATION__(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define PGF_SCOPED_CAPABILITY PGF_THREAD_ANNOTATION__(scoped_lockable)
+
+/// Member data that may only be touched while holding the given capability.
+#define PGF_GUARDED_BY(x) PGF_THREAD_ANNOTATION__(guarded_by(x))
+
+/// Pointer/reference member whose *pointee* is protected by the capability.
+#define PGF_PT_GUARDED_BY(x) PGF_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+/// Lock-ordering declarations (deadlock detection between capabilities).
+#define PGF_ACQUIRED_BEFORE(...) \
+    PGF_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define PGF_ACQUIRED_AFTER(...) \
+    PGF_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+/// The function may only be called while already holding the capability
+/// (exclusively / shared).
+#define PGF_REQUIRES(...) \
+    PGF_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define PGF_REQUIRES_SHARED(...) \
+    PGF_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+/// The function acquires / releases the capability itself.
+#define PGF_ACQUIRE(...) \
+    PGF_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define PGF_ACQUIRE_SHARED(...) \
+    PGF_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define PGF_RELEASE(...) \
+    PGF_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define PGF_RELEASE_SHARED(...) \
+    PGF_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+/// The function attempts the acquisition; the first argument is the return
+/// value that signals success.
+#define PGF_TRY_ACQUIRE(...) \
+    PGF_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the capability (non-reentrant entry points).
+#define PGF_EXCLUDES(...) PGF_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion to the analysis that the capability is held here.
+#define PGF_ASSERT_CAPABILITY(x) PGF_THREAD_ANNOTATION__(assert_capability(x))
+
+/// The function returns a reference to the given capability.
+#define PGF_RETURN_CAPABILITY(x) PGF_THREAD_ANNOTATION__(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use needs a
+/// comment explaining why the discipline cannot be expressed.
+#define PGF_NO_THREAD_SAFETY_ANALYSIS \
+    PGF_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace pgf {
+
+/// std::mutex wrapped as a Clang capability. All pgf shared-state classes
+/// latch through this type so `-Wthread-safety` can prove their lock
+/// discipline; see the header comment for the house rules.
+class PGF_CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() PGF_ACQUIRE() { m_.lock(); }
+    void unlock() PGF_RELEASE() { m_.unlock(); }
+    bool try_lock() PGF_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /// The wrapped std::mutex, exposed only for std::condition_variable
+    /// interop inside MutexLock. Direct use bypasses the capability
+    /// analysis — prefer MutexLock::wait.
+    std::mutex& native() { return m_; }
+
+private:
+    std::mutex m_;
+};
+
+/// Scoped lock over a pgf::Mutex (the annotated std::unique_lock): the
+/// constructor acquires, the destructor releases, and the analysis treats
+/// the capability as held for the lexical scope of the object.
+class PGF_SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex& m) PGF_ACQUIRE(m) : lock_(m.native()) {}
+    ~MutexLock() PGF_RELEASE() {}
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+    /// Blocks on `cv` until notified. The mutex is atomically released for
+    /// the duration of the wait and re-held on return; the analysis sees
+    /// the capability as continuously held, which matches the caller's
+    /// view — guarded state is only ever read under the lock. Use in an
+    /// explicit `while (!predicate) lock.wait(cv);` loop so the predicate's
+    /// guarded reads stay inside the annotated scope (predicate lambdas
+    /// would be analyzed as lock-free functions and rejected).
+    void wait(std::condition_variable& cv) { cv.wait(lock_); }
+
+private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace pgf

@@ -8,14 +8,20 @@
 //
 // The calling thread participates in the work, so a pool of size 1 degrades
 // to plain serial execution with no synchronization beyond one mutex.
+//
+// Lock discipline (machine-checked via pgf/util/annotations.hpp):
+// submit_mutex_ serializes whole parallel_for invocations and is always
+// acquired before mutex_, which guards the in-flight Task state and the
+// shutdown flag shared with the workers.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "pgf/util/annotations.hpp"
 
 namespace pgf {
 
@@ -39,7 +45,12 @@ public:
     /// serialize on an internal submit mutex, so one shared pool can back
     /// concurrent sweep tasks. It remains non-reentrant — fn (or anything
     /// it calls) must never submit to the same pool, or the submit mutex
-    /// deadlocks.
+    /// deadlocks. Checked builds (PGF_DCHECK_ACTIVE) fail fast instead: a
+    /// reentrant submission throws CheckError on the submitting thread
+    /// (which std::terminates with the message when that thread is a pool
+    /// worker, since fn must not throw). Submitting to a *different* pool
+    /// from inside fn is fine — nested pools track per-thread which pool
+    /// is running them.
     void parallel_for(std::size_t n,
                       const std::function<void(std::size_t, std::size_t)>& fn);
 
@@ -86,12 +97,13 @@ private:
         std::uint64_t generation = 0;
     };
 
-    std::mutex submit_mutex_;  ///< serializes whole parallel_for invocations
-    std::mutex mutex_;
+    /// Serializes whole parallel_for invocations (held for the full call).
+    Mutex submit_mutex_ PGF_ACQUIRED_BEFORE(mutex_);
+    Mutex mutex_;
     std::condition_variable work_cv_;
     std::condition_variable done_cv_;
-    Task task_;
-    bool shutdown_ = false;
+    Task task_ PGF_GUARDED_BY(mutex_);
+    bool shutdown_ PGF_GUARDED_BY(mutex_) = false;
     std::vector<std::thread> workers_;
 };
 

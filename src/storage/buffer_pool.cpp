@@ -16,32 +16,27 @@ BufferPool::~BufferPool() {
     }
 }
 
-std::span<std::byte> BufferPool::PageRef::data() {
-    return pool_->frames_[frame_].data;
-}
-
-std::span<const std::byte> BufferPool::PageRef::data() const {
-    return pool_->frames_[frame_].data;
-}
-
-std::uint64_t BufferPool::PageRef::page_id() const {
-    return pool_->frames_[frame_].page_id;
-}
-
 void BufferPool::PageRef::mark_dirty() {
-    pool_->frames_[frame_].dirty = true;
+    pool_->mark_dirty_frame(frame_);
+}
+
+void BufferPool::mark_dirty_frame(std::size_t frame) {
+    MutexLock lock(latch_);
+    frames_[frame].dirty = true;
 }
 
 BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
+    MutexLock lock(latch_);
     auto it = table_.find(id);
     if (it != table_.end()) {
-        ++hits_;
+        hits_.fetch_add(1, std::memory_order_relaxed);
         Frame& f = frames_[it->second];
         ++f.pin_count;
         f.last_use = ++clock_;
-        return PageRef(this, it->second);
+        return PageRef(this, it->second, std::span<std::byte>(f.data),
+                       f.page_id);
     }
-    ++misses_;
+    misses_.fetch_add(1, std::memory_order_relaxed);
     std::size_t frame = grab_frame();
     Frame& f = frames_[frame];
     f.page_id = id;
@@ -52,10 +47,11 @@ BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
     f.last_use = ++clock_;
     f.in_use = true;
     table_[id] = frame;
-    return PageRef(this, frame);
+    return PageRef(this, frame, std::span<std::byte>(f.data), id);
 }
 
 BufferPool::PageRef BufferPool::allocate() {
+    MutexLock lock(latch_);
     std::uint64_t id = file_.allocate();
     std::size_t frame = grab_frame();
     Frame& f = frames_[frame];
@@ -66,7 +62,7 @@ BufferPool::PageRef BufferPool::allocate() {
     f.last_use = ++clock_;
     f.in_use = true;
     table_[id] = frame;
-    return PageRef(this, frame);
+    return PageRef(this, frame, std::span<std::byte>(f.data), id);
 }
 
 std::size_t BufferPool::grab_frame() {
@@ -74,7 +70,8 @@ std::size_t BufferPool::grab_frame() {
     for (std::size_t i = 0; i < frames_.size(); ++i) {
         if (!frames_[i].in_use) return i;
     }
-    // LRU among unpinned frames.
+    // LRU among unpinned frames — a pinned frame is never a victim, so its
+    // data span (captured by live PageRefs) stays valid.
     std::size_t victim = frames_.size();
     for (std::size_t i = 0; i < frames_.size(); ++i) {
         if (frames_[i].pin_count == 0 &&
@@ -88,35 +85,49 @@ std::size_t BufferPool::grab_frame() {
     Frame& f = frames_[victim];
     if (f.dirty) {
         file_.write(f.page_id, f.data);
-        ++writebacks_;
+        writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
     table_.erase(f.page_id);
     f.in_use = false;
-    ++evictions_;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
     return victim;
 }
 
 void BufferPool::unpin(std::size_t frame) {
+    MutexLock lock(latch_);
     Frame& f = frames_[frame];
     PGF_CHECK(f.pin_count > 0, "unpin of an unpinned frame");
     --f.pin_count;
 }
 
+std::size_t BufferPool::resident() const {
+    MutexLock lock(latch_);
+    return table_.size();
+}
+
+std::size_t BufferPool::pinned_frames() const {
+    MutexLock lock(latch_);
+    std::size_t pinned = 0;
+    for (const Frame& f : frames_) {
+        if (f.in_use && f.pin_count > 0) ++pinned;
+    }
+    return pinned;
+}
+
 BufferPool::Stats BufferPool::reset() {
-    Stats snapshot{hits_, misses_, evictions_, writebacks_};
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
-    writebacks_ = 0;
-    return snapshot;
+    return Stats{hits_.exchange(0, std::memory_order_relaxed),
+                 misses_.exchange(0, std::memory_order_relaxed),
+                 evictions_.exchange(0, std::memory_order_relaxed),
+                 writebacks_.exchange(0, std::memory_order_relaxed)};
 }
 
 void BufferPool::flush_all() {
+    MutexLock lock(latch_);
     for (Frame& f : frames_) {
         if (f.in_use && f.dirty) {
             file_.write(f.page_id, f.data);
             f.dirty = false;
-            ++writebacks_;
+            writebacks_.fetch_add(1, std::memory_order_relaxed);
         }
     }
     file_.sync();

@@ -6,6 +6,33 @@
 
 namespace pgf {
 
+namespace {
+
+// Innermost pool currently executing parallel_for chunks on this thread.
+// A reentrant submission (fn submitting to the pool that is running it)
+// would self-deadlock on submit_mutex_; the thread-local lets checked
+// builds fail fast with a diagnosable error instead. Saved/restored as a
+// stack so nested *different* pools (an outer sweep pool driving an inner
+// kernel pool) stay legal.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+
+class RunningPoolScope {
+public:
+    explicit RunningPoolScope(const ThreadPool* pool)
+        : saved_(tls_running_pool) {
+        tls_running_pool = pool;
+    }
+    ~RunningPoolScope() { tls_running_pool = saved_; }
+
+    RunningPoolScope(const RunningPoolScope&) = delete;
+    RunningPoolScope& operator=(const RunningPoolScope&) = delete;
+
+private:
+    const ThreadPool* saved_;
+};
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
     if (threads == 0) {
         unsigned hw = std::thread::hardware_concurrency();
@@ -19,7 +46,7 @@ ThreadPool::ThreadPool(unsigned threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         shutdown_ = true;
     }
     work_cv_.notify_all();
@@ -44,13 +71,21 @@ void ThreadPool::parallel_for_chunk(
     const std::function<void(std::size_t, std::size_t)>& fn) {
     if (n == 0) return;
     PGF_CHECK(chunk >= 1, "parallel_for_chunk requires chunk >= 1");
+    // Reentrant submission would self-deadlock on submit_mutex_ below (or,
+    // from a worker thread, starve the outer task forever). Fail fast with
+    // a clear message while the stack still shows the offending fn.
+    PGF_DCHECK(tls_running_pool != this,
+               "ThreadPool::parallel_for is not reentrant: fn submitted to "
+               "the pool that is running it; use a separate (inner) pool "
+               "for nested parallelism");
     const std::size_t chunks = (n + chunk - 1) / chunk;
     // Concurrent external callers take turns; each completed invocation
-    // leaves outstanding == 0, so the reentrancy check below still catches
-    // submissions from inside fn (which would self-deadlock here anyway).
-    std::lock_guard<std::mutex> submit_lock(submit_mutex_);
+    // leaves outstanding == 0, so the belt-and-braces check below also
+    // catches reentrant submissions in unchecked builds — before this
+    // thread would deadlock claiming chunks it can never run.
+    MutexLock submit_lock(submit_mutex_);
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         PGF_CHECK(task_.outstanding == 0,
                   "parallel_for is not reentrant");
         task_.fn = &fn;
@@ -62,38 +97,42 @@ void ThreadPool::parallel_for_chunk(
     }
     work_cv_.notify_all();
     // The calling thread works too.
-    for (;;) {
-        std::size_t begin;
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            if (task_.next >= task_.n) break;
-            begin = task_.next;
-            task_.next += task_.chunk;
-        }
-        fn(begin, std::min(begin + chunk, n));
-        {
-            std::lock_guard<std::mutex> lock(mutex_);
-            --task_.outstanding;
+    {
+        RunningPoolScope running(this);
+        for (;;) {
+            std::size_t begin;
+            {
+                MutexLock lock(mutex_);
+                if (task_.next >= task_.n) break;
+                begin = task_.next;
+                task_.next += task_.chunk;
+            }
+            fn(begin, std::min(begin + chunk, n));
+            {
+                MutexLock lock(mutex_);
+                --task_.outstanding;
+            }
         }
     }
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_cv_.wait(lock, [this] { return task_.outstanding == 0; });
+    MutexLock lock(mutex_);
+    while (task_.outstanding != 0) lock.wait(done_cv_);
     task_.fn = nullptr;
 }
 
 void ThreadPool::worker_loop() {
     std::uint64_t seen_generation = 0;
+    RunningPoolScope running(this);
     for (;;) {
         const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
         std::size_t begin = 0, end = 0;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            work_cv_.wait(lock, [&] {
-                return shutdown_ ||
-                       (task_.generation != seen_generation &&
-                        task_.fn != nullptr) ||
-                       (task_.fn != nullptr && task_.next < task_.n);
-            });
+            MutexLock lock(mutex_);
+            while (!(shutdown_ ||
+                     (task_.fn != nullptr &&
+                      (task_.generation != seen_generation ||
+                       task_.next < task_.n)))) {
+                lock.wait(work_cv_);
+            }
             if (shutdown_) return;
             seen_generation = task_.generation;
             if (task_.fn == nullptr || task_.next >= task_.n) continue;
@@ -105,7 +144,7 @@ void ThreadPool::worker_loop() {
         (*fn)(begin, end);
         bool all_done;
         {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             all_done = --task_.outstanding == 0;
         }
         if (all_done) done_cv_.notify_all();

@@ -77,6 +77,23 @@ TEST_F(PagedAuditTest, LevelsAreMonotonicInWork) {
     EXPECT_LT(standard, deep);
 }
 
+TEST_F(PagedAuditTest, FlagsLeakedPagePin) {
+    auto pf = make();
+    grow(pf, 800, 31);
+    {
+        // A PageRef held across the audit models a pin leak: every engine
+        // operation scopes its pins, so a quiescent file must report none.
+        auto leaked = pf.pool().fetch(pf.bucket_page(0));
+        ValidationReport r =
+            audit_paged_grid_file(pf, ValidationLevel::kFast);
+        EXPECT_FALSE(r.ok());
+        EXPECT_TRUE(has_finding(r, "paged.pool.pins")) << r.summary();
+    }
+    // Pin released: the same audit is clean again.
+    ValidationReport clean = audit_paged_grid_file(pf, ValidationLevel::kFast);
+    EXPECT_TRUE(clean.ok()) << clean.summary();
+}
+
 TEST_F(PagedAuditTest, StandardFlagsCorruptPageHeader) {
     auto pf = make();
     grow(pf, 800, 29);

@@ -145,6 +145,23 @@ TEST_F(BufferPoolTest, ResetSnapshotsAndZeroesCounters) {
     EXPECT_EQ(pool.stats().hits, 0u);
 }
 
+TEST_F(BufferPoolTest, PinnedFramesTracksLivePageRefs) {
+    auto pf = PageFile::create(path_.string(), 128);
+    BufferPool pool(pf, 3);
+    for (int i = 0; i < 2; ++i) pf.allocate();
+    EXPECT_EQ(pool.pinned_frames(), 0u);
+    {
+        auto p0 = pool.fetch(0);
+        EXPECT_EQ(pool.pinned_frames(), 1u);
+        auto p0_again = pool.fetch(0);  // same frame, two pins
+        auto p1 = pool.fetch(1);
+        EXPECT_EQ(pool.pinned_frames(), 2u);
+    }
+    // Dropping the refs unpins but keeps the pages resident.
+    EXPECT_EQ(pool.pinned_frames(), 0u);
+    EXPECT_EQ(pool.resident(), 2u);
+}
+
 TEST_F(BufferPoolTest, MoveOfPageRefTransfersPin) {
     auto pf = PageFile::create(path_.string(), 128);
     BufferPool pool(pf, 1);

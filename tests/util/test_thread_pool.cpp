@@ -6,6 +6,7 @@
 #include <numeric>
 #include <vector>
 
+#include "pgf/util/check.hpp"
 #include "pgf/util/rng.hpp"
 
 namespace pgf {
@@ -131,6 +132,42 @@ TEST(ThreadPool, ManySmallDispatchesSurvive) {
     }
     EXPECT_EQ(total.load(), 2000u * 8u);
 }
+
+#if PGF_DCHECK_ACTIVE
+// Reentrant submission (fn submitting to the pool that runs it) used to
+// deadlock silently on the submit mutex; checked builds now fail fast. The
+// chunk that trips the check may run on the calling thread (CheckError
+// propagates, uncaught here) or on a worker (fn must not throw, so the
+// worker std::terminates) — either way the process dies with the
+// diagnostic, which is what a death test asserts. "threadsafe" style
+// re-execs the child so the pool's worker threads are created post-fork.
+TEST(ThreadPoolDeathTest, ReentrantSubmissionFailsFastInCheckedBuilds) {
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    EXPECT_DEATH(
+        {
+            ThreadPool pool(2);
+            pool.parallel_for(8, [&](std::size_t, std::size_t) {
+                pool.parallel_for(1, [](std::size_t, std::size_t) {});
+            });
+        },
+        "not reentrant");
+}
+
+// Nested parallelism across *different* pools stays legal: the outer
+// sweep-style pool may drive an inner kernel pool from inside fn (the
+// --inner-threads path), and the reentrancy check must not misfire.
+TEST(ThreadPool, NestedDistinctPoolsAreNotFlaggedAsReentrant) {
+    ThreadPool outer(2);
+    ThreadPool inner(2);
+    std::atomic<std::size_t> total{0};
+    outer.parallel_for_chunk(4, 1, [&](std::size_t, std::size_t) {
+        inner.parallel_for(16, [&](std::size_t begin, std::size_t end) {
+            total.fetch_add(end - begin, std::memory_order_relaxed);
+        });
+    });
+    EXPECT_EQ(total.load(), 4u * 16u);
+}
+#endif  // PGF_DCHECK_ACTIVE
 
 }  // namespace
 }  // namespace pgf
