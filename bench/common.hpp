@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "latency.hpp"
 #include "pgf/core/build_cache.hpp"
 #include "pgf/core/declusterer.hpp"
 #include "pgf/core/sweep.hpp"

@@ -32,13 +32,25 @@ int run(int argc, char** argv) {
 
     TextTable table({"concurrency", "DM/D elapsed", "HCAM/D elapsed",
                      "MiniMax elapsed", "MiniMax speedup vs seq"});
+    // The assignment depends only on (structure, method, seed) — computed
+    // once per method instead of once per (method, concurrency) cell,
+    // which recomputed the identical MiniMax spanning tree 5x. Output is
+    // byte-identical to the in-loop form (decluster draws from its own
+    // seeded stream, never from the workbench rng).
+    const std::vector<Method> methods{Method::kDiskModulo, Method::kHilbert,
+                                      Method::kMinimax};
+    std::vector<Assignment> assignments;
+    assignments.reserve(methods.size());
+    for (Method method : methods) {
+        assignments.push_back(
+            decluster(bench.gs, method, 16, {.seed = opt.seed + 53}));
+    }
     double minimax_seq = 0.0;
     for (std::uint32_t conc : {1u, 2u, 4u, 8u, 16u}) {
         std::vector<std::string> row{std::to_string(conc)};
-        for (Method method : {Method::kDiskModulo, Method::kHilbert,
-                              Method::kMinimax}) {
-            Assignment a = decluster(bench.gs, method, 16,
-                                     {.seed = opt.seed + 53});
+        for (std::size_t mi = 0; mi < methods.size(); ++mi) {
+            const Method method = methods[mi];
+            const Assignment& a = assignments[mi];
             ClusterConfig cfg;
             cfg.nodes = 16;
             ParallelGridFileServer<4> server(bench.gf, a, cfg);

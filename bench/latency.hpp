@@ -1,0 +1,75 @@
+// Latency accounting for the serving benchmarks: exact percentiles over
+// recorded per-query latencies.
+//
+// "Histogram" in the serving sense — a mergeable accumulator the harness
+// records every sample into and asks for p50/p95/p99 at the end. Samples
+// are kept exactly (a serving sweep records at most a few hundred thousand
+// doubles), so quantiles are exact order statistics with linear
+// interpolation (pgf::quantile), not bin approximations: the numbers in
+// BENCH_serving.json are reproducible to the bit for a fixed run.
+//
+// Part of bench/common.hpp's surface; unit-tested in
+// tests/bench/test_latency.cpp (exact quantiles on known distributions,
+// empty/single-sample edge cases).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "pgf/util/stats.hpp"
+
+namespace pgf::bench {
+
+class LatencyHistogram {
+public:
+    /// Records one latency sample (any unit; quantiles come back in it).
+    void record(double value) { samples_.push_back(value); }
+
+    /// Bulk-records a batch of samples (e.g. a run's latencies_ms).
+    void record_all(const std::vector<double>& values) {
+        samples_.insert(samples_.end(), values.begin(), values.end());
+    }
+
+    /// Merges another histogram's samples into this one.
+    void merge(const LatencyHistogram& other) {
+        record_all(other.samples_);
+    }
+
+    std::size_t count() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    /// Exact q-quantile (q in [0,1], linear interpolation between order
+    /// statistics). 0.0 on an empty histogram — an empty serving run
+    /// reports zeros rather than aborting the whole sweep.
+    double quantile(double q) const {
+        if (samples_.empty()) return 0.0;
+        return pgf::quantile(samples_, q);
+    }
+
+    double p50() const { return quantile(0.50); }
+    double p95() const { return quantile(0.95); }
+    double p99() const { return quantile(0.99); }
+
+    double min() const {
+        return samples_.empty()
+                   ? 0.0
+                   : *std::min_element(samples_.begin(), samples_.end());
+    }
+    double max() const {
+        return samples_.empty()
+                   ? 0.0
+                   : *std::max_element(samples_.begin(), samples_.end());
+    }
+    double mean() const {
+        if (samples_.empty()) return 0.0;
+        double sum = 0.0;
+        for (double v : samples_) sum += v;
+        return sum / static_cast<double>(samples_.size());
+    }
+
+private:
+    std::vector<double> samples_;
+};
+
+}  // namespace pgf::bench

@@ -83,6 +83,16 @@ sw='src/include/pgf/core/sweep.hpp'
 require "${sw}" 'last_ PGF_GUARDED_BY\(stats_mutex_\)' 'SweepRunner::last_ guarded by stats_mutex_'
 require "${sw}" 'total_wall_ms_ PGF_GUARDED_BY\(stats_mutex_\)' 'SweepRunner::total_wall_ms_ guarded'
 
+bq='src/include/pgf/util/bounded_queue.hpp'
+require "${bq}" 'items_ PGF_GUARDED_BY\(mutex_\)'      'BoundedMpmcQueue::items_ guarded by mutex_'
+require "${bq}" 'closed_ PGF_GUARDED_BY\(mutex_\)'     'BoundedMpmcQueue::closed_ guarded by mutex_'
+
+qe='src/include/pgf/parallel/query_engine.hpp'
+require "${qe}" 'PGF_GUARDED_BY\(stats_mutex_\)'       'QueryEngine batch state guarded by stats_mutex_'
+require "${qe}" 'submitted_ PGF_GUARDED_BY\(stats_mutex_\)' 'QueryEngine::submitted_ guarded'
+require "${qe}" 'completed_ PGF_GUARDED_BY\(stats_mutex_\)' 'QueryEngine::completed_ guarded'
+require "${qe}" 'latencies_ms_ PGF_GUARDED_BY\(stats_mutex_\)' 'QueryEngine::latencies_ms_ guarded'
+
 if [ "${fail}" -ne 0 ]; then
     echo "check_locks.sh: FAILED — see findings above." >&2
     exit 1

@@ -35,6 +35,7 @@
 #include "pgf/decluster/types.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/parallel/cluster.hpp"
+#include "pgf/parallel/node_backing.hpp"
 #include "pgf/sim/des.hpp"
 #include "pgf/storage/buffer_pool.hpp"
 #include "pgf/storage/page_file.hpp"
@@ -232,15 +233,6 @@ public:
     const ClusterConfig& config() const { return config_; }
 
 private:
-    /// A worker node's view of the shared page image: its own file handle
-    /// and buffer pool (shared-nothing nodes cache independently).
-    struct NodeBacking {
-        PageFile file;
-        BufferPool pool;
-        NodeBacking(const std::string& path, std::size_t pool_pages)
-            : file(PageFile::open(path)), pool(file, pool_pages) {}
-    };
-
     void open_backing() {
         backing_.clear();
         backing_.reserve(config_.nodes);

@@ -1,0 +1,89 @@
+#include "latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace pgf::bench {
+namespace {
+
+TEST(LatencyHistogram, EmptyReportsZeros) {
+    LatencyHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    // Empty runs report zeros instead of throwing (unlike raw
+    // pgf::quantile) so a zero-query sweep cell doesn't abort the bench.
+    EXPECT_DOUBLE_EQ(h.p50(), 0.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleSampleIsEveryQuantile) {
+    LatencyHistogram h;
+    h.record(42.5);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 42.5);
+    EXPECT_DOUBLE_EQ(h.p50(), 42.5);
+    EXPECT_DOUBLE_EQ(h.p95(), 42.5);
+    EXPECT_DOUBLE_EQ(h.p99(), 42.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.5);
+    EXPECT_DOUBLE_EQ(h.min(), 42.5);
+    EXPECT_DOUBLE_EQ(h.max(), 42.5);
+    EXPECT_DOUBLE_EQ(h.mean(), 42.5);
+}
+
+TEST(LatencyHistogram, ExactQuantilesOnKnownDistribution) {
+    // 1..101: pos = q * 100 lands on integers for the serving percentiles,
+    // so the expected values are exact order statistics, no interpolation.
+    LatencyHistogram h;
+    for (int i = 101; i >= 1; --i) h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 101u);
+    EXPECT_DOUBLE_EQ(h.p50(), 51.0);
+    EXPECT_DOUBLE_EQ(h.p95(), 96.0);
+    EXPECT_DOUBLE_EQ(h.p99(), 100.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 101.0);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 101.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 51.0);
+}
+
+TEST(LatencyHistogram, InterpolatesBetweenOrderStatistics) {
+    LatencyHistogram h;
+    h.record_all({1.0, 2.0, 3.0, 4.0});  // pos = q * 3
+    EXPECT_DOUBLE_EQ(h.p50(), 2.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 1.75);
+    EXPECT_DOUBLE_EQ(h.quantile(0.75), 3.25);
+}
+
+TEST(LatencyHistogram, MergeEqualsRecordingEverything) {
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram all;
+    for (int i = 0; i < 50; ++i) {
+        const double v = static_cast<double>((i * 37) % 101);
+        (i % 2 == 0 ? a : b).record(v);
+        all.record(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.95, 0.99, 1.0}) {
+        EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << q;
+    }
+    EXPECT_DOUBLE_EQ(a.mean(), all.mean());
+}
+
+TEST(LatencyHistogram, RecordAllAppends) {
+    LatencyHistogram h;
+    h.record(5.0);
+    h.record_all({1.0, 9.0});
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.min(), 1.0);
+    EXPECT_DOUBLE_EQ(h.max(), 9.0);
+    EXPECT_DOUBLE_EQ(h.p50(), 5.0);
+}
+
+}  // namespace
+}  // namespace pgf::bench
