@@ -33,6 +33,15 @@
 //                       across backends by construction.
 //   --node-pool-pages <n>  buffer-pool frames per simulated node in the
 //                       disk-backed mode (default 1024)
+//   --policy <p>        node-pool replacement policy: lru (default), lru-k,
+//                       clock, or 2q (PGF_POLICY in the environment sets
+//                       the default). Non-default policies apply to the
+//                       serving-side node pools only; stdout is
+//                       byte-identical when unset.
+//   --prefetch[=on|off] declustering-aware read-ahead: the coordinator
+//                       stages each node's bucket pages into that node's
+//                       pool before the workers scan (default off;
+//                       PGF_PREFETCH=1 in the environment enables).
 //   --full              full paper scale for the SP-2 experiment
 //                       (also enabled by PGF_FULL_SCALE=1 in the environment)
 #pragma once
@@ -68,11 +77,22 @@ struct Options {
     bool build_cache = true;
     std::string backend = "memory";  ///< "memory" or "paged"
     std::size_t node_pool_pages = 1024;  ///< disk-backed per-node pool frames
+    std::string policy = "lru";  ///< node-pool replacement policy
+    bool prefetch = false;       ///< declustering-aware read-ahead
     bool full_scale = false;
 
     Options(int argc, const char* const* argv);
 
     bool paged() const { return backend == "paged"; }
+
+    /// True when --policy/--prefetch (or their env vars) deviate from the
+    /// historical behavior — the benches print an extra config line then,
+    /// keeping default stdout byte-identical.
+    bool caching_tuned() const { return policy != "lru" || prefetch; }
+
+    /// The parsed node-pool configuration (--policy validated at option
+    /// parse time, so this cannot fail).
+    BufferPoolConfig pool_config() const;
 
     /// Thread count after resolving 0 to the hardware concurrency.
     unsigned resolved_threads() const;

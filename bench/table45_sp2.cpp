@@ -59,6 +59,12 @@ int run(int argc, char** argv) {
                   << " page buckets of "
                   << bench.paged->config().page_size << " B, "
                   << opt.node_pool_pages << " pool frames per node)\n";
+        if (opt.caching_tuned()) {
+            // Same byte-identity rule as the backend line: printed only
+            // when --policy/--prefetch deviate from the default.
+            std::cout << "caching: policy=" << opt.policy << " prefetch="
+                      << (opt.prefetch ? "on" : "off") << "\n";
+        }
     }
 
     // In paged mode the servers read real pages from the workbench's
@@ -71,7 +77,8 @@ int run(int argc, char** argv) {
         if (opt.paged()) {
             ParallelGridFileServer<4, PagedGridFile<4>> server(
                 *bench.paged, a, cfg,
-                DiskBackedConfig{opt.node_pool_pages});
+                DiskBackedConfig{opt.node_pool_pages, opt.pool_config(),
+                                 opt.prefetch});
             return server.execute(queries);
         }
         ParallelGridFileServer<4> server(bench.gf, a, cfg);

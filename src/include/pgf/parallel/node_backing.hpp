@@ -19,8 +19,10 @@ namespace pgf {
 struct NodeBacking {
     PageFile file;
     BufferPool pool;
-    NodeBacking(const std::string& path, std::size_t pool_pages)
-        : file(PageFile::open(path)), pool(file, pool_pages) {}
+    NodeBacking(const std::string& path, std::size_t pool_pages,
+                BufferPoolConfig pool_config = {})
+        : file(PageFile::open(path)),
+          pool(file, pool_pages, pool_config) {}
 };
 
 }  // namespace pgf

@@ -49,6 +49,8 @@ struct BatchResult {
     std::uint64_t records_returned = 0;
     std::uint64_t physical_reads = 0;
     std::uint64_t cache_hits = 0;
+    std::uint64_t prefetch_issued = 0;  ///< disk-backed: read-ahead pages
+    std::uint64_t prefetch_hits = 0;    ///< staged pages a worker then used
     double comm_time_s = 0.0;
     double elapsed_s = 0.0;
 };
@@ -59,6 +61,15 @@ struct BatchResult {
 /// the node pools read current page images.
 struct DiskBackedConfig {
     std::size_t pool_pages = 1024;
+    /// Replacement policy of every node pool (default: historical LRU).
+    BufferPoolConfig pool_config{};
+    /// Declustering-aware read-ahead: the coordinator stages each node's
+    /// bucket pages into that node's pool (in assignment order) before the
+    /// workers service the block list. Staged pages then count as cache
+    /// hits in the timing model — read-ahead overlaps the request
+    /// transfer — while the pages actually read appear in
+    /// BatchResult::prefetch_issued so physical I/O stays accounted.
+    bool prefetch = false;
 };
 
 /// Grid-file backends that expose a disk image the server can open
@@ -100,6 +111,8 @@ public:
         : ParallelGridFileServer(gf, std::move(assignment), config) {
         backing_path_ = gf.path();
         backing_pool_pages_ = disk_backed.pool_pages;
+        backing_pool_config_ = disk_backed.pool_config;
+        backing_prefetch_ = disk_backed.prefetch;
         PGF_CHECK(backing_pool_pages_ >= 1,
                   "disk-backed mode needs at least one pool frame per node");
         open_backing();
@@ -158,6 +171,27 @@ public:
                         per_disk[node * config_.disks_per_node + k].size();
                 }
                 if (node_blocks == 0) continue;
+                if constexpr (PagedBackend<GF>) {
+                    // Declustering-aware read-ahead: the coordinator knows
+                    // node's exact block list, so stage those pages (in
+                    // the same disk-order the workers will scan) before
+                    // the request even "arrives" — the pool then serves
+                    // them as hits and the timing model overlaps the
+                    // read-ahead with the request transfer.
+                    if (!backing_.empty() && backing_prefetch_) {
+                        prefetch_scratch_.clear();
+                        for (std::uint32_t k = 0; k < config_.disks_per_node;
+                             ++k) {
+                            for (std::uint32_t b :
+                                 per_disk[node * config_.disks_per_node +
+                                          k]) {
+                                prefetch_scratch_.push_back(
+                                    gf_.bucket_page(b));
+                            }
+                        }
+                        backing_[node]->pool.prefetch(prefetch_scratch_);
+                    }
+                }
                 ++*outstanding;
                 const bool remote = node != 0;
                 double request_time = net.transfer_time(
@@ -206,8 +240,12 @@ public:
             // (snapshot-and-zero; page contents stay resident).
             for (auto& nb : backing_) {
                 BufferPool::Stats stats = nb->pool.reset();
-                result.physical_reads += stats.misses;
+                // Read-ahead pages are real page I/O too: physical_reads
+                // stays an honest count of file reads either way.
+                result.physical_reads += stats.misses + stats.prefetch_issued;
                 result.cache_hits += stats.hits;
+                result.prefetch_issued += stats.prefetch_issued;
+                result.prefetch_hits += stats.prefetch_hits;
             }
             for (auto& d : disks_) d.reset_counters();
         } else {
@@ -238,7 +276,7 @@ private:
         backing_.reserve(config_.nodes);
         for (std::uint32_t n = 0; n < config_.nodes; ++n) {
             backing_.push_back(std::make_unique<NodeBacking>(
-                backing_path_, backing_pool_pages_));
+                backing_path_, backing_pool_pages_, backing_pool_config_));
         }
     }
 
@@ -278,8 +316,11 @@ private:
     std::vector<SimulatedDisk> disks_;
     std::string backing_path_;
     std::size_t backing_pool_pages_ = 0;
+    BufferPoolConfig backing_pool_config_{};
+    bool backing_prefetch_ = false;
     std::vector<std::unique_ptr<NodeBacking>> backing_;
     std::vector<GridRecord<D>> page_scratch_;
+    std::vector<std::uint64_t> prefetch_scratch_;
 };
 
 }  // namespace pgf

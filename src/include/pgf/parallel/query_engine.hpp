@@ -78,6 +78,12 @@ struct ServingConfig {
     /// Closed-loop admission window: submit() blocks while this many
     /// queries are in flight — the bench's concurrency knob.
     std::size_t concurrency = 16;
+    /// Replacement policy of every node pool (default: historical LRU).
+    BufferPoolConfig pool_config{};
+    /// Declustering-aware read-ahead: the dispatcher stages each node's
+    /// bucket pages (in assignment order) into that node's pool before
+    /// pushing the node task, so the team scans warm frames.
+    bool prefetch = false;
 };
 
 /// Aggregate outcome of a served batch (see QueryEngine::run).
@@ -157,7 +163,7 @@ public:
         node_queues_.reserve(config_.nodes);
         for (std::uint32_t n = 0; n < config_.nodes; ++n) {
             backing_.push_back(std::make_unique<NodeBacking>(
-                gf_.path(), config_.pool_pages));
+                gf_.path(), config_.pool_pages, config_.pool_config));
             // A query occupies at most one slot per node queue, so the
             // admission window bounds every queue's depth: the dispatcher
             // can never deadlock pushing node tasks.
@@ -290,8 +296,8 @@ public:
                       "drop_caches with queries in flight");
         }
         for (auto& nb : backing_) {
-            nb = std::make_unique<NodeBacking>(gf_.path(),
-                                               config_.pool_pages);
+            nb = std::make_unique<NodeBacking>(
+                gf_.path(), config_.pool_pages, config_.pool_config);
         }
     }
 
@@ -318,6 +324,7 @@ private:
     void dispatch_loop() {
         QueryScratch scratch;
         std::vector<std::uint32_t> buckets;
+        std::vector<std::uint64_t> pages;  // prefetch staging list
         QueryState* qs = nullptr;
         while (admission_.pop(qs)) {
             std::visit(
@@ -342,6 +349,18 @@ private:
             qs->outstanding.store(fanout, std::memory_order_relaxed);
             for (std::uint32_t n = 0; n < config_.nodes; ++n) {
                 if (qs->node_blocks[n].empty()) continue;
+                if (config_.prefetch) {
+                    // The declustering already tells us exactly which
+                    // bucket pages node n is about to scan — stage them
+                    // in assignment order before the team gets the task.
+                    // (Safe vs drop_caches: backing_ is only swapped
+                    // while no query is in flight.)
+                    pages.clear();
+                    for (std::uint32_t b : qs->node_blocks[n]) {
+                        pages.push_back(gf_.bucket_page(b));
+                    }
+                    backing_[n]->pool.prefetch(pages);
+                }
                 PGF_CHECK(node_queues_[n]->push(qs),
                           "node queue closed while dispatching");
             }

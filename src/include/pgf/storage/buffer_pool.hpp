@@ -1,23 +1,45 @@
-// Latched, thread-safe LRU buffer pool over a PageFile.
+// Latched, thread-safe buffer pool over a PageFile with a pluggable
+// replacement policy (LRU / LRU-K / CLOCK / 2Q, see
+// pgf/storage/replacement.hpp) and declustering-aware prefetch.
 //
 // Pages are pinned through RAII PageRef handles; unpinned pages stay
-// cached until LRU eviction (only pin == 0 frames are evictable). Dirty
-// pages are written back on eviction and on flush_all(). Statistics
-// (hits/misses/evictions/writebacks) feed the storage micro-benchmarks and
-// tests.
+// cached until the policy evicts them (only pin == 0 frames are
+// evictable). Dirty pages are written back on eviction and on
+// flush_all(). Statistics (hits/misses/evictions/writebacks plus
+// prefetch_issued/prefetch_hits) feed the storage micro-benchmarks,
+// the serving reports and tests.
+//
+// Replacement: the pool owns frames, page table and pins; the Replacer
+// owns recency metadata and the victim choice, with every policy call
+// made under the pool latch (the Replacer interface requires the latch
+// by parameter — see replacement.hpp). The default-constructed config is
+// plain LRU with an access-stamp sequence identical to the pool's
+// historical built-in LRU, so existing callers see the exact same
+// eviction/writeback order (golden-tested).
+//
+// Prefetch: prefetch(pages) reads not-yet-resident pages into unpinned
+// frames ahead of demand — the declustering assignment tells the serving
+// layer exactly which bucket pages a node is about to scan, so the
+// dispatcher can stage them before the workers arrive. Prefetched pages
+// are speculative until first pinned: they form a *first-eviction class*
+// (evicted FIFO before the policy is even consulted), and a prefetch
+// never evicts another prefetched-but-unused frame — one misjudged
+// read-ahead batch cannot cascade into evicting the previous one.
+// A fetch() that lands on a prefetched frame counts as a pool hit and a
+// prefetch hit, and graduates the frame into the policy's normal order.
 //
 // Concurrency (lock discipline machine-checked via pgf/util/annotations.hpp):
 //   - One pool latch guards the page table, the frame metadata (pin
-//     counts, dirty bits, LRU stamps) and all PageFile I/O — the PageFile's
-//     seek+read/write stream is not independently thread-safe, so misses,
-//     evictions and flushes serialize on the latch.
+//     counts, dirty bits, policy recency state) and all PageFile I/O — the
+//     PageFile's seek+read/write stream is not independently thread-safe,
+//     so misses, prefetches, evictions and flushes serialize on the latch.
 //   - A PageRef captures its frame's data span at pin time; readers of a
 //     pinned page touch no shared pool state at all. A frame's bytes are
 //     stable while pinned because eviction skips pin > 0 frames and the
 //     backing vector is only reallocated when a frame is re-grabbed.
 //   - Concurrent access to one page's *bytes* is the caller's problem
 //     (page-level latching lives above this layer); concurrent fetch /
-//     mark_dirty / unpin / allocate on the pool itself are safe.
+//     prefetch / mark_dirty / unpin / allocate on the pool itself are safe.
 //   - Counters are relaxed atomics so stats() never blocks; single-threaded
 //     callers observe exactly the pre-refactor values.
 //
@@ -25,16 +47,19 @@
 // exhausted") rather than wait — a deliberate choice: the single-threaded
 // engine treats exhaustion as a configuration bug, and concurrent callers
 // bound their in-flight pins (see tests/storage/test_buffer_pool_concurrent).
+// prefetch() never throws on pressure; it simply stops staging.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "pgf/storage/page_file.hpp"
+#include "pgf/storage/replacement.hpp"
 #include "pgf/util/annotations.hpp"
 #include "pgf/util/check.hpp"
 
@@ -42,8 +67,10 @@ namespace pgf {
 
 class BufferPool {
 public:
-    /// `capacity` = maximum resident pages; must be >= 1.
-    BufferPool(PageFile& file, std::size_t capacity);
+    /// `capacity` = maximum resident pages; must be >= 1. `config` picks
+    /// the replacement policy; the default is the historical LRU.
+    BufferPool(PageFile& file, std::size_t capacity,
+               BufferPoolConfig config = {});
 
     BufferPool(const BufferPool&) = delete;
     BufferPool& operator=(const BufferPool&) = delete;
@@ -94,6 +121,16 @@ public:
     /// Allocates a fresh zeroed page in the file and pins it.
     PageRef allocate() PGF_EXCLUDES(latch_);
 
+    /// Stages `pages` into the pool without pinning, in the given order
+    /// (the declustering layer passes a node's bucket block in assignment
+    /// order). Already-resident pages are skipped. Staging stops — without
+    /// throwing — once the only reusable frames are pinned or hold an
+    /// earlier prefetch that has not been consumed yet: read-ahead never
+    /// cannibalizes itself or blocks demand traffic. Each page actually
+    /// read counts in prefetch_issued; a later fetch() of a still-staged
+    /// page counts in both hits and prefetch_hits.
+    void prefetch(std::span<const std::uint64_t> pages) PGF_EXCLUDES(latch_);
+
     /// Writes back every dirty page and syncs the file. Pinned pages are
     /// no obstacle: they are flushed like any other dirty page and stay
     /// resident with their pins intact. With writers concurrently mutating
@@ -103,10 +140,15 @@ public:
     void flush_all() PGF_EXCLUDES(latch_);
 
     std::size_t capacity() const { return capacity_; }
+    /// The construction-time policy selection (immutable).
+    const BufferPoolConfig& config() const { return config_; }
     std::size_t resident() const PGF_EXCLUDES(latch_);
     /// Number of frames currently holding at least one pin. A quiescent
     /// pool (no live PageRef) reports 0 — the audit layer checks this.
     std::size_t pinned_frames() const PGF_EXCLUDES(latch_);
+    /// Sorted ids of the pages currently resident — test/audit hook used
+    /// by the golden eviction-sequence tests.
+    std::vector<std::uint64_t> resident_pages() const PGF_EXCLUDES(latch_);
 
     std::uint64_t hits() const {
         return hits_.load(std::memory_order_relaxed);
@@ -120,6 +162,12 @@ public:
     std::uint64_t writebacks() const {
         return writebacks_.load(std::memory_order_relaxed);
     }
+    std::uint64_t prefetch_issued() const {
+        return prefetch_issued_.load(std::memory_order_relaxed);
+    }
+    std::uint64_t prefetch_hits() const {
+        return prefetch_hits_.load(std::memory_order_relaxed);
+    }
 
     /// Counter snapshot (see stats()/reset()).
     struct Stats {
@@ -127,9 +175,23 @@ public:
         std::uint64_t misses = 0;
         std::uint64_t evictions = 0;
         std::uint64_t writebacks = 0;
+        std::uint64_t prefetch_issued = 0;
+        std::uint64_t prefetch_hits = 0;
+
+        /// Demand hit fraction in [0, 1]; 0 when the pool saw no fetches.
+        double hit_rate() const {
+            const std::uint64_t accesses = hits + misses;
+            return accesses == 0
+                       ? 0.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(accesses);
+        }
     };
 
-    Stats stats() const { return {hits(), misses(), evictions(), writebacks()}; }
+    Stats stats() const {
+        return {hits(),       misses(),          evictions(),
+                writebacks(), prefetch_issued(), prefetch_hits()};
+    }
 
     /// Snapshot-and-zero: returns the counters accumulated since the last
     /// reset and clears them, so callers measuring per-phase deltas (e.g.
@@ -146,28 +208,46 @@ private:
         std::vector<std::byte> data;
         std::uint32_t pin_count = 0;
         bool dirty = false;
-        std::uint64_t last_use = 0;
         bool in_use = false;
+        /// Staged by prefetch() and not pinned since — the first-eviction
+        /// class. Cleared by the first fetch() of the page.
+        bool prefetched = false;
+        /// FIFO order within the first-eviction class.
+        std::uint64_t prefetch_stamp = 0;
     };
 
-    /// Returns a frame ready for reuse: a never-used frame if one exists,
-    /// otherwise the least-recently-used unpinned frame (written back first
-    /// when dirty). Throws CheckError when every frame is pinned.
+    /// Returns a frame ready for reuse for a *demand* fill: a never-used
+    /// frame if one exists, then the oldest prefetched-but-unused frame
+    /// (first-eviction class, FIFO), then the policy's victim among
+    /// unpinned frames (written back first when dirty). Throws CheckError
+    /// when every frame is pinned.
     std::size_t grab_frame() PGF_REQUIRES(latch_);
+    /// grab_frame for prefetch staging: free frame, else policy victim —
+    /// but never another prefetched-unused frame, and never throws;
+    /// returns frames_.size() when staging must stop.
+    std::size_t grab_frame_for_prefetch() PGF_REQUIRES(latch_);
+    /// Evicts the page held by `frame` (writeback if dirty, table erase,
+    /// policy notification, counters).
+    void evict_frame(std::size_t frame) PGF_REQUIRES(latch_);
     void unpin(std::size_t frame) PGF_EXCLUDES(latch_);
     void mark_dirty_frame(std::size_t frame) PGF_EXCLUDES(latch_);
 
     PageFile& file_ PGF_PT_GUARDED_BY(latch_);
     const std::size_t capacity_;
+    const BufferPoolConfig config_;
     mutable Mutex latch_;
     std::vector<Frame> frames_ PGF_GUARDED_BY(latch_);
     std::unordered_map<std::uint64_t, std::size_t> table_
         PGF_GUARDED_BY(latch_);  // page -> frame
-    std::uint64_t clock_ PGF_GUARDED_BY(latch_) = 0;
+    std::unique_ptr<Replacer> policy_ PGF_GUARDED_BY(latch_);
+    std::vector<bool> evictable_ PGF_GUARDED_BY(latch_);  // victim() scratch
+    std::uint64_t prefetch_clock_ PGF_GUARDED_BY(latch_) = 0;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};
     std::atomic<std::uint64_t> evictions_{0};
     std::atomic<std::uint64_t> writebacks_{0};
+    std::atomic<std::uint64_t> prefetch_issued_{0};
+    std::atomic<std::uint64_t> prefetch_hits_{0};
 };
 
 }  // namespace pgf

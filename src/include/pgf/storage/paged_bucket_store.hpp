@@ -51,11 +51,15 @@ public:
         return kCountBytes + capacity * kRecordBytes;
     }
 
-    /// Creates (truncating) the backing file at `path`.
+    /// Creates (truncating) the backing file at `path`. `pool_config`
+    /// selects the builder pool's replacement policy (default LRU — the
+    /// historical behavior; serving-side node pools pick their own policy
+    /// via NodeBacking).
     PagedBucketStore(const std::string& path, std::size_t page_size,
-                     std::size_t pool_pages)
+                     std::size_t pool_pages,
+                     BufferPoolConfig pool_config = {})
         : file_(PageFile::create(path, page_size)),
-          pool_(file_, pool_pages),
+          pool_(file_, pool_pages, pool_config),
           capacity_(capacity_for(page_size)) {}
 
     std::size_t bucket_count() const { return metas_.size(); }

@@ -44,6 +44,8 @@ public:
         std::size_t page_size = 4096;
         std::size_t pool_pages = 128;
         SplitPolicy split_policy = SplitPolicy::kMidpoint;
+        /// Builder-pool replacement policy (default: historical LRU).
+        BufferPoolConfig pool_config{};
     };
 
     /// Creates (truncating) the backing file at `path`.
@@ -51,7 +53,7 @@ public:
                   Config config = {})
         : Core(domain, checked_capacity(config.page_size),
                config.split_policy, path, config.page_size,
-               config.pool_pages),
+               config.pool_pages, config.pool_config),
           config_(config) {}
 
     const Config& config() const { return config_; }

@@ -1,0 +1,220 @@
+// Pluggable replacement policies for the BufferPool.
+//
+// The pool owns the frames, the page table, the pin counts and the latch;
+// a Replacer owns only the *recency metadata* and the victim choice. Four
+// policies (the classic caching-literature set) ship behind one interface:
+//
+//   - LRU    — least-recently-used. Stamp on every access; evict the
+//              smallest stamp. Eviction-sequence-identical to the pool's
+//              historical built-in LRU (golden-tested).
+//   - LRU-K  — evict the page whose K-th-most-recent access is oldest
+//              (O'Neil et al.). Pages with fewer than K recorded accesses
+//              have infinite backward-K distance and are evicted first,
+//              LRU among themselves — one touch is not evidence of reuse,
+//              which is what makes LRU-K scan-resistant.
+//   - CLOCK  — second-chance ring: a reference bit per frame, a sweeping
+//              hand that clears set bits and evicts the first clear one.
+//   - 2Q     — Johnson & Shasha's two queues: first-touch pages enter a
+//              small FIFO (A1in); only pages re-fetched after leaving it
+//              (remembered in the A1out ghost list of page ids) are
+//              promoted to the protected LRU main queue (Am). A sequential
+//              scan drains through A1in without ever displacing Am.
+//
+// Locking contract: a Replacer has no latch of its own — its state is an
+// extension of the pool's frame metadata and is guarded by the pool latch.
+// Every method takes the owning pool's latch as a parameter and requires
+// it held (machine-checked by Clang's capability analysis; the pool's
+// `policy_` member is additionally PGF_GUARDED_BY(latch_), so even the
+// pointer cannot be touched latch-free). scripts/check_locks.sh asserts
+// these annotations stay present.
+//
+// Victim protocol: the pool passes `evictable`, one flag per frame (true
+// = in use, pin count zero, eligible). victim() returns an index with
+// evictable[i] == true, or evictable.size() when it declines every
+// candidate (the pool treats that as exhaustion). Prefetched-but-never-
+// pinned pages are *not* the policy's concern: the pool evicts those
+// first, FIFO, before consulting the policy (see buffer_pool.hpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "pgf/util/annotations.hpp"
+
+namespace pgf {
+
+enum class ReplacementPolicy : std::uint8_t {
+    kLru,
+    kLruK,
+    kClock,
+    kTwoQ,
+};
+
+/// Short stable tag ("lru", "lru-k", "clock", "2q") — used by bench CLI
+/// flags, JSON artifacts and test names.
+std::string to_string(ReplacementPolicy policy);
+
+/// Inverse of to_string (also accepts "lruk"/"lru2" and "twoq" aliases);
+/// nullopt on unknown text.
+std::optional<ReplacementPolicy> parse_policy(std::string_view text);
+
+/// Construction-time knobs of a BufferPool beyond its frame count.
+/// Default-constructed == the historical pool: plain LRU, no read-ahead
+/// tracking surprises — eviction sequence byte-identical to the pre-policy
+/// implementation.
+struct BufferPoolConfig {
+    ReplacementPolicy policy = ReplacementPolicy::kLru;
+    /// History depth for kLruK (ignored otherwise). Must be >= 1; K = 1
+    /// degenerates to LRU.
+    std::size_t lru_k = 2;
+};
+
+/// Replacement-policy interface (see file comment for the contract).
+/// Frames are dense indices [0, capacity); pages are PageFile ids.
+class Replacer {
+public:
+    virtual ~Replacer() = default;
+
+    /// Page `page` was installed in `frame` (miss fill, allocation, or
+    /// prefetch read-ahead). Counts as the page's first access.
+    virtual void on_insert(std::size_t frame, std::uint64_t page,
+                           Mutex& latch) PGF_REQUIRES(latch) = 0;
+
+    /// fetch() hit `frame` (a demand access to a resident page).
+    virtual void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) = 0;
+
+    /// Picks the victim among frames with evictable[i] == true; returns
+    /// evictable.size() when no frame is eligible.
+    virtual std::size_t victim(const std::vector<bool>& evictable,
+                               Mutex& latch) PGF_REQUIRES(latch) = 0;
+
+    /// `frame`'s page left the pool (evicted); `page` is the id it held.
+    virtual void on_evict(std::size_t frame, std::uint64_t page,
+                          Mutex& latch) PGF_REQUIRES(latch) = 0;
+};
+
+/// LRU with a monotone stamp per frame. Victim = smallest stamp among the
+/// evictable. The stamp sequence (one increment per access *or* insert)
+/// reproduces the pool's historical `last_use = ++clock_` behavior
+/// exactly, so the eviction/writeback order is unchanged for existing
+/// callers (golden-tested against a replay of the pre-policy logic).
+class LruReplacer final : public Replacer {
+public:
+    explicit LruReplacer(std::size_t capacity) : stamp_(capacity, 0) {}
+
+    void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+
+private:
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
+};
+
+/// LRU-K (default K = 2): per frame, the last K access stamps. Victim =
+/// the frame whose K-th-most-recent access is oldest; frames with fewer
+/// than K accesses beat every full-history frame (infinite backward-K
+/// distance), LRU among themselves by most-recent access.
+class LruKReplacer final : public Replacer {
+public:
+    LruKReplacer(std::size_t capacity, std::size_t k);
+
+    void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+
+private:
+    /// Ring of the last K stamps of one frame. count < K means the frame
+    /// has not yet shown K-fold reuse.
+    struct History {
+        std::vector<std::uint64_t> stamps;  // size K, ring
+        std::size_t next = 0;               // ring write position
+        std::size_t count = 0;              // accesses recorded (capped at K)
+    };
+
+    void record(std::size_t frame);
+
+    const std::size_t k_;
+    std::vector<History> history_;
+    std::uint64_t clock_ = 0;
+};
+
+/// CLOCK (second chance): one reference bit per frame and a sweeping
+/// hand. The hand skips ineligible frames, clears set bits, and evicts
+/// the first eligible frame with a clear bit — at most two sweeps.
+class ClockReplacer final : public Replacer {
+public:
+    explicit ClockReplacer(std::size_t capacity)
+        : referenced_(capacity, false) {}
+
+    void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+
+private:
+    std::vector<bool> referenced_;
+    std::size_t hand_ = 0;
+};
+
+/// 2Q (full version): resident frames live in A1in (FIFO, first touch) or
+/// Am (LRU, proven reuse); the A1out ghost list remembers page ids
+/// recently evicted from A1in. A fetch of a ghost page re-enters at Am —
+/// reuse across a window wider than A1in is the promotion signal. Victim:
+/// A1in front while A1in exceeds its target share of the pool (capacity/4,
+/// the paper's tuning), else Am's LRU frame.
+class TwoQReplacer final : public Replacer {
+public:
+    explicit TwoQReplacer(std::size_t capacity);
+
+    void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+
+private:
+    enum class Queue : std::uint8_t { kNone, kA1, kAm };
+
+    std::size_t resident_a1() const;
+
+    const std::size_t a1_target_;    ///< max A1in frames before FIFO evict
+    const std::size_t ghost_limit_;  ///< max remembered evicted page ids
+    std::vector<Queue> queue_;       ///< per-frame membership
+    std::vector<std::uint64_t> stamp_;  ///< A1: insert stamp; Am: access
+    std::uint64_t clock_ = 0;
+    std::deque<std::uint64_t> ghost_fifo_;       ///< A1out, oldest first
+    std::unordered_set<std::uint64_t> ghost_;    ///< A1out membership
+};
+
+/// Builds the Replacer selected by `config` for a pool of `capacity`
+/// frames. Throws CheckError on invalid tuning (lru_k == 0).
+std::unique_ptr<Replacer> make_replacer(const BufferPoolConfig& config,
+                                        std::size_t capacity);
+
+}  // namespace pgf

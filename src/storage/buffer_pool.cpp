@@ -1,11 +1,16 @@
 #include "pgf/storage/buffer_pool.hpp"
 
+#include <algorithm>
+
 namespace pgf {
 
-BufferPool::BufferPool(PageFile& file, std::size_t capacity)
-    : file_(file), capacity_(capacity) {
+BufferPool::BufferPool(PageFile& file, std::size_t capacity,
+                       BufferPoolConfig config)
+    : file_(file), capacity_(capacity), config_(config) {
     PGF_CHECK(capacity_ >= 1, "BufferPool needs at least one frame");
     frames_.resize(capacity_);
+    evictable_.resize(capacity_);
+    policy_ = make_replacer(config_, capacity_);
 }
 
 BufferPool::~BufferPool() {
@@ -31,8 +36,14 @@ BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
     if (it != table_.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         Frame& f = frames_[it->second];
+        if (f.prefetched) {
+            // First demand pin of a staged page: the read-ahead paid off.
+            // Graduate the frame out of the first-eviction class.
+            prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+            f.prefetched = false;
+        }
         ++f.pin_count;
-        f.last_use = ++clock_;
+        policy_->on_access(it->second, latch_);
         return PageRef(this, it->second, std::span<std::byte>(f.data),
                        f.page_id);
     }
@@ -44,9 +55,10 @@ BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
     file_.read(id, f.data);
     f.pin_count = 1;
     f.dirty = false;
-    f.last_use = ++clock_;
     f.in_use = true;
+    f.prefetched = false;
     table_[id] = frame;
+    policy_->on_insert(frame, id, latch_);
     return PageRef(this, frame, std::span<std::byte>(f.data), id);
 }
 
@@ -59,10 +71,45 @@ BufferPool::PageRef BufferPool::allocate() {
     f.data.assign(file_.page_size(), std::byte{0});
     f.pin_count = 1;
     f.dirty = false;
-    f.last_use = ++clock_;
     f.in_use = true;
+    f.prefetched = false;
     table_[id] = frame;
+    policy_->on_insert(frame, id, latch_);
     return PageRef(this, frame, std::span<std::byte>(f.data), id);
+}
+
+void BufferPool::prefetch(std::span<const std::uint64_t> pages) {
+    MutexLock lock(latch_);
+    for (std::uint64_t id : pages) {
+        if (table_.find(id) != table_.end()) continue;  // already resident
+        std::size_t frame = grab_frame_for_prefetch();
+        if (frame == frames_.size()) return;  // pool under pressure: stop
+        Frame& f = frames_[frame];
+        f.page_id = id;
+        f.data.assign(file_.page_size(), std::byte{0});
+        file_.read(id, f.data);
+        f.pin_count = 0;
+        f.dirty = false;
+        f.in_use = true;
+        f.prefetched = true;
+        f.prefetch_stamp = ++prefetch_clock_;
+        table_[id] = frame;
+        policy_->on_insert(frame, id, latch_);
+        prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+void BufferPool::evict_frame(std::size_t frame) {
+    Frame& f = frames_[frame];
+    if (f.dirty) {
+        file_.write(f.page_id, f.data);
+        writebacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+    table_.erase(f.page_id);
+    policy_->on_evict(frame, f.page_id, latch_);
+    f.in_use = false;
+    f.prefetched = false;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 std::size_t BufferPool::grab_frame() {
@@ -70,26 +117,48 @@ std::size_t BufferPool::grab_frame() {
     for (std::size_t i = 0; i < frames_.size(); ++i) {
         if (!frames_[i].in_use) return i;
     }
-    // LRU among unpinned frames — a pinned frame is never a victim, so its
-    // data span (captured by live PageRefs) stays valid.
-    std::size_t victim = frames_.size();
+    // First-eviction class: prefetched pages nobody pinned are the
+    // speculation that did not pay off yet — reclaim them FIFO before
+    // disturbing the policy's demand-driven order. (Inert unless
+    // prefetch() is in use, so the default path is untouched.)
+    std::size_t staged = frames_.size();
     for (std::size_t i = 0; i < frames_.size(); ++i) {
-        if (frames_[i].pin_count == 0 &&
-            (victim == frames_.size() ||
-             frames_[i].last_use < frames_[victim].last_use)) {
-            victim = i;
+        const Frame& f = frames_[i];
+        if (f.prefetched && f.pin_count == 0 &&
+            (staged == frames_.size() ||
+             f.prefetch_stamp < frames_[staged].prefetch_stamp)) {
+            staged = i;
         }
+    }
+    std::size_t victim = staged;
+    if (victim == frames_.size()) {
+        // Policy victim among unpinned frames — a pinned frame is never a
+        // victim, so its data span (captured by live PageRefs) stays valid.
+        for (std::size_t i = 0; i < frames_.size(); ++i) {
+            evictable_[i] = frames_[i].pin_count == 0;
+        }
+        victim = policy_->victim(evictable_, latch_);
     }
     PGF_CHECK(victim < frames_.size(),
               "BufferPool exhausted: every frame is pinned");
-    Frame& f = frames_[victim];
-    if (f.dirty) {
-        file_.write(f.page_id, f.data);
-        writebacks_.fetch_add(1, std::memory_order_relaxed);
+    evict_frame(victim);
+    return victim;
+}
+
+std::size_t BufferPool::grab_frame_for_prefetch() {
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        if (!frames_[i].in_use) return i;
     }
-    table_.erase(f.page_id);
-    f.in_use = false;
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    // Read-ahead may displace cached demand pages (the policy decides
+    // which) but never a pinned frame and never an earlier still-unused
+    // prefetch — a long staging list cannot cannibalize its own head.
+    for (std::size_t i = 0; i < frames_.size(); ++i) {
+        const Frame& f = frames_[i];
+        evictable_[i] = f.pin_count == 0 && !f.prefetched;
+    }
+    std::size_t victim = policy_->victim(evictable_, latch_);
+    if (victim == frames_.size()) return victim;  // stop staging, no throw
+    evict_frame(victim);
     return victim;
 }
 
@@ -114,11 +183,22 @@ std::size_t BufferPool::pinned_frames() const {
     return pinned;
 }
 
+std::vector<std::uint64_t> BufferPool::resident_pages() const {
+    MutexLock lock(latch_);
+    std::vector<std::uint64_t> pages;
+    pages.reserve(table_.size());
+    for (const auto& [page, frame] : table_) pages.push_back(page);
+    std::sort(pages.begin(), pages.end());
+    return pages;
+}
+
 BufferPool::Stats BufferPool::reset() {
     return Stats{hits_.exchange(0, std::memory_order_relaxed),
                  misses_.exchange(0, std::memory_order_relaxed),
                  evictions_.exchange(0, std::memory_order_relaxed),
-                 writebacks_.exchange(0, std::memory_order_relaxed)};
+                 writebacks_.exchange(0, std::memory_order_relaxed),
+                 prefetch_issued_.exchange(0, std::memory_order_relaxed),
+                 prefetch_hits_.exchange(0, std::memory_order_relaxed)};
 }
 
 void BufferPool::flush_all() {

@@ -1,0 +1,253 @@
+#include "pgf/storage/replacement.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+std::string to_string(ReplacementPolicy policy) {
+    switch (policy) {
+        case ReplacementPolicy::kLru: return "lru";
+        case ReplacementPolicy::kLruK: return "lru-k";
+        case ReplacementPolicy::kClock: return "clock";
+        case ReplacementPolicy::kTwoQ: return "2q";
+    }
+    return "?";
+}
+
+std::optional<ReplacementPolicy> parse_policy(std::string_view text) {
+    if (text == "lru") return ReplacementPolicy::kLru;
+    if (text == "lru-k" || text == "lruk" || text == "lru2") {
+        return ReplacementPolicy::kLruK;
+    }
+    if (text == "clock") return ReplacementPolicy::kClock;
+    if (text == "2q" || text == "twoq") return ReplacementPolicy::kTwoQ;
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------- LRU --
+
+void LruReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
+                            Mutex& /*latch*/) {
+    stamp_[frame] = ++clock_;
+}
+
+void LruReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
+    stamp_[frame] = ++clock_;
+}
+
+std::size_t LruReplacer::victim(const std::vector<bool>& evictable,
+                                Mutex& /*latch*/) {
+    // First minimal stamp wins on ties — the order the historical pool's
+    // strict `<` scan produced.
+    std::size_t best = evictable.size();
+    for (std::size_t i = 0; i < evictable.size(); ++i) {
+        if (evictable[i] &&
+            (best == evictable.size() || stamp_[i] < stamp_[best])) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+void LruReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
+                           Mutex& /*latch*/) {
+    stamp_[frame] = 0;
+}
+
+// -------------------------------------------------------------- LRU-K --
+
+LruKReplacer::LruKReplacer(std::size_t capacity, std::size_t k)
+    : k_(k), history_(capacity) {
+    PGF_CHECK(k_ >= 1, "LRU-K needs k >= 1");
+    for (History& h : history_) h.stamps.assign(k_, 0);
+}
+
+void LruKReplacer::record(std::size_t frame) {
+    History& h = history_[frame];
+    h.stamps[h.next] = ++clock_;
+    h.next = (h.next + 1) % k_;
+    if (h.count < k_) ++h.count;
+}
+
+void LruKReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
+                             Mutex& /*latch*/) {
+    History& h = history_[frame];
+    h.next = 0;
+    h.count = 0;
+    record(frame);
+}
+
+void LruKReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
+    record(frame);
+}
+
+std::size_t LruKReplacer::victim(const std::vector<bool>& evictable,
+                                 Mutex& /*latch*/) {
+    // Frames with fewer than K recorded accesses have infinite backward-K
+    // distance and beat every full-history frame; among them the one whose
+    // *most recent* access is oldest goes first. Full-history frames
+    // compete on their K-th-most-recent (i.e. oldest retained) stamp.
+    std::size_t best = evictable.size();
+    bool best_infinite = false;
+    std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t i = 0; i < evictable.size(); ++i) {
+        if (!evictable[i]) continue;
+        const History& h = history_[i];
+        const bool infinite = h.count < k_;
+        std::uint64_t key;
+        if (infinite) {
+            // Most recent stamp: the slot just before the write cursor.
+            const std::size_t last = (h.next + k_ - 1) % k_;
+            key = h.count == 0 ? 0 : h.stamps[last];
+        } else {
+            // Oldest retained stamp lives at the write cursor.
+            key = h.stamps[h.next];
+        }
+        if (best == evictable.size() || (infinite && !best_infinite) ||
+            (infinite == best_infinite && key < best_key)) {
+            best = i;
+            best_infinite = infinite;
+            best_key = key;
+        }
+    }
+    return best;
+}
+
+void LruKReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
+                            Mutex& /*latch*/) {
+    History& h = history_[frame];
+    h.next = 0;
+    h.count = 0;
+}
+
+// -------------------------------------------------------------- CLOCK --
+
+void ClockReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
+                              Mutex& /*latch*/) {
+    referenced_[frame] = true;
+}
+
+void ClockReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
+    referenced_[frame] = true;
+}
+
+std::size_t ClockReplacer::victim(const std::vector<bool>& evictable,
+                                  Mutex& /*latch*/) {
+    const std::size_t n = evictable.size();
+    bool any = std::find(evictable.begin(), evictable.end(), true) !=
+               evictable.end();
+    if (!any) return n;
+    // At most two sweeps: the first clears every set bit among the
+    // eligible frames, so the second must find a clear one.
+    for (std::size_t step = 0; step < 2 * n; ++step) {
+        const std::size_t i = hand_;
+        hand_ = (hand_ + 1) % n;
+        if (!evictable[i]) continue;  // pinned/absent frames keep their bit
+        if (referenced_[i]) {
+            referenced_[i] = false;
+            continue;
+        }
+        return i;
+    }
+    return n;
+}
+
+void ClockReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
+                             Mutex& /*latch*/) {
+    referenced_[frame] = false;
+}
+
+// ----------------------------------------------------------------- 2Q --
+
+TwoQReplacer::TwoQReplacer(std::size_t capacity)
+    : a1_target_(std::max<std::size_t>(1, capacity / 4)),
+      ghost_limit_(std::max<std::size_t>(1, capacity)),
+      queue_(capacity, Queue::kNone),
+      stamp_(capacity, 0) {}
+
+std::size_t TwoQReplacer::resident_a1() const {
+    return static_cast<std::size_t>(
+        std::count(queue_.begin(), queue_.end(), Queue::kA1));
+}
+
+void TwoQReplacer::on_insert(std::size_t frame, std::uint64_t page,
+                             Mutex& /*latch*/) {
+    auto ghost = ghost_.find(page);
+    if (ghost != ghost_.end()) {
+        // Reuse across a window wider than A1in: promote straight to Am.
+        ghost_.erase(ghost);  // stale fifo entry skipped during trimming
+        queue_[frame] = Queue::kAm;
+    } else {
+        queue_[frame] = Queue::kA1;
+    }
+    stamp_[frame] = ++clock_;
+}
+
+void TwoQReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
+    // Full 2Q: hits inside A1in do NOT promote — pages must prove reuse
+    // beyond the correlated-reference window. Am hits refresh LRU order.
+    if (queue_[frame] == Queue::kAm) stamp_[frame] = ++clock_;
+}
+
+std::size_t TwoQReplacer::victim(const std::vector<bool>& evictable,
+                                 Mutex& /*latch*/) {
+    std::size_t a1_front = evictable.size();
+    std::size_t am_lru = evictable.size();
+    for (std::size_t i = 0; i < evictable.size(); ++i) {
+        if (!evictable[i]) continue;
+        if (queue_[i] == Queue::kA1) {
+            if (a1_front == evictable.size() ||
+                stamp_[i] < stamp_[a1_front]) {
+                a1_front = i;
+            }
+        } else if (queue_[i] == Queue::kAm) {
+            if (am_lru == evictable.size() || stamp_[i] < stamp_[am_lru]) {
+                am_lru = i;
+            }
+        }
+    }
+    if (a1_front != evictable.size() && resident_a1() > a1_target_) {
+        return a1_front;
+    }
+    if (am_lru != evictable.size()) return am_lru;
+    return a1_front;
+}
+
+void TwoQReplacer::on_evict(std::size_t frame, std::uint64_t page,
+                            Mutex& /*latch*/) {
+    if (queue_[frame] == Queue::kA1) {
+        // Leaving A1in: remember the page id so a near-future re-fetch is
+        // recognized as reuse and promoted to Am.
+        if (ghost_.insert(page).second) ghost_fifo_.push_back(page);
+        while (ghost_.size() > ghost_limit_ && !ghost_fifo_.empty()) {
+            const std::uint64_t old = ghost_fifo_.front();
+            ghost_fifo_.pop_front();
+            ghost_.erase(old);  // no-op for ids already promoted out
+        }
+    }
+    queue_[frame] = Queue::kNone;
+    stamp_[frame] = 0;
+}
+
+// ------------------------------------------------------------ factory --
+
+std::unique_ptr<Replacer> make_replacer(const BufferPoolConfig& config,
+                                        std::size_t capacity) {
+    switch (config.policy) {
+        case ReplacementPolicy::kLru:
+            return std::make_unique<LruReplacer>(capacity);
+        case ReplacementPolicy::kLruK:
+            return std::make_unique<LruKReplacer>(capacity, config.lru_k);
+        case ReplacementPolicy::kClock:
+            return std::make_unique<ClockReplacer>(capacity);
+        case ReplacementPolicy::kTwoQ:
+            return std::make_unique<TwoQReplacer>(capacity);
+    }
+    PGF_CHECK(false, "unknown replacement policy");
+    return nullptr;
+}
+
+}  // namespace pgf

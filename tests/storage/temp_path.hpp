@@ -21,6 +21,11 @@ inline std::filesystem::path unique_temp_path(const std::string& stem,
         name += '.';
         name += info->name();
     }
+    // Value-parameterized test names carry a '/<param>' suffix; keep the
+    // result a single file name.
+    for (char& c : name) {
+        if (c == '/') c = '_';
+    }
     return std::filesystem::temp_directory_path() / (name + ext);
 }
 
