@@ -16,7 +16,7 @@
 //              large polluting scan (the scan-resistance stressor: one
 //              scan floods a small pool and evicts the hot set under LRU),
 //
-// sweeping policy {lru, lru-k, clock, 2q} x prefetch {off, on} x
+// sweeping policy {lru, lru-k, clock, 2q, lfu} x prefetch {off, on} x
 // pool-pages {16, 64, 256}. Every configuration starts cold (fresh
 // engine) and serves the whole workload once; the reported hit rate is
 // the demand hit fraction over the full pass and io/q is physical page
@@ -204,7 +204,8 @@ int run(int argc, char** argv) {
     const std::vector<std::size_t> pool_sweep{16, 64, 256};
     const std::vector<ReplacementPolicy> policies{
         ReplacementPolicy::kLru, ReplacementPolicy::kLruK,
-        ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ};
+        ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ,
+        ReplacementPolicy::kLfu};
 
     std::vector<CellResult> results;
     bool consistent = true;

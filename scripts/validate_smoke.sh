@@ -10,7 +10,10 @@
 #   3. a complete round-robin assignment passes (exit 0),
 #   4. a truncated assignment is flagged as incomplete (exit 1),
 #   5. an assignment naming an out-of-range disk is flagged (exit 1),
-#   6. a truncated .pgf fails loudly rather than validating (exit != 0).
+#   6. a truncated .pgf fails loudly rather than validating (exit != 0),
+#   7. an out-of-core streamed build (buildx: external Hilbert sort +
+#      pool-bounded bulk load of ${PGF_SMOKE_POINTS:-1000000} points)
+#      passes the same deep paged-backend audit as an in-memory build.
 set -u
 
 PGFCLI="${1:?usage: validate_smoke.sh <path-to-pgfcli>}"
@@ -76,5 +79,23 @@ truncate -s -200 "${WORK}/corrupt.pgf"
 if "${PGFCLI}" validate --file "${WORK}/corrupt.pgf" > /dev/null 2>&1; then
     fail "truncated grid file validated"
 fi
+
+# 7. Out-of-core streamed build at scale, deep-audited on the paged
+#    backend. PGF_SMOKE_POINTS shrinks the build for slow (sanitizer)
+#    lanes; the default is the acceptance-scale 10^6.
+SMOKE_N="${PGF_SMOKE_POINTS:-1000000}"
+# --chunk-records below the point count forces several sorted runs, so
+# the k-way merge path is exercised, not just a single-run passthrough.
+"${PGFCLI}" buildx --dataset uniform2d --points "${SMOKE_N}" --seed 11 \
+    --out "${WORK}/stream.pgf" --pool-pages 1024 --chunk-records 65536 \
+    > "${WORK}/buildx.out" \
+    || fail "buildx (streamed build)"
+grep -q 'sorted runs' "${WORK}/buildx.out" \
+    || fail "buildx did not report its external-sort stats"
+[ ! -e "${WORK}/stream.pgf.staging" ] \
+    || fail "buildx left its staging file behind"
+"${PGFCLI}" validate --file "${WORK}/stream.pgf" --level deep \
+    --backend paged > /dev/null \
+    || fail "stream-built file did not pass the deep paged audit"
 
 echo "validate_smoke: OK"

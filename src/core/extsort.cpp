@@ -1,0 +1,220 @@
+// Dimension-erased half of the external sort (pgf/core/extsort.hpp):
+// buffered run-file I/O, the loser-tree k-way merge, and the multi-pass
+// run reduction. Everything here works on raw `record_bytes`-stride
+// records whose first 16 bytes are the (key, seq) sort key.
+#include "pgf/core/extsort.hpp"
+
+namespace pgf::extsort::detail {
+
+// -- RunWriter ---------------------------------------------------------------
+
+RunWriter::RunWriter(const std::filesystem::path& path,
+                     std::size_t record_bytes, std::size_t buffer_records)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path.string()),
+      record_bytes_(record_bytes),
+      buf_(record_bytes * std::max<std::size_t>(buffer_records, 1)) {
+    PGF_CHECK(out_.good(), "extsort: cannot create run file " + path_);
+}
+
+void RunWriter::append(const std::byte* records, std::size_t count) {
+    std::size_t done = 0;
+    const std::size_t cap = buf_.size() / record_bytes_;
+    while (done < count) {
+        const std::size_t take = std::min(count - done, cap - buffered_);
+        std::copy_n(records + done * record_bytes_, take * record_bytes_,
+                    buf_.data() + buffered_ * record_bytes_);
+        buffered_ += take;
+        done += take;
+        if (buffered_ == cap) {
+            out_.write(reinterpret_cast<const char*>(buf_.data()),
+                       static_cast<std::streamsize>(buffered_ *
+                                                    record_bytes_));
+            bytes_ += buffered_ * record_bytes_;
+            buffered_ = 0;
+        }
+    }
+}
+
+std::uint64_t RunWriter::finish() {
+    if (buffered_ > 0) {
+        out_.write(reinterpret_cast<const char*>(buf_.data()),
+                   static_cast<std::streamsize>(buffered_ * record_bytes_));
+        bytes_ += buffered_ * record_bytes_;
+        buffered_ = 0;
+    }
+    out_.flush();
+    PGF_CHECK(out_.good(), "extsort: write failed for run file " + path_);
+    out_.close();
+    return bytes_;
+}
+
+// -- RunReader ---------------------------------------------------------------
+
+RunReader::RunReader(const std::filesystem::path& path,
+                     std::size_t record_bytes, std::size_t buffer_records)
+    : in_(path, std::ios::binary),
+      path_(path.string()),
+      record_bytes_(record_bytes),
+      buf_(record_bytes * std::max<std::size_t>(buffer_records, 1)) {
+    PGF_CHECK(in_.good(), "extsort: cannot open run file " + path_);
+}
+
+const std::byte* RunReader::advance() {
+    if (pos_ == filled_) {
+        in_.read(reinterpret_cast<char*>(buf_.data()),
+                 static_cast<std::streamsize>(buf_.size()));
+        const auto got = static_cast<std::size_t>(in_.gcount());
+        PGF_CHECK(got % record_bytes_ == 0,
+                  "extsort: torn record in run file " + path_);
+        filled_ = got / record_bytes_;
+        pos_ = 0;
+        if (filled_ == 0) return nullptr;
+    }
+    return buf_.data() + (pos_++) * record_bytes_;
+}
+
+// -- KWayMerge ---------------------------------------------------------------
+//
+// Textbook loser tree in the complete-binary-tree array layout: sources
+// are leaves k..2k-1, internal node n holds the loser of the matches
+// below it, winner_ is the overall champion. Each replay after consuming
+// the winner costs exactly ceil(log2 k) comparisons.
+
+KWayMerge::KWayMerge(std::vector<std::filesystem::path> runs,
+                     std::size_t record_bytes, std::size_t buffer_records)
+    : paths_(std::move(runs)), record_bytes_(record_bytes) {
+    const std::size_t k = paths_.size();
+    PGF_CHECK(k >= 1, "extsort: merge needs at least one run");
+    readers_.reserve(k);
+    key_.resize(k);
+    seq_.resize(k);
+    rec_.resize(k);
+    for (std::size_t i = 0; i < k; ++i) {
+        readers_.push_back(std::make_unique<RunReader>(
+            paths_[i], record_bytes_, buffer_records));
+        rec_[i] = readers_[i]->advance();
+        if (rec_[i] != nullptr) {
+            key_[i] = read_u64le(rec_[i]);
+            seq_[i] = read_u64le(rec_[i] + 8);
+            ++alive_;
+        } else {
+            retire(i);
+        }
+    }
+    // Bottom-up build: win[n] is the winner of the subtree under node n,
+    // loser_[n] keeps the loser of the final match played at n.
+    loser_.assign(k, 0);
+    std::vector<std::size_t> win(2 * k);
+    for (std::size_t i = 0; i < k; ++i) win[k + i] = i;
+    for (std::size_t n = k; n-- > 1;) {
+        std::size_t a = win[2 * n];
+        std::size_t b = win[2 * n + 1];
+        if (worse(a, b)) std::swap(a, b);
+        win[n] = a;
+        loser_[n] = b;
+    }
+    winner_ = k > 1 ? win[1] : 0;
+}
+
+KWayMerge::~KWayMerge() {
+    // Runs are single-consumer scratch; delete whatever wasn't consumed.
+    for (std::size_t i = 0; i < paths_.size(); ++i) {
+        if (readers_[i] != nullptr) {
+            readers_[i].reset();
+            std::error_code ec;
+            std::filesystem::remove(paths_[i], ec);
+        }
+    }
+}
+
+void KWayMerge::retire(std::size_t source) {
+    readers_[source].reset();
+    std::error_code ec;
+    std::filesystem::remove(paths_[source], ec);
+}
+
+bool KWayMerge::worse(std::size_t a, std::size_t b) const {
+    // Exhausted sources lose to everything, so they sink in the tree.
+    if (rec_[a] == nullptr) return true;
+    if (rec_[b] == nullptr) return false;
+    if (key_[a] != key_[b]) return key_[a] > key_[b];
+    return seq_[a] > seq_[b];
+}
+
+void KWayMerge::replay(std::size_t source) {
+    const std::size_t k = paths_.size();
+    std::size_t cur = source;
+    for (std::size_t n = (k + source) / 2; n >= 1; n /= 2) {
+        if (worse(cur, loser_[n])) std::swap(cur, loser_[n]);
+        if (n == 1) break;
+    }
+    winner_ = cur;
+}
+
+std::size_t KWayMerge::next(std::byte* out, std::size_t max_records) {
+    std::size_t produced = 0;
+    while (produced < max_records && alive_ > 0) {
+        const std::size_t w = winner_;
+        std::copy_n(rec_[w], record_bytes_,
+                    out + produced * record_bytes_);
+        ++produced;
+        rec_[w] = readers_[w]->advance();
+        if (rec_[w] != nullptr) {
+            key_[w] = read_u64le(rec_[w]);
+            seq_[w] = read_u64le(rec_[w] + 8);
+        } else {
+            retire(w);
+            --alive_;
+        }
+        if (paths_.size() > 1) {
+            replay(w);
+        }
+    }
+    return produced;
+}
+
+// -- reduce_runs -------------------------------------------------------------
+
+std::vector<std::filesystem::path> reduce_runs(
+    std::vector<std::filesystem::path> runs, std::size_t record_bytes,
+    std::size_t buffer_records, std::size_t fan_in,
+    const std::filesystem::path& dir, std::uint64_t* spill_bytes,
+    std::size_t* passes) {
+    std::size_t generation = 0;
+    while (runs.size() > fan_in) {
+        ++generation;
+        std::vector<std::filesystem::path> merged;
+        merged.reserve((runs.size() + fan_in - 1) / fan_in);
+        std::vector<std::byte> block(record_bytes * 4096);
+        for (std::size_t begin = 0; begin < runs.size(); begin += fan_in) {
+            const std::size_t end = std::min(begin + fan_in, runs.size());
+            if (end - begin == 1) {
+                // A lone tail run advances to the next generation as-is.
+                merged.push_back(runs[begin]);
+                continue;
+            }
+            std::vector<std::filesystem::path> batch(
+                runs.begin() + static_cast<std::ptrdiff_t>(begin),
+                runs.begin() + static_cast<std::ptrdiff_t>(end));
+            const std::filesystem::path out_path =
+                dir / ("merge-" + std::to_string(generation) + "-" +
+                       std::to_string(merged.size()) + ".bin");
+            KWayMerge merge(std::move(batch), record_bytes, buffer_records);
+            RunWriter writer(out_path, record_bytes, buffer_records);
+            for (;;) {
+                const std::size_t n =
+                    merge.next(block.data(), block.size() / record_bytes);
+                if (n == 0) break;
+                writer.append(block.data(), n);
+            }
+            *spill_bytes += writer.finish();
+            merged.push_back(out_path);
+        }
+        runs = std::move(merged);
+        ++*passes;
+    }
+    return runs;
+}
+
+}  // namespace pgf::extsort::detail

@@ -1,0 +1,377 @@
+// External Hilbert sort — the out-of-core half of the build pipeline
+// (ROADMAP item 3, DESIGN.md §4i).
+//
+// Problem: bulk-loading a paged grid file in arrival order touches
+// buckets all over the directory, so every insert is a potential page
+// miss and the build degenerates to random I/O once the dataset outgrows
+// the BufferPool. Sorting the input along the Hilbert curve first makes
+// consecutive records land in the same (or an adjacent) bucket, which the
+// paged store's batch sessions turn into one page encode per bucket —
+// but a 10⁷–10⁸-record input doesn't fit in memory, so the sort itself
+// must be external.
+//
+// Classic three-phase pipeline, streamed end to end:
+//
+//   1. Run formation — read fixed-size chunks of `chunk_records` points,
+//      tag each with its Hilbert key (pgf/sfc/hilbert.hpp over a
+//      2^bits-per-axis quantization of the domain), sort chunks in
+//      parallel on the ThreadPool, and spill each as one sorted run file.
+//      Chunk boundaries depend only on chunk_records — never on thread
+//      count or scheduling — so the run set is bit-deterministic.
+//   2. Merge reduction — while more than max_fan_in runs exist, k-way
+//      merge batches of max_fan_in runs into longer runs (loser tree,
+//      bounded per-run read buffers), deleting inputs as they are
+//      consumed so disk stays ~2x the data size.
+//   3. Streamed final merge — ExtSorter is itself a PointSource: next()
+//      pulls from the final loser-tree merge, so the grid-file loader
+//      consumes the sorted sequence without it ever being materialized.
+//
+// Duplicate keys stay in input order: every record carries its global
+// sequence number and the sort/merge order is (key, seq), a total order.
+// Peak memory = lanes * chunk_records records (run formation) or
+// fan_in * merge_buffer_records records (merge), whichever phase is
+// running — both independent of N.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pgf/core/point_source.hpp"
+#include "pgf/geom/point.hpp"
+#include "pgf/sfc/hilbert.hpp"
+#include "pgf/util/check.hpp"
+#include "pgf/util/temp_dir.hpp"
+#include "pgf/util/thread_pool.hpp"
+
+namespace pgf::extsort {
+
+struct ExtSortConfig {
+    /// Records per formation chunk == per initial run. Fixed boundaries
+    /// make the run set independent of thread count.
+    std::size_t chunk_records = 1 << 20;
+    /// Hilbert quantization bits per axis; 0 picks min(16, 64/D).
+    unsigned hilbert_bits = 0;
+    /// Records buffered per run during merges (bounds merge memory at
+    /// fan_in * merge_buffer_records * record size).
+    std::size_t merge_buffer_records = 1 << 14;
+    /// Maximum runs merged at once; more runs force reduction passes.
+    std::size_t max_fan_in = 64;
+    /// Pool for parallel chunk sorting (null = serial). The sorter never
+    /// submits nested work, so a shared pool is fine.
+    ThreadPool* pool = nullptr;
+    /// Where run files spill; empty = a private RAII temp directory.
+    std::filesystem::path temp_dir;
+};
+
+struct ExtSortStats {
+    std::uint64_t records = 0;      ///< total records sorted
+    std::size_t initial_runs = 0;   ///< runs written by formation
+    std::uint64_t spill_bytes = 0;  ///< bytes written across all phases
+    std::size_t merge_passes = 0;   ///< reduction passes before the final merge
+    std::size_t final_fan_in = 0;   ///< runs feeding the streamed merge
+};
+
+namespace detail {
+
+// Run-file records are raw little-endian bytes: u64 key, u64 seq, then
+// payload (the D point doubles). Key and seq sit at fixed offsets, so the
+// merge machinery below is dimension-erased — only `record_bytes` varies.
+
+inline std::uint64_t read_u64le(const std::byte* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    }
+    return v;
+}
+
+inline void write_u64le(std::byte* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+    }
+}
+
+/// Buffered sequential writer for one run file.
+class RunWriter {
+public:
+    RunWriter(const std::filesystem::path& path, std::size_t record_bytes,
+              std::size_t buffer_records);
+    /// Appends `count` consecutive records.
+    void append(const std::byte* records, std::size_t count);
+    /// Flushes and closes; returns total bytes written.
+    std::uint64_t finish();
+
+private:
+    std::ofstream out_;
+    std::string path_;
+    std::size_t record_bytes_;
+    std::vector<std::byte> buf_;
+    std::size_t buffered_ = 0;  ///< records currently in buf_
+    std::uint64_t bytes_ = 0;
+};
+
+/// Buffered sequential reader over one run file.
+class RunReader {
+public:
+    RunReader(const std::filesystem::path& path, std::size_t record_bytes,
+              std::size_t buffer_records);
+    /// Advances to the next record; returns its bytes, or nullptr at EOF.
+    const std::byte* advance();
+
+private:
+    std::ifstream in_;
+    std::string path_;
+    std::size_t record_bytes_;
+    std::vector<std::byte> buf_;
+    std::size_t pos_ = 0;    ///< next record index within buf_
+    std::size_t filled_ = 0; ///< records currently in buf_
+};
+
+/// Loser-tree k-way merge over sorted run files, ordered by (key, seq).
+/// Deletes each input file once it is exhausted.
+class KWayMerge {
+public:
+    KWayMerge(std::vector<std::filesystem::path> runs,
+              std::size_t record_bytes, std::size_t buffer_records);
+    ~KWayMerge();
+
+    /// Copies up to `max_records` merged records into `out`; returns the
+    /// count (0 = merge complete).
+    std::size_t next(std::byte* out, std::size_t max_records);
+
+private:
+    void replay(std::size_t source);
+    bool worse(std::size_t a, std::size_t b) const;
+    void retire(std::size_t source);
+
+    std::vector<std::filesystem::path> paths_;
+    std::vector<std::unique_ptr<RunReader>> readers_;
+    std::size_t record_bytes_;
+    // Cached sort key of each source's current record.
+    std::vector<std::uint64_t> key_;
+    std::vector<std::uint64_t> seq_;
+    std::vector<const std::byte*> rec_;
+    std::vector<std::size_t> loser_;  ///< internal nodes of the loser tree
+    std::size_t winner_ = 0;
+    std::size_t alive_ = 0;
+};
+
+/// Merges batches of at most `fan_in` runs into single longer runs until
+/// no more than `fan_in` remain; reduction output lands in `dir`.
+/// Consumed inputs are deleted. Adds the bytes written to *spill_bytes
+/// and the passes performed to *passes.
+std::vector<std::filesystem::path> reduce_runs(
+    std::vector<std::filesystem::path> runs, std::size_t record_bytes,
+    std::size_t buffer_records, std::size_t fan_in,
+    const std::filesystem::path& dir, std::uint64_t* spill_bytes,
+    std::size_t* passes);
+
+}  // namespace detail
+
+/// Streams `input` through an external sort into Hilbert order.
+/// Construction performs run formation and any reduction passes; next()
+/// then streams the final merge. See the file comment for the memory
+/// bound.
+template <std::size_t D>
+class ExtSorter final : public PointSource<D> {
+public:
+    static constexpr std::size_t kRecordBytes = (2 + D) * 8;
+
+    ExtSorter(PointSource<D>& input, const Rect<D>& domain,
+              ExtSortConfig config = {})
+        : cfg_(config) {
+        PGF_CHECK(cfg_.chunk_records > 0, "extsort: chunk_records must be > 0");
+        PGF_CHECK(cfg_.merge_buffer_records > 0,
+                  "extsort: merge_buffer_records must be > 0");
+        PGF_CHECK(cfg_.max_fan_in >= 2, "extsort: max_fan_in must be >= 2");
+        if (cfg_.hilbert_bits == 0) {
+            cfg_.hilbert_bits =
+                std::min<unsigned>(16, sfc::kMaxIndexBits / D);
+        }
+        PGF_CHECK(D * cfg_.hilbert_bits <= sfc::kMaxIndexBits,
+                  "extsort: D * hilbert_bits must fit in a 64-bit key");
+        if (cfg_.temp_dir.empty()) {
+            owned_dir_.emplace("pgf-extsort");
+            dir_ = owned_dir_->path();
+        } else {
+            dir_ = cfg_.temp_dir;
+            std::filesystem::create_directories(dir_);
+        }
+        form_runs(input, domain);
+        stats_.initial_runs = runs_.size();
+        runs_ = detail::reduce_runs(std::move(runs_), kRecordBytes,
+                                    cfg_.merge_buffer_records,
+                                    cfg_.max_fan_in, dir_,
+                                    &stats_.spill_bytes,
+                                    &stats_.merge_passes);
+        stats_.final_fan_in = runs_.size();
+        if (!runs_.empty()) {
+            merge_.emplace(std::move(runs_), kRecordBytes,
+                           cfg_.merge_buffer_records);
+        }
+    }
+
+    /// Next block of the fully sorted sequence.
+    std::size_t next(std::span<Point<D>> out) override {
+        if (!merge_.has_value() || out.empty()) return 0;
+        byte_buf_.resize(out.size() * kRecordBytes);
+        const std::size_t n = merge_->next(byte_buf_.data(), out.size());
+        for (std::size_t k = 0; k < n; ++k) {
+            const std::byte* rec = byte_buf_.data() + k * kRecordBytes;
+            for (std::size_t i = 0; i < D; ++i) {
+                out[k][i] = std::bit_cast<double>(
+                    detail::read_u64le(rec + (2 + i) * 8));
+            }
+        }
+        if (n == 0) merge_.reset();  // release readers promptly
+        return n;
+    }
+
+    const ExtSortStats& stats() const { return stats_; }
+    const ExtSortConfig& config() const { return cfg_; }
+
+    /// Hilbert key of `p` under this sorter's quantization — exposed so
+    /// tests can check order without re-deriving the key map.
+    std::uint64_t key_of(const Point<D>& p, const Rect<D>& domain) const {
+        return hilbert_key(p, domain, cfg_.hilbert_bits);
+    }
+
+    /// Quantizes `p` onto the 2^bits-per-axis grid over `domain` (clamping
+    /// out-of-domain coordinates, mirroring the scales' locate semantics)
+    /// and returns its Hilbert index.
+    static std::uint64_t hilbert_key(const Point<D>& p, const Rect<D>& domain,
+                                     unsigned bits) {
+        std::array<std::uint32_t, D> coords;
+        const double cells = static_cast<double>(std::uint64_t{1} << bits);
+        for (std::size_t i = 0; i < D; ++i) {
+            const double extent = domain.hi[i] - domain.lo[i];
+            double t = extent > 0.0 ? (p[i] - domain.lo[i]) / extent : 0.0;
+            if (t < 0.0) t = 0.0;
+            auto c = static_cast<std::int64_t>(t * cells);
+            const auto last = static_cast<std::int64_t>(
+                (std::uint64_t{1} << bits) - 1);
+            if (c > last) c = last;
+            coords[i] = static_cast<std::uint32_t>(c);
+        }
+        return sfc::hilbert_index_destructive(
+            std::span<std::uint32_t>(coords.data(), D), bits);
+    }
+
+private:
+    struct Keyed {
+        std::uint64_t key;
+        std::uint64_t seq;
+        Point<D> point;
+    };
+
+    /// Phase 1: fixed-boundary chunks, parallel key+sort, sequential run
+    /// spill. `lanes` chunks are in memory at once.
+    void form_runs(PointSource<D>& input, const Rect<D>& domain) {
+        const std::size_t lanes = cfg_.pool ? cfg_.pool->parallelism() : 1;
+        std::vector<std::vector<Keyed>> chunks(lanes);
+        std::vector<std::byte> encode_buf;
+        std::uint64_t seq = 0;
+        bool exhausted = false;
+        while (!exhausted) {
+            // Fill up to `lanes` chunks sequentially from the source; the
+            // chunk a record lands in depends only on its position.
+            std::size_t used = 0;
+            for (; used < lanes && !exhausted; ++used) {
+                std::vector<Keyed>& chunk = chunks[used];
+                chunk.clear();
+                chunk.reserve(cfg_.chunk_records);
+                if (!fill_chunk(input, chunk, seq)) exhausted = true;
+                if (chunk.empty()) break;
+                seq += chunk.size();
+            }
+            const std::size_t ready =
+                used > 0 && chunks[used - 1].empty() ? used - 1 : used;
+            if (ready == 0) break;
+            // Key + sort each chunk independently; the writes below are
+            // sequential in chunk order, so scheduling never shows.
+            auto sort_one = [&](std::size_t c) {
+                for (Keyed& r : chunks[c]) {
+                    r.key = hilbert_key(r.point, domain, cfg_.hilbert_bits);
+                }
+                std::sort(chunks[c].begin(), chunks[c].end(),
+                          [](const Keyed& a, const Keyed& b) {
+                              return a.key != b.key ? a.key < b.key
+                                                    : a.seq < b.seq;
+                          });
+            };
+            if (cfg_.pool != nullptr && ready > 1) {
+                cfg_.pool->parallel_for_chunk(
+                    ready, 1,
+                    [&](std::size_t begin, std::size_t end) {
+                        for (std::size_t c = begin; c < end; ++c) sort_one(c);
+                    });
+            } else {
+                for (std::size_t c = 0; c < ready; ++c) sort_one(c);
+            }
+            for (std::size_t c = 0; c < ready; ++c) {
+                spill_run(chunks[c], encode_buf);
+            }
+        }
+        stats_.records = seq;
+    }
+
+    /// Reads up to chunk_records points into `chunk` (tagging sequence
+    /// numbers from `seq_base`); false once the source is exhausted.
+    bool fill_chunk(PointSource<D>& input, std::vector<Keyed>& chunk,
+                    std::uint64_t seq_base) {
+        std::vector<Point<D>> io(4096);
+        while (chunk.size() < cfg_.chunk_records) {
+            const std::size_t want =
+                std::min(io.size(), cfg_.chunk_records - chunk.size());
+            const std::size_t got =
+                input.next(std::span<Point<D>>(io.data(), want));
+            if (got == 0) return false;
+            for (std::size_t k = 0; k < got; ++k) {
+                chunk.push_back(
+                    Keyed{0, seq_base + chunk.size(), io[k]});
+            }
+        }
+        return true;
+    }
+
+    void spill_run(const std::vector<Keyed>& chunk,
+                   std::vector<std::byte>& encode_buf) {
+        const auto name = "run-" + std::to_string(runs_.size()) + ".bin";
+        const std::filesystem::path path = dir_ / name;
+        detail::RunWriter writer(path, kRecordBytes,
+                                 cfg_.merge_buffer_records);
+        encode_buf.resize(kRecordBytes);
+        for (const Keyed& r : chunk) {
+            std::byte* p = encode_buf.data();
+            detail::write_u64le(p, r.key);
+            detail::write_u64le(p + 8, r.seq);
+            for (std::size_t i = 0; i < D; ++i) {
+                detail::write_u64le(p + (2 + i) * 8,
+                                    std::bit_cast<std::uint64_t>(r.point[i]));
+            }
+            writer.append(encode_buf.data(), 1);
+        }
+        stats_.spill_bytes += writer.finish();
+        runs_.push_back(path);
+    }
+
+    ExtSortConfig cfg_;
+    std::optional<util::TempDir> owned_dir_;
+    std::filesystem::path dir_;
+    std::vector<std::filesystem::path> runs_;
+    std::optional<detail::KWayMerge> merge_;
+    std::vector<std::byte> byte_buf_;
+    ExtSortStats stats_;
+};
+
+}  // namespace pgf::extsort

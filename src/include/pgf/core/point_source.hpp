@@ -1,0 +1,196 @@
+// Streaming point producers — the input side of the out-of-core build
+// pipeline (pgf/core/extsort.hpp, GridFileCore::bulk_load_stream).
+//
+// A PointSource delivers a point sequence in bounded blocks: next(out)
+// fills a prefix of `out` and returns the count, 0 meaning exhausted.
+// Nothing about the interface fixes the block size, and the consumers are
+// chunking-independent (bulk_load_stream produces byte-identical grid
+// files for any block partition of the same sequence), so sources are
+// free to return short fills.
+//
+// Provided sources:
+//   VectorPointSource     — replays an in-memory vector (tests, goldens)
+//   GeneratorPointSource  — n points from a stateful generator functor;
+//                           the workload layer uses it to stream the
+//                           paper's distributions without materializing
+//                           them (pgf/workload/datasets.hpp)
+//   BinaryFilePointSource — reads the flat binary format written by
+//                           write_binary_points (pgfcli ingestion)
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "pgf/geom/point.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+template <std::size_t D>
+class PointSource {
+public:
+    virtual ~PointSource() = default;
+
+    /// Fills a prefix of `out` with the next points of the sequence and
+    /// returns how many were written; 0 means the source is exhausted
+    /// (and every later call must also return 0).
+    virtual std::size_t next(std::span<Point<D>> out) = 0;
+};
+
+/// Replays an in-memory point vector (borrowed, not copied).
+template <std::size_t D>
+class VectorPointSource final : public PointSource<D> {
+public:
+    explicit VectorPointSource(const std::vector<Point<D>>& points)
+        : points_(points) {}
+
+    std::size_t next(std::span<Point<D>> out) override {
+        std::size_t k = 0;
+        while (k < out.size() && pos_ < points_.size()) {
+            out[k++] = points_[pos_++];
+        }
+        return k;
+    }
+
+private:
+    const std::vector<Point<D>>& points_;
+    std::size_t pos_ = 0;
+};
+
+/// Exactly `count` points pulled one at a time from a stateful generator.
+/// The generator is invoked in sequence order, so RNG-driven generators
+/// reproduce their in-memory counterparts point for point.
+template <std::size_t D>
+class GeneratorPointSource final : public PointSource<D> {
+public:
+    GeneratorPointSource(std::uint64_t count,
+                         std::function<Point<D>()> generate)
+        : remaining_(count), generate_(std::move(generate)) {}
+
+    std::size_t next(std::span<Point<D>> out) override {
+        std::size_t k = 0;
+        while (k < out.size() && remaining_ > 0) {
+            out[k++] = generate_();
+            --remaining_;
+        }
+        return k;
+    }
+
+private:
+    std::uint64_t remaining_;
+    std::function<Point<D>()> generate_;
+};
+
+// -- flat binary point files -------------------------------------------------
+//
+// Layout (little-endian): 8-byte magic "PGFPTS1\0", u64 dims, u64 count,
+// then count * dims doubles (IEEE-754 bit patterns as u64). The header
+// makes dimension mismatches a hard error instead of silent garbage.
+
+namespace binary_points {
+inline constexpr char kMagic[8] = {'P', 'G', 'F', 'P', 'T', 'S', '1', '\0'};
+inline constexpr std::size_t kHeaderBytes = 24;
+
+inline void write_u64le(std::ostream& out, std::uint64_t v) {
+    char b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    out.write(b, 8);
+}
+
+inline std::uint64_t read_u64le(std::istream& in) {
+    char b[8] = {};
+    in.read(b, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i]))
+             << (8 * i);
+    }
+    return v;
+}
+}  // namespace binary_points
+
+/// Writes `points` as a flat binary point file (see layout above).
+template <std::size_t D>
+void write_binary_points(const std::filesystem::path& path,
+                         std::span<const Point<D>> points) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    PGF_CHECK(out.good(), "write_binary_points: cannot open " + path.string());
+    out.write(binary_points::kMagic, 8);
+    binary_points::write_u64le(out, D);
+    binary_points::write_u64le(out, points.size());
+    for (const Point<D>& p : points) {
+        for (std::size_t i = 0; i < D; ++i) {
+            binary_points::write_u64le(out, std::bit_cast<std::uint64_t>(p[i]));
+        }
+    }
+    PGF_CHECK(out.good(), "write_binary_points: write failed for " +
+                              path.string());
+}
+
+/// Streams a flat binary point file written by write_binary_points.
+/// Validates the magic and dimension up front; a truncated body fails at
+/// read time.
+template <std::size_t D>
+class BinaryFilePointSource final : public PointSource<D> {
+public:
+    explicit BinaryFilePointSource(const std::filesystem::path& path)
+        : in_(path, std::ios::binary) {
+        PGF_CHECK(in_.good(),
+                  "binary points: cannot open " + path.string());
+        char magic[8] = {};
+        in_.read(magic, 8);
+        PGF_CHECK(in_.good() && std::string(magic, 8) ==
+                                    std::string(binary_points::kMagic, 8),
+                  "binary points: bad magic in " + path.string());
+        const std::uint64_t dims = binary_points::read_u64le(in_);
+        PGF_CHECK(dims == D, "binary points: file is " +
+                                 std::to_string(dims) + "-d, expected " +
+                                 std::to_string(D) + "-d: " + path.string());
+        remaining_ = binary_points::read_u64le(in_);
+        PGF_CHECK(in_.good(),
+                  "binary points: truncated header in " + path.string());
+        path_ = path.string();
+    }
+
+    std::size_t next(std::span<Point<D>> out) override {
+        const std::size_t want = static_cast<std::size_t>(std::min<std::uint64_t>(out.size(), remaining_));
+        if (want == 0) return 0;
+        buf_.resize(want * D * 8);
+        in_.read(reinterpret_cast<char*>(buf_.data()),
+                 static_cast<std::streamsize>(buf_.size()));
+        PGF_CHECK(in_.gcount() == static_cast<std::streamsize>(buf_.size()),
+                  "binary points: truncated body in " + path_);
+        for (std::size_t k = 0; k < want; ++k) {
+            for (std::size_t i = 0; i < D; ++i) {
+                const char* w = buf_.data() + (k * D + i) * 8;
+                std::uint64_t v = 0;
+                for (int b = 0; b < 8; ++b) {
+                    v |= static_cast<std::uint64_t>(
+                             static_cast<unsigned char>(w[b]))
+                         << (8 * b);
+                }
+                out[k][i] = std::bit_cast<double>(v);
+            }
+        }
+        remaining_ -= want;
+        return want;
+    }
+
+    std::uint64_t remaining() const { return remaining_; }
+
+private:
+    std::ifstream in_;
+    std::uint64_t remaining_ = 0;
+    std::string path_;
+    std::vector<char> buf_;
+};
+
+}  // namespace pgf

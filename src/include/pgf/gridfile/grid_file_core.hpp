@@ -30,8 +30,10 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <limits>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -130,46 +132,57 @@ public:
         // final bucket count is about 2n/capacity; headroom avoids moving
         // the bucket table more than once even on skewed data.
         store_.reserve(store_.bucket_count() + 2 * n / bucket_capacity_ + 8);
-        const std::size_t capacity = bucket_capacity_;
-        constexpr std::size_t kBlock = 256;
-        std::array<std::array<std::uint32_t, D>, kBlock> cells;
         std::size_t i = 0;
         while (i < n) {
-            const std::size_t count = std::min(kBlock, n - i);
-            locate_cells(&points[i], count, cells.data());
-            std::size_t k = 0;
-            while (k < count) {
-                BucketId b = dir_.at(cells[k]);
-                Records& records = store_.edit(b);
-                records.push_back(
-                    GridRecord<D>{points[i + k], id_base + i + k});
-                ++k;
-                if (records.size() > capacity) {
-                    const std::uint64_t before = refinements_;
-                    b = resolve_overflow(b);
-                    if (refinements_ == before + 1 && k < count) {
-                        // One scale split at (axis, x): the cell index of a
-                        // cached point along that axis grows by one iff the
-                        // point lies at/above the new boundary (the clamped
-                        // out-of-domain cases shift consistently too).
-                        const std::size_t axis = last_refine_axis_;
-                        const double x = last_refine_coord_;
-                        for (std::size_t j = k; j < count; ++j) {
-                            cells[j][axis] +=
-                                points[i + j][axis] >= x ? 1u : 0u;
-                        }
-                    } else if (refinements_ != before && k < count) {
-                        // Cascaded refinements (rare, skewed data): give up
-                        // on patching and re-locate the tail outright.
-                        locate_cells(&points[i + k], count - k,
-                                     cells.data() + k);
-                    }
-                }
-                store_.commit(b);
-            }
-            record_count_ += count;
+            const std::size_t count = std::min(kLoadBlock, n - i);
+            load_block(&points[i], count, id_base + i);
             i += count;
         }
+    }
+
+    /// Streaming bulk load: drains `source` — any object with
+    /// `std::size_t next(std::span<Point<D>> out)` filling a prefix of
+    /// `out` and returning the count (0 = exhausted) — through the same
+    /// batched block loader as bulk_load, never holding more than one
+    /// bounded block of points in memory. Because bulk_load is golden-
+    /// tested byte-identical to the one-by-one insert loop, the structure
+    /// produced is independent of how the source chunks its output:
+    /// streaming the same point sequence yields byte-identical scales,
+    /// directory, and bucket contents to an in-memory bulk_load.
+    ///
+    /// Ids are assigned sequentially from `id_base` in arrival order.
+    /// Returns the number of records loaded. On stores that support batch
+    /// sessions (PagedBucketStore::begin_batch), page encode/decode is
+    /// deferred while consecutive records land in the same bucket — the
+    /// reason the pipeline wants Hilbert-ordered input.
+    template <typename Source>
+    std::uint64_t bulk_load_stream(Source& source, std::uint64_t id_base = 0) {
+        // One bounded refill buffer (64 locate blocks ≈ a few hundred KB)
+        // is the only point storage this path ever allocates.
+        std::vector<Point<D>> buf(64 * kLoadBlock);
+        std::uint64_t loaded = 0;
+        constexpr bool kBatch = requires { store_.begin_batch(); };
+        if constexpr (kBatch) store_.begin_batch();
+        for (;;) {
+            const std::size_t filled =
+                source.next(std::span<Point<D>>(buf.data(), buf.size()));
+            if (filled == 0) break;
+            PGF_CHECK(filled <= buf.size(),
+                      "bulk_load_stream: source overfilled the block");
+            // Grow the bucket table for this block's expected splits only;
+            // reserve() below the current capacity is a no-op.
+            store_.reserve(store_.bucket_count() +
+                           2 * filled / bucket_capacity_ + 8);
+            std::size_t i = 0;
+            while (i < filled) {
+                const std::size_t count = std::min(kLoadBlock, filled - i);
+                load_block(&buf[i], count, id_base + loaded + i);
+                i += count;
+            }
+            loaded += filled;
+        }
+        if constexpr (kBatch) store_.end_batch();
+        return loaded;
     }
 
     /// Erases the record with the given point and id; returns true when a
@@ -454,6 +467,51 @@ protected:
     double last_refine_coord_ = 0.0;
 
 private:
+    /// Block width of the batched locate path: big enough that each
+    /// scale's split array streams once per block, small enough that the
+    /// cached cell array lives on the stack.
+    static constexpr std::size_t kLoadBlock = 256;
+
+    /// One block of the batched bulk load: inserts points[0..count) with
+    /// ids id_base..id_base+count-1, batching the scale walks
+    /// dimension-major and patching cached cells across refinements (see
+    /// bulk_load). Requires count <= kLoadBlock. Byte-identical to
+    /// inserting the block's points one by one.
+    void load_block(const Point<D>* points, std::size_t count,
+                    std::uint64_t id_base) {
+        const std::size_t capacity = bucket_capacity_;
+        std::array<std::array<std::uint32_t, D>, kLoadBlock> cells;
+        locate_cells(points, count, cells.data());
+        std::size_t k = 0;
+        while (k < count) {
+            BucketId b = dir_.at(cells[k]);
+            Records& records = store_.edit(b);
+            records.push_back(GridRecord<D>{points[k], id_base + k});
+            ++k;
+            if (records.size() > capacity) {
+                const std::uint64_t before = refinements_;
+                b = resolve_overflow(b);
+                if (refinements_ == before + 1 && k < count) {
+                    // One scale split at (axis, x): the cell index of a
+                    // cached point along that axis grows by one iff the
+                    // point lies at/above the new boundary (the clamped
+                    // out-of-domain cases shift consistently too).
+                    const std::size_t axis = last_refine_axis_;
+                    const double x = last_refine_coord_;
+                    for (std::size_t j = k; j < count; ++j) {
+                        cells[j][axis] += points[j][axis] >= x ? 1u : 0u;
+                    }
+                } else if (refinements_ != before && k < count) {
+                    // Cascaded refinements (rare, skewed data): give up
+                    // on patching and re-locate the tail outright.
+                    locate_cells(points + k, count - k, cells.data() + k);
+                }
+            }
+            store_.commit(b);
+        }
+        record_count_ += count;
+    }
+
     /// Total records held by the given buckets — the reserve() upper bound
     /// for record-query results.
     std::size_t candidate_records(

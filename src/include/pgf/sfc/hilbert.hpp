@@ -24,6 +24,13 @@ inline constexpr unsigned kMaxIndexBits = 64;
 std::uint64_t hilbert_index(std::span<const std::uint32_t> coords,
                             unsigned bits);
 
+/// Same mapping, but transforms `coords` in place (their values are
+/// clobbered) and performs no allocation — for hot loops that key
+/// millions of points, where the copying overload's per-call vector
+/// dominates. Same requirements as hilbert_index.
+std::uint64_t hilbert_index_destructive(std::span<std::uint32_t> coords,
+                                        unsigned bits);
+
 /// Inverse mapping: cell coordinates of Hilbert index `index`.
 std::vector<std::uint32_t> hilbert_coords(std::uint64_t index, unsigned dims,
                                           unsigned bits);

@@ -32,9 +32,14 @@ inline std::uint32_t stored_grid_file_dims(const std::string& path) {
 }
 
 /// Saves `gf` to `path` (created/truncated). `pool_pages` bounds the write
-/// cache. Returns the number of data pages written.
-template <std::size_t D>
-std::uint64_t save_grid_file(const GridFile<D>& gf, const std::string& path,
+/// cache. Returns the number of data pages written. Works for any backend
+/// of the shared engine — an in-memory GridFile and a disk-backed
+/// PagedGridFile with the same structure write byte-identical snapshots
+/// (the streaming bulk loader leans on this: a stream-built paged file
+/// persists through the same path the in-memory golden uses).
+template <std::size_t D, typename Store>
+std::uint64_t save_grid_file(const GridFileCore<D, Store>& gf,
+                             const std::string& path,
                              std::size_t page_size = PageFile::kDefaultPageSize,
                              std::size_t pool_pages = 64) {
     PageFile file = PageFile::create(path, page_size);
@@ -46,8 +51,8 @@ std::uint64_t save_grid_file(const GridFile<D>& gf, const std::string& path,
         w.put_f64(gf.domain().lo[i]);
         w.put_f64(gf.domain().hi[i]);
     }
-    w.put_u64(gf.config().bucket_capacity);
-    w.put_u8(static_cast<std::uint8_t>(gf.config().split_policy));
+    w.put_u64(gf.bucket_capacity());
+    w.put_u8(static_cast<std::uint8_t>(gf.split_policy()));
     for (std::size_t i = 0; i < D; ++i) {
         const auto& splits = gf.scale(i).splits();
         w.put_u32(static_cast<std::uint32_t>(splits.size()));
@@ -55,13 +60,16 @@ std::uint64_t save_grid_file(const GridFile<D>& gf, const std::string& path,
     }
     w.put_u32(static_cast<std::uint32_t>(gf.bucket_count()));
     for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
-        const auto& bucket = gf.bucket(b);
+        const auto& cells = gf.bucket_cells(b);
         for (std::size_t i = 0; i < D; ++i) {
-            w.put_u32(bucket.cells.lo[i]);
-            w.put_u32(bucket.cells.hi[i]);
+            w.put_u32(cells.lo[i]);
+            w.put_u32(cells.hi[i]);
         }
-        w.put_u64(bucket.records.size());
-        for (const auto& rec : bucket.records) {
+        // On a paged backend this reads the bucket through the pool; the
+        // reference stays valid until the next bucket's read.
+        const auto& records = gf.bucket_records(b);
+        w.put_u64(records.size());
+        for (const auto& rec : records) {
             for (std::size_t i = 0; i < D; ++i) w.put_f64(rec.point[i]);
             w.put_u64(rec.id);
         }

@@ -80,16 +80,54 @@ public:
     std::size_t size(std::uint32_t b) const { return metas_[b].count; }
 
     const Records& read(std::uint32_t b) const {
+        // Inside a batch session the active bucket's page is stale by
+        // design; its truth is the edit buffer.
+        if (session_open_ && b == active_) return edit_buf_;
         load(b, read_buf_);
         return read_buf_;
     }
 
     Records& edit(std::uint32_t b) {
+        if (batch_) {
+            if (session_open_ && active_ == b) return edit_buf_;
+            sync_session();  // persist the previous bucket before switching
+            active_ = b;
+            load(b, edit_buf_);
+            session_open_ = true;
+            return edit_buf_;
+        }
         active_ = b;
         load(b, edit_buf_);
         return edit_buf_;
     }
     Records& active() { return edit_buf_; }
+
+    // -- batch sessions ------------------------------------------------------
+    //
+    // The streaming bulk loader feeds records in Hilbert order, so runs of
+    // consecutive edit/commit pairs land in the same bucket. In batch mode
+    // commit() only updates the bucket's metadata count and defers the
+    // O(page) encode until the session moves to a different bucket (or the
+    // batch ends / the file is flushed / the page is read raw), turning
+    // ~capacity encodes + decodes per bucket into one of each. Observable
+    // behavior is unchanged: read()/size() serve the live buffer and
+    // metadata, and every page is consistent again after end_batch().
+
+    /// Enters batch mode. Only one batch may be open at a time.
+    void begin_batch() {
+        PGF_CHECK(!batch_, "begin_batch: batch already open");
+        batch_ = true;
+        session_open_ = false;
+        session_dirty_ = false;
+    }
+
+    /// Persists any pending session and leaves batch mode.
+    void end_batch() {
+        PGF_CHECK(batch_, "end_batch: no batch open");
+        sync_session();
+        session_open_ = false;
+        batch_ = false;
+    }
 
     void split_active(std::uint32_t b, std::uint32_t new_id, std::size_t pivot,
                       bool continue_with_upper) {
@@ -103,9 +141,22 @@ public:
             store(new_id, edit_buf_.data() + pivot, edit_buf_.size() - pivot);
             edit_buf_.erase(split, edit_buf_.end());
         }
+        // Either way the continuing half now differs from its page.
+        if (batch_) session_dirty_ = true;
     }
 
-    void commit(std::uint32_t b) { store(b, edit_buf_.data(), edit_buf_.size()); }
+    void commit(std::uint32_t b) {
+        if (batch_) {
+            PGF_CHECK(session_open_ && b == active_,
+                      "batch commit outside the open session");
+            PGF_CHECK(edit_buf_.size() <= capacity_,
+                      "store: bucket exceeds its page");
+            metas_[b].count = edit_buf_.size();
+            session_dirty_ = true;
+            return;
+        }
+        store(b, edit_buf_.data(), edit_buf_.size());
+    }
 
     // -- paged-only surface --------------------------------------------------
 
@@ -118,11 +169,15 @@ public:
     const std::string& path() const { return file_.path(); }
 
     /// Writes back every dirty page and syncs the file.
-    void flush() { pool_.flush_all(); }
+    void flush() {
+        sync_session();
+        pool_.flush_all();
+    }
 
     /// Copies the raw bytes of bucket `b`'s page (through the pool) into
     /// `out` — the audit layer's window for header/roundtrip checks.
     void read_bucket_page(std::uint32_t b, std::vector<std::byte>& out) const {
+        sync_session();  // an open batch session's page is stale until synced
         auto page = pool_.fetch(metas_[b].page);
         auto data = page.data();
         out.assign(data.begin(), data.end());
@@ -206,13 +261,30 @@ private:
         metas_[b].count = count;
     }
 
+    /// Encodes the open batch session's buffer back to its page (no-op
+    /// when nothing is pending). const because it only refreshes the page
+    /// cache and the mirrored count — observable state doesn't change.
+    void sync_session() const {
+        if (!session_open_ || !session_dirty_) return;
+        PGF_CHECK(edit_buf_.size() <= capacity_,
+                  "store: bucket exceeds its page");
+        auto page = pool_.fetch(metas_[active_].page);
+        encode_page(page.data(), edit_buf_.data(), edit_buf_.size());
+        page.mark_dirty();
+        metas_[active_].count = edit_buf_.size();
+        session_dirty_ = false;
+    }
+
     PageFile file_;
     mutable BufferPool pool_;
     std::size_t capacity_;
-    std::vector<Meta> metas_;
+    mutable std::vector<Meta> metas_;
     std::uint32_t active_ = 0;
     Records edit_buf_;
     mutable Records read_buf_;
+    bool batch_ = false;            ///< inside begin_batch()/end_batch()
+    bool session_open_ = false;     ///< edit_buf_ holds active_'s records
+    mutable bool session_dirty_ = false;  ///< edit_buf_ differs from page
 };
 
 }  // namespace pgf

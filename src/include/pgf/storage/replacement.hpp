@@ -1,7 +1,7 @@
 // Pluggable replacement policies for the BufferPool.
 //
 // The pool owns the frames, the page table, the pin counts and the latch;
-// a Replacer owns only the *recency metadata* and the victim choice. Four
+// a Replacer owns only the *recency metadata* and the victim choice. Five
 // policies (the classic caching-literature set) ship behind one interface:
 //
 //   - LRU    — least-recently-used. Stamp on every access; evict the
@@ -19,6 +19,10 @@
 //              (remembered in the A1out ghost list of page ids) are
 //              promoted to the protected LRU main queue (Am). A sequential
 //              scan drains through A1in without ever displacing Am.
+//   - LFU    — least-frequently-used: a per-frame reference count (reset
+//              on eviction — "in-cache LFU"), LRU among ties so stale
+//              once-hot pages still age out of a small pool. The policy
+//              the Gaussdb-style buffer managers ship next to LRU.
 //
 // Locking contract: a Replacer has no latch of its own — its state is an
 // extension of the pool's frame metadata and is guarded by the pool latch.
@@ -55,10 +59,11 @@ enum class ReplacementPolicy : std::uint8_t {
     kLruK,
     kClock,
     kTwoQ,
+    kLfu,
 };
 
-/// Short stable tag ("lru", "lru-k", "clock", "2q") — used by bench CLI
-/// flags, JSON artifacts and test names.
+/// Short stable tag ("lru", "lru-k", "clock", "2q", "lfu") — used by
+/// bench CLI flags, JSON artifacts and test names.
 std::string to_string(ReplacementPolicy policy);
 
 /// Inverse of to_string (also accepts "lruk"/"lru2" and "twoq" aliases);
@@ -210,6 +215,32 @@ private:
     std::uint64_t clock_ = 0;
     std::deque<std::uint64_t> ghost_fifo_;       ///< A1out, oldest first
     std::unordered_set<std::uint64_t> ghost_;    ///< A1out membership
+};
+
+/// LFU with LRU tie-break: per frame, a reference count bumped on insert
+/// and every access, and an LRU stamp. Victim = smallest (count, stamp)
+/// lexicographically among the evictable. Counts are per-residency (reset
+/// when the page leaves the pool), so a page must re-earn its frequency
+/// after eviction — the classic guard against ancient popularity pinning
+/// dead pages forever.
+class LfuReplacer final : public Replacer {
+public:
+    explicit LfuReplacer(std::size_t capacity)
+        : count_(capacity, 0), stamp_(capacity, 0) {}
+
+    void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_access(std::size_t frame, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+    void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
+        PGF_REQUIRES(latch) override;
+
+private:
+    std::vector<std::uint64_t> count_;
+    std::vector<std::uint64_t> stamp_;
+    std::uint64_t clock_ = 0;
 };
 
 /// Builds the Replacer selected by `config` for a pool of `capacity`

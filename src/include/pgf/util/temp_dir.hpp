@@ -1,0 +1,101 @@
+// Temporary-file plumbing shared by the external-sort spill path, the
+// bench harness, and the test suite.
+//
+// Hoisted from tests/storage/temp_path.hpp (which now delegates here):
+// every consumer wants the same two things — names that stay legal file
+// names after embedding arbitrary tags (gtest value-parameterized test
+// names carry '/', bench dataset tags carry '.'-separated params), and a
+// scoped directory that cleans up after itself no matter how the scope
+// exits. Paths are deterministic given the same stem/tag, which keeps
+// failures debuggable; uniqueness across concurrent processes comes from
+// the caller's tag (tests: the test name; extsort: pid + a counter).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace pgf::util {
+
+/// Replaces path separators (and other characters that commonly leak in
+/// from generated tags) so `name` stays a single path component.
+inline std::string sanitize_path_component(std::string name) {
+    for (char& c : name) {
+        if (c == '/' || c == '\\' || c == ':') c = '_';
+    }
+    return name;
+}
+
+/// `<system temp>/<stem>[.<tag>]<ext>` with the combined name sanitized.
+/// Deterministic for a given stem/tag — callers that need cross-process
+/// uniqueness must fold something unique into the tag.
+inline std::filesystem::path unique_temp_path(const std::string& stem,
+                                              const std::string& tag,
+                                              const std::string& ext = ".db") {
+    std::string name = stem;
+    if (!tag.empty()) {
+        name += '.';
+        name += tag;
+    }
+    return std::filesystem::temp_directory_path() /
+           (sanitize_path_component(name) + ext);
+}
+
+/// RAII temporary directory: created on construction under the system
+/// temp root (name = sanitized prefix + pid + a process-wide counter, so
+/// concurrent ctest processes and repeated constructions never collide),
+/// removed recursively on destruction. Movable, not copyable.
+class TempDir {
+public:
+    explicit TempDir(const std::string& prefix = "pgf") {
+        static std::atomic<std::uint64_t> counter{0};
+        const std::uint64_t n = counter.fetch_add(1);
+        path_ = std::filesystem::temp_directory_path() /
+                (sanitize_path_component(prefix) + "." +
+                 std::to_string(static_cast<std::uint64_t>(::getpid())) +
+                 "." + std::to_string(n));
+        std::filesystem::create_directories(path_);
+    }
+
+    ~TempDir() { remove_now(); }
+
+    TempDir(const TempDir&) = delete;
+    TempDir& operator=(const TempDir&) = delete;
+    TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) {
+        other.path_.clear();
+    }
+    TempDir& operator=(TempDir&& other) noexcept {
+        if (this != &other) {
+            remove_now();
+            path_ = std::move(other.path_);
+            other.path_.clear();
+        }
+        return *this;
+    }
+
+    const std::filesystem::path& path() const { return path_; }
+
+    /// `<dir>/<name>` with `name` sanitized into one path component.
+    std::filesystem::path file(const std::string& name) const {
+        return path_ / sanitize_path_component(name);
+    }
+
+private:
+    void remove_now() {
+        if (!path_.empty()) {
+            std::error_code ec;  // best-effort cleanup, never throws
+            std::filesystem::remove_all(path_, ec);
+        }
+    }
+
+    std::filesystem::path path_;
+};
+
+}  // namespace pgf::util

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "pgf/core/point_source.hpp"
 #include "pgf/geom/point.hpp"
 #include "pgf/gridfile/grid_file.hpp"
 #include "pgf/util/rng.hpp"
@@ -65,6 +68,29 @@ Dataset<3> make_stock3d(Rng& rng, std::size_t n = 127026,
 /// (paper: 59 snapshots, ~3M records, 8 KB buckets).
 Dataset<4> make_dsmc4d(Rng& rng, std::size_t snapshots = 59,
                        std::size_t per_snapshot = 50847);
+
+/// A dataset delivered as a bounded stream instead of a vector — the
+/// input side of the out-of-core build pipeline (pgf/core/extsort.hpp).
+/// Streaming makers replay their in-memory make_* counterpart point for
+/// point (identical Rng consumption), so a streamed build at size n is
+/// comparable record-for-record with a materialized one — without ever
+/// holding more than the consumer's read block in memory.
+template <std::size_t D>
+struct StreamDataset {
+    std::string name;
+    Rect<D> domain;
+    std::size_t bucket_capacity = 56;
+    std::unique_ptr<PointSource<D>> source;
+};
+
+/// Streaming uniform.2d: n uniform points over [0,2000]^2.
+StreamDataset<2> make_uniform2d_stream(Rng rng, std::uint64_t n);
+
+/// Streaming hot.2d: n/2 uniform then n/2 normal about the center.
+StreamDataset<2> make_hotspot2d_stream(Rng rng, std::uint64_t n);
+
+/// Streaming DSMC.3d: rejection-sampled rarefied-flow scene.
+StreamDataset<3> make_dsmc3d_stream(Rng rng, std::uint64_t n);
 
 /// MHD.3d stand-in (the paper's conclusion names an MHD magnetosphere
 /// simulation as its second large evaluation dataset, after Tanaka '93):

@@ -103,6 +103,18 @@ std::uint64_t hilbert_index(std::span<const std::uint32_t> coords,
     return pack_transpose(x, bits);
 }
 
+std::uint64_t hilbert_index_destructive(std::span<std::uint32_t> coords,
+                                        unsigned bits) {
+    const auto dims = static_cast<unsigned>(coords.size());
+    validate(dims, bits);
+    for (std::uint32_t c : coords) {
+        PGF_CHECK(bits == 32 || c < (1u << bits),
+                  "hilbert: coordinate exceeds the 2^bits cube");
+    }
+    axes_to_transpose(coords, bits);
+    return pack_transpose(coords, bits);
+}
+
 std::vector<std::uint32_t> hilbert_coords(std::uint64_t index, unsigned dims,
                                           unsigned bits) {
     validate(dims, bits);

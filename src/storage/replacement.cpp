@@ -13,6 +13,7 @@ std::string to_string(ReplacementPolicy policy) {
         case ReplacementPolicy::kLruK: return "lru-k";
         case ReplacementPolicy::kClock: return "clock";
         case ReplacementPolicy::kTwoQ: return "2q";
+        case ReplacementPolicy::kLfu: return "lfu";
     }
     return "?";
 }
@@ -24,6 +25,7 @@ std::optional<ReplacementPolicy> parse_policy(std::string_view text) {
     }
     if (text == "clock") return ReplacementPolicy::kClock;
     if (text == "2q" || text == "twoq") return ReplacementPolicy::kTwoQ;
+    if (text == "lfu") return ReplacementPolicy::kLfu;
     return std::nullopt;
 }
 
@@ -232,6 +234,41 @@ void TwoQReplacer::on_evict(std::size_t frame, std::uint64_t page,
     stamp_[frame] = 0;
 }
 
+// ---------------------------------------------------------------- LFU --
+
+void LfuReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
+                            Mutex& /*latch*/) {
+    count_[frame] = 1;  // install counts as the first reference
+    stamp_[frame] = ++clock_;
+}
+
+void LfuReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
+    ++count_[frame];
+    stamp_[frame] = ++clock_;
+}
+
+std::size_t LfuReplacer::victim(const std::vector<bool>& evictable,
+                                Mutex& /*latch*/) {
+    // Smallest (count, stamp): least frequent first, least recent among
+    // equally frequent frames (first index wins exact ties, matching the
+    // other policies' strict `<` scan order).
+    std::size_t best = evictable.size();
+    for (std::size_t i = 0; i < evictable.size(); ++i) {
+        if (!evictable[i]) continue;
+        if (best == evictable.size() || count_[i] < count_[best] ||
+            (count_[i] == count_[best] && stamp_[i] < stamp_[best])) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+void LfuReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
+                           Mutex& /*latch*/) {
+    count_[frame] = 0;
+    stamp_[frame] = 0;
+}
+
 // ------------------------------------------------------------ factory --
 
 std::unique_ptr<Replacer> make_replacer(const BufferPoolConfig& config,
@@ -245,6 +282,8 @@ std::unique_ptr<Replacer> make_replacer(const BufferPoolConfig& config,
             return std::make_unique<ClockReplacer>(capacity);
         case ReplacementPolicy::kTwoQ:
             return std::make_unique<TwoQReplacer>(capacity);
+        case ReplacementPolicy::kLfu:
+            return std::make_unique<LfuReplacer>(capacity);
     }
     PGF_CHECK(false, "unknown replacement policy");
     return nullptr;

@@ -244,6 +244,54 @@ Dataset<3> make_mhd3d(Rng& rng, std::size_t n) {
     return ds;
 }
 
+StreamDataset<2> make_uniform2d_stream(Rng rng, std::uint64_t n) {
+    StreamDataset<2> ds;
+    ds.name = "uniform.2d";
+    ds.domain = Rect<2>{{{0.0, 0.0}}, {{kDomain2d, kDomain2d}}};
+    ds.bucket_capacity = 56;
+    ds.source = std::make_unique<GeneratorPointSource<2>>(
+        n, [rng]() mutable {
+            return Point<2>{{rng.uniform(0.0, kDomain2d),
+                             rng.uniform(0.0, kDomain2d)}};
+        });
+    return ds;
+}
+
+StreamDataset<2> make_hotspot2d_stream(Rng rng, std::uint64_t n) {
+    StreamDataset<2> ds;
+    ds.name = "hot.2d";
+    ds.domain = Rect<2>{{{0.0, 0.0}}, {{kDomain2d, kDomain2d}}};
+    ds.bucket_capacity = 56;
+    // Same sequence as make_hotspot2d: first n/2 uniform, then the normal
+    // hot spot (the generator tracks its own position in the sequence).
+    const std::uint64_t uniform_half = n / 2;
+    ds.source = std::make_unique<GeneratorPointSource<2>>(
+        n, [rng, uniform_half, i = std::uint64_t{0}]() mutable {
+            if (i++ < uniform_half) {
+                return Point<2>{{rng.uniform(0.0, kDomain2d),
+                                 rng.uniform(0.0, kDomain2d)}};
+            }
+            const double center = kDomain2d / 2.0;
+            const double sigma = kDomain2d / 10.0;
+            double x = clamp_in(rng.normal(center, sigma), 0.0, kDomain2d);
+            double y = clamp_in(rng.normal(center, sigma), 0.0, kDomain2d);
+            return Point<2>{{x, y}};
+        });
+    return ds;
+}
+
+StreamDataset<3> make_dsmc3d_stream(Rng rng, std::uint64_t n) {
+    StreamDataset<3> ds;
+    ds.name = "DSMC.3d";
+    ds.domain = Rect<3>{{{0.0, 0.0, 0.0}}, {{1.0, 1.0, 1.0}}};
+    ds.bucket_capacity = 170;
+    ds.source = std::make_unique<GeneratorPointSource<3>>(
+        n, [rng, scene = DsmcScene{}]() mutable {
+            return sample_dsmc(scene, rng);
+        });
+    return ds;
+}
+
 Dataset<4> make_dsmc4d(Rng& rng, std::size_t snapshots,
                        std::size_t per_snapshot) {
     PGF_CHECK(snapshots >= 1, "need at least one snapshot");

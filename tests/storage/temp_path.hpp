@@ -4,6 +4,10 @@
 // TearDown unlinks the file another process is still reading). Suffixing
 // the current test name keeps paths distinct while staying deterministic
 // and debuggable.
+//
+// Thin gtest adapter over pgf/util/temp_dir.hpp, which owns the naming
+// and sanitization rules (and the TempDir RAII directory used by the
+// external-sort spill path).
 #pragma once
 
 #include <gtest/gtest.h>
@@ -11,22 +15,20 @@
 #include <filesystem>
 #include <string>
 
+#include "pgf/util/temp_dir.hpp"
+
 namespace pgf::test {
+
+using pgf::util::TempDir;
 
 inline std::filesystem::path unique_temp_path(const std::string& stem,
                                               const std::string& ext = ".db") {
     const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
-    std::string name = stem;
+    std::string tag;
     if (info != nullptr) {
-        name += '.';
-        name += info->name();
+        tag = std::string(info->test_suite_name()) + "." + info->name();
     }
-    // Value-parameterized test names carry a '/<param>' suffix; keep the
-    // result a single file name.
-    for (char& c : name) {
-        if (c == '/') c = '_';
-    }
-    return std::filesystem::temp_directory_path() / (name + ext);
+    return pgf::util::unique_temp_path(stem, tag, ext);
 }
 
 }  // namespace pgf::test

@@ -304,13 +304,15 @@ TEST_P(BufferPoolConcurrentTest, PrefetchRacesDemandFetches) {
 INSTANTIATE_TEST_SUITE_P(
     AllPolicies, BufferPoolConcurrentTest,
     ::testing::Values(ReplacementPolicy::kLru, ReplacementPolicy::kLruK,
-                      ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ),
+                      ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ,
+                      ReplacementPolicy::kLfu),
     [](const ::testing::TestParamInfo<ReplacementPolicy>& param_info) {
         switch (param_info.param) {
             case ReplacementPolicy::kLru: return "lru";
             case ReplacementPolicy::kLruK: return "lruk";
             case ReplacementPolicy::kClock: return "clock";
             case ReplacementPolicy::kTwoQ: return "twoq";
+            case ReplacementPolicy::kLfu: return "lfu";
         }
         return "unknown";
     });

@@ -32,7 +32,8 @@ namespace {
 TEST(ReplacementPolicyTag, RoundTripsAndAliases) {
     for (ReplacementPolicy p :
          {ReplacementPolicy::kLru, ReplacementPolicy::kLruK,
-          ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ}) {
+          ReplacementPolicy::kClock, ReplacementPolicy::kTwoQ,
+          ReplacementPolicy::kLfu}) {
         auto parsed = parse_policy(to_string(p));
         ASSERT_TRUE(parsed.has_value()) << to_string(p);
         EXPECT_EQ(*parsed, p);
@@ -291,6 +292,36 @@ TEST(TwoQReplacer, GhostPromotionAndScanResistance) {
     // Only when A1 is within target does Am's LRU frame get evicted.
     std::vector<bool> only_am{false, true, false, false};
     EXPECT_EQ(s.victim_among(only_am), 1u);
+}
+
+TEST(LfuReplacer, FrequencyDecidesWithLruTieBreakAndResetOnEvict) {
+    ReplacerScript s(make_replacer({ReplacementPolicy::kLfu}, 3), 3);
+    s.insert(0, 10);  // count 1, stamp 1
+    s.insert(1, 11);  // count 1, stamp 2
+    s.insert(2, 12);  // count 1, stamp 3
+    // All counts equal: LRU tie-break picks the oldest stamp.
+    EXPECT_EQ(s.victim(), 0u);
+    s.access(0);  // count 2, stamp 4
+    s.access(2);  // count 2, stamp 5
+    // Frame 1 is now strictly least frequent despite a newer stamp than 0.
+    EXPECT_EQ(s.victim(), 1u);
+    s.access(1);  // count 2, stamp 6: three-way count tie again
+    EXPECT_EQ(s.victim(), 0u) << "tie falls back to the oldest stamp";
+
+    // Eviction resets the frequency: a once-hot frame re-enters at count
+    // 1 and loses to moderately used survivors.
+    s.access(0);
+    s.access(0);          // frame 0: count 4
+    EXPECT_EQ(s.victim(), 2u);
+    s.evict(2, 12);
+    s.insert(2, 13);      // count back to 1
+    s.access(2);          // count 2, same as frame 1
+    // Frame 1 (count 2, stamp 6) vs frame 2 (count 2, newer stamp).
+    EXPECT_EQ(s.victim(), 1u);
+
+    // Ineligible frames are skipped even when least frequent.
+    std::vector<bool> no1{true, false, true};
+    EXPECT_EQ(s.victim_among(no1), 2u);
 }
 
 // ------------------------------------------------------ prefetch --

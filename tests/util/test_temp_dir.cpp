@@ -1,0 +1,63 @@
+// pgf/util/temp_dir.hpp — the shared temp-path helpers that back every
+// disk-touching test and the external-sort spill directories.
+#include "pgf/util/temp_dir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+namespace pgf::util {
+namespace {
+
+TEST(SanitizePathComponent, ReplacesSeparatorsOnly) {
+    EXPECT_EQ(sanitize_path_component("A/B\\C:D"), "A_B_C_D");
+    EXPECT_EQ(sanitize_path_component("plain-name.ext"), "plain-name.ext");
+    EXPECT_EQ(sanitize_path_component(""), "");
+}
+
+TEST(UniqueTempPath, IsDeterministicPerStemAndTag) {
+    const auto a = unique_temp_path("pgf_x", "Suite.Case");
+    const auto b = unique_temp_path("pgf_x", "Suite.Case");
+    EXPECT_EQ(a, b);  // same inputs, same path: reruns reuse the slot
+    EXPECT_NE(a, unique_temp_path("pgf_x", "Suite.Other"));
+    EXPECT_EQ(a.extension(), ".db");
+    EXPECT_EQ(unique_temp_path("pgf_x", "t", ".bin").extension(), ".bin");
+}
+
+TEST(TempDir, CreatesAndRemovesRecursively) {
+    std::filesystem::path kept;
+    {
+        TempDir dir("pgf-tempdir-test");
+        kept = dir.path();
+        ASSERT_TRUE(std::filesystem::is_directory(kept));
+        std::filesystem::create_directories(dir.path() / "nested");
+        std::ofstream(dir.path() / "nested" / "f.bin") << "x";
+        ASSERT_TRUE(std::filesystem::exists(kept / "nested" / "f.bin"));
+        // file() keeps arbitrary tags inside the directory.
+        EXPECT_EQ(dir.file("a/b"), kept / "a_b");
+    }
+    EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+TEST(TempDir, DistinctInstancesGetDistinctPaths) {
+    TempDir a("pgf-tempdir-test");
+    TempDir b("pgf-tempdir-test");
+    EXPECT_NE(a.path(), b.path());
+}
+
+TEST(TempDir, MoveTransfersOwnership) {
+    std::filesystem::path kept;
+    {
+        TempDir a("pgf-tempdir-test");
+        kept = a.path();
+        TempDir b = std::move(a);
+        EXPECT_EQ(b.path(), kept);
+        // a is hollow now; b's destruction does the cleanup.
+    }
+    EXPECT_FALSE(std::filesystem::exists(kept));
+}
+
+}  // namespace
+}  // namespace pgf::util
