@@ -93,6 +93,24 @@ if [ "${requires_count}" -lt 20 ]; then
     fail=1
 fi
 
+# The write-ahead log's append buffer and LSN bookkeeping live under its
+# own latch; the buffer pool enforces WAL-before-data by flushing the log
+# up to a dirty page's LSN before every write-back (eviction and
+# flush_all). Losing either the annotations or the ordering calls silently
+# voids the recovery guarantee on gcc-only boxes.
+wal='src/include/pgf/storage/wal.hpp'
+require "${wal}" 'buf_ PGF_GUARDED_BY\(latch_\)'        'WriteAheadLog::buf_ guarded by latch_'
+require "${wal}" 'last_lsn_ PGF_GUARDED_BY\(latch_\)'   'WriteAheadLog::last_lsn_ guarded by latch_'
+require "${wal}" 'flush_locked\(\) PGF_REQUIRES\(latch_\)' 'WriteAheadLog::flush_locked requires latch_'
+bpc='src/storage/buffer_pool.cpp'
+ordering_count=$(grep -cE 'wal_->flush_up_to\(' "${bpc}" || true)
+if [ "${ordering_count}" -lt 2 ]; then
+    echo "check_locks.sh: ${bpc}: only ${ordering_count} wal_->flush_up_to" \
+         "call(s) (expected >= 2 — WAL-before-data on both the eviction" \
+         "and the flush_all write-back paths)." >&2
+    fail=1
+fi
+
 sw='src/include/pgf/core/sweep.hpp'
 require "${sw}" 'last_ PGF_GUARDED_BY\(stats_mutex_\)' 'SweepRunner::last_ guarded by stats_mutex_'
 require "${sw}" 'total_wall_ms_ PGF_GUARDED_BY\(stats_mutex_\)' 'SweepRunner::total_wall_ms_ guarded'

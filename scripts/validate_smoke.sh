@@ -13,7 +13,11 @@
 #   6. a truncated .pgf fails loudly rather than validating (exit != 0),
 #   7. an out-of-core streamed build (buildx: external Hilbert sort +
 #      pool-bounded bulk load of ${PGF_SMOKE_POINTS:-1000000} points)
-#      passes the same deep paged-backend audit as an in-memory build.
+#      passes the same deep paged-backend audit as an in-memory build,
+#   8. a single flipped byte mid-file trips the page checksum (exit != 0),
+#   9. a crash-injected durable build (buildx --wal --crash-after-writes)
+#      exits 9 and `pgfcli recover` replays the committed WAL prefix into
+#      a deep-audit-clean file — twice, since replay must be idempotent.
 set -u
 
 PGFCLI="${1:?usage: validate_smoke.sh <path-to-pgfcli>}"
@@ -97,5 +101,34 @@ grep -q 'sorted runs' "${WORK}/buildx.out" \
 "${PGFCLI}" validate --file "${WORK}/stream.pgf" --level deep \
     --backend paged > /dev/null \
     || fail "stream-built file did not pass the deep paged audit"
+
+# 8. One flipped byte mid-file: no length change, no magic change — only
+#    the per-page checksum can catch it.
+cp "${WORK}/data.pgf" "${WORK}/bitrot.pgf"
+size=$(wc -c < "${WORK}/bitrot.pgf")
+printf '\xff' | dd of="${WORK}/bitrot.pgf" bs=1 seek="$((size / 2 + 3))" \
+    conv=notrunc status=none || fail "could not flip a byte"
+if "${PGFCLI}" validate --file "${WORK}/bitrot.pgf" > /dev/null 2>&1; then
+    fail "bit-rotted grid file validated"
+fi
+
+# 9. Crash-injected durable build, then recovery. The injected crash
+#    (exit 9) leaves a torn staging file + WAL; recover must replay the
+#    committed prefix and pass a deep audit, and a second recover of the
+#    same pair must succeed too (idempotent replay).
+"${PGFCLI}" buildx --dataset uniform2d --points 20000 --seed 13 \
+    --out "${WORK}/crash.pgf" --pool-pages 64 --chunk-records 4096 \
+    --wal "${WORK}/crash.wal" --crash-after-writes 120 \
+    > "${WORK}/crash.out" 2>&1
+[ $? -eq 9 ] || fail "crash-injected buildx did not exit 9"
+grep -q 'crash injected' "${WORK}/crash.out" \
+    || fail "crash-injected buildx did not report the injection"
+for attempt in 1 2; do
+    "${PGFCLI}" recover --file "${WORK}/crash.pgf.staging" \
+        --wal "${WORK}/crash.wal" --level deep > "${WORK}/recover.out" \
+        || fail "recover attempt ${attempt} failed"
+done
+grep -q 'recover: OK' "${WORK}/recover.out" \
+    || fail "recover did not report a clean deep audit"
 
 echo "validate_smoke: OK"

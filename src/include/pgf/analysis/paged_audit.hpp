@@ -84,6 +84,39 @@ ValidationReport audit_paged_grid_file(const PagedGridFile<D>& gf,
 
     if (level < ValidationLevel::kStandard) return r;
 
+    // -- durability headers straight from disk (O(buckets) raw reads) ------
+    // Checksums must verify even while the pool holds newer dirty copies
+    // (the on-disk image is then simply the previous version, which was
+    // stamped on its way out too). The LSN obeys WAL-before-data: no data
+    // page may ever be ahead of the durable log (and without a log, no
+    // page is ever stamped at all).
+    {
+        const std::uint64_t durable =
+            gf.wal() != nullptr ? gf.wal()->durable_lsn() : 0;
+        for (std::uint32_t b = 0; b < gf.bucket_count(); ++b) {
+            const auto probe = gf.probe_bucket_page(b);
+            r.require_lazy(probe.checksum_ok, "paged.page.checksum", [&] {
+                return "bucket " + std::to_string(b) +
+                       " page fails its checksum on disk (torn or corrupt "
+                       "page)";
+            });
+            if (!probe.checksum_ok) continue;
+            r.require_lazy(probe.version == kPageFormatVersion,
+                           "paged.page.version", [&] {
+                               return "bucket " + std::to_string(b) +
+                                      " page carries format version " +
+                                      std::to_string(probe.version);
+                           });
+            r.require_lazy(probe.lsn <= durable, "paged.page.lsn", [&] {
+                return "bucket " + std::to_string(b) + " page LSN " +
+                       std::to_string(probe.lsn) +
+                       " is ahead of the durable log LSN " +
+                       std::to_string(durable) +
+                       " — WAL-before-data ordering was violated";
+            });
+        }
+    }
+
     // -- page headers vs metadata (O(buckets) page reads) ------------------
     std::vector<std::byte> raw;
     std::vector<GridRecord<D>> decoded;

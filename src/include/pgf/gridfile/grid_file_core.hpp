@@ -82,6 +82,15 @@ enum class SplitPolicy {
     kMedian,    ///< median of the overflowing bucket's coordinates
 };
 
+/// One journaled grid refinement (axis, created interval index, split
+/// coordinate) — the unit crash recovery replays to rebuild the scales
+/// exactly as the interrupted run grew them.
+struct GridRefineOp {
+    std::uint32_t axis = 0;
+    std::uint32_t interval = 0;
+    double coord = 0.0;
+};
+
 template <std::size_t D, typename Store>
 class GridFileCore {
 public:
@@ -106,6 +115,7 @@ public:
             b = resolve_overflow(b);
         }
         store_.commit(b);
+        note_op_end();
     }
 
     /// Bulk insertion (ids are assigned 0..n-1 plus `id_base`), structurally
@@ -197,6 +207,7 @@ public:
         if (it == records.end()) return false;
         records.erase(it);
         store_.commit(b);
+        note_op_end();
         --record_count_;
         return true;
     }
@@ -450,6 +461,64 @@ protected:
         store_.create_bucket(root, bucket_capacity_ + 1);
     }
 
+    /// Rebuilds the access structure over a store that already holds the
+    /// buckets (crash recovery): no root bucket is created; the scales are
+    /// regrown by replaying the journaled refinements in order, and the
+    /// directory is retiled from the store's bucket cell boxes, which must
+    /// cover the grid exactly (checked — a failed replay cannot silently
+    /// produce a half-mapped grid).
+    struct RestoreTag {};
+    template <typename... StoreArgs>
+    GridFileCore(RestoreTag, const Rect<D>& domain,
+                 std::size_t bucket_capacity, SplitPolicy split_policy,
+                 const std::vector<GridRefineOp>& refines,
+                 StoreArgs&&... store_args)
+        : store_(std::forward<StoreArgs>(store_args)...),
+          domain_(domain),
+          bucket_capacity_(bucket_capacity),
+          split_policy_(split_policy),
+          dir_(BucketId{0}) {
+        PGF_CHECK(bucket_capacity_ >= 2,
+                  "bucket capacity must be at least 2");
+        scales_.reserve(D);
+        for (std::size_t i = 0; i < D; ++i) {
+            scales_.emplace_back(domain.lo[i], domain.hi[i]);
+        }
+        for (const GridRefineOp& op : refines) {
+            PGF_CHECK(op.axis < D, "restore: refinement axis out of range");
+            std::uint32_t interval = 0;
+            PGF_CHECK(scales_[op.axis].insert_split(op.coord, &interval),
+                      "restore: journaled scale split no longer inserts");
+            PGF_CHECK(interval == op.interval,
+                      "restore: journaled scale split landed elsewhere");
+        }
+        refinements_ = refines.size();
+        std::array<std::uint32_t, D> shape;
+        for (std::size_t i = 0; i < D; ++i) shape[i] = scales_[i].intervals();
+        dir_ = GridDirectory<D>(shape, GridDirectory<D>::kNoBucket);
+        const std::size_t n = store_.bucket_count();
+        PGF_CHECK(n > 0, "restore: at least one bucket required");
+        std::uint64_t covered = 0;
+        for (BucketId b = 0; b < n; ++b) {
+            const CellBox<D>& box = store_.cells(b);
+            for (std::size_t i = 0; i < D; ++i) {
+                PGF_CHECK(box.lo[i] < box.hi[i] && box.hi[i] <= shape[i],
+                          "restore: bucket cell box out of grid");
+            }
+            for_each_cell(box,
+                          [&](const std::array<std::uint32_t, D>& cell) {
+                              PGF_CHECK(dir_.at(cell) ==
+                                            GridDirectory<D>::kNoBucket,
+                                        "restore: overlapping bucket boxes");
+                              dir_.set(cell, b);
+                          });
+            covered += box.cell_count();
+            record_count_ += store_.size(b);
+        }
+        PGF_CHECK(covered == dir_.cell_count(),
+                  "restore: buckets must tile the whole grid");
+    }
+
     Store& store() { return store_; }
     const Store& store() const { return store_; }
 
@@ -471,6 +540,14 @@ private:
     /// scale's split array streams once per block, small enough that the
     /// cached cell array lives on the stack.
     static constexpr std::size_t kLoadBlock = 256;
+
+    /// Tells durability-aware stores that one logical operation completed
+    /// (they journal a commit marker); a no-op for everything else.
+    void note_op_end() {
+        if constexpr (requires { store_.note_op_end(); }) {
+            store_.note_op_end();
+        }
+    }
 
     /// One block of the batched bulk load: inserts points[0..count) with
     /// ids id_base..id_base+count-1, batching the scale walks
@@ -508,6 +585,7 @@ private:
                 }
             }
             store_.commit(b);
+            note_op_end();
         }
         record_count_ += count;
     }
@@ -585,6 +663,8 @@ private:
             ++refinements_;
             last_refine_axis_ = axis;
             last_refine_coord_ = x;
+            if constexpr (requires { store_.note_refine(axis, interval, x); })
+                store_.note_refine(axis, interval, x);
             return true;
         }
         return false;
@@ -666,6 +746,8 @@ private:
         const std::size_t upper_size = records.size() - pivot_idx;
         const bool continue_with_upper = upper_size > pivot_idx;
         store_.split_active(b, new_id, pivot_idx, continue_with_upper);
+        if constexpr (requires { store_.note_split(b, new_id, axis); })
+            store_.note_split(b, new_id, axis);
         return continue_with_upper ? new_id : b;
     }
 };

@@ -9,13 +9,26 @@
 // prefetch_issued/prefetch_hits) feed the storage micro-benchmarks,
 // the serving reports and tests.
 //
+// Durability: frames hold full pages including the 16-byte header of
+// pgf/storage/page.hpp, but PageRef::data() exposes only the *payload* —
+// the layers above never see (or clobber) the checksum/LSN fields.
+// PageRef::set_lsn() stamps the frame's LSN after its image was logged,
+// and the pool enforces WAL-before-data ordering: a dirty frame whose
+// page LSN exceeds wal->durable_lsn() forces a log flush before its bytes
+// may reach the data file (eviction and flush_all alike). With no WAL
+// attached (the default) page LSNs stay 0 and the ordering hook is inert.
+//
 // Replacement: the pool owns frames, page table and pins; the Replacer
 // owns recency metadata and the victim choice, with every policy call
 // made under the pool latch (the Replacer interface requires the latch
 // by parameter — see replacement.hpp). The default-constructed config is
 // plain LRU with an access-stamp sequence identical to the pool's
 // historical built-in LRU, so existing callers see the exact same
-// eviction/writeback order (golden-tested).
+// eviction/writeback order (golden-tested). Victim selection is O(log
+// frames) or better for LRU/LRU-K/LFU: the pool hands the policy a lazy
+// EvictableView (pin-state probe) instead of materializing an O(frames)
+// eligibility vector per eviction, and free frames come off a stack
+// instead of a scan.
 //
 // Prefetch: prefetch(pages) reads not-yet-resident pages into unpinned
 // frames ahead of demand — the declustering assignment tells the serving
@@ -33,13 +46,16 @@
 //     counts, dirty bits, policy recency state) and all PageFile I/O — the
 //     PageFile's seek+read/write stream is not independently thread-safe,
 //     so misses, prefetches, evictions and flushes serialize on the latch.
-//   - A PageRef captures its frame's data span at pin time; readers of a
-//     pinned page touch no shared pool state at all. A frame's bytes are
+//   - A PageRef captures its frame's payload span at pin time; readers of
+//     a pinned page touch no shared pool state at all. A frame's bytes are
 //     stable while pinned because eviction skips pin > 0 frames and the
 //     backing vector is only reallocated when a frame is re-grabbed.
 //   - Concurrent access to one page's *bytes* is the caller's problem
 //     (page-level latching lives above this layer); concurrent fetch /
 //     prefetch / mark_dirty / unpin / allocate on the pool itself are safe.
+//   - Lock ordering: the pool latch may be held while the WAL's own latch
+//     is taken (the write-back ordering flush); the WAL never calls back
+//     into a pool, so the order is acyclic.
 //   - Counters are relaxed atomics so stats() never blocks; single-threaded
 //     callers observe exactly the pre-refactor values.
 //
@@ -58,8 +74,10 @@
 #include <unordered_map>
 #include <vector>
 
+#include "pgf/storage/page.hpp"
 #include "pgf/storage/page_file.hpp"
 #include "pgf/storage/replacement.hpp"
+#include "pgf/storage/wal.hpp"
 #include "pgf/util/annotations.hpp"
 #include "pgf/util/check.hpp"
 
@@ -68,16 +86,18 @@ namespace pgf {
 class BufferPool {
 public:
     /// `capacity` = maximum resident pages; must be >= 1. `config` picks
-    /// the replacement policy; the default is the historical LRU.
+    /// the replacement policy; the default is the historical LRU. `wal`,
+    /// when given, is the log whose durable horizon gates dirty-page
+    /// write-back (WAL-before-data); the pool does not own it.
     BufferPool(PageFile& file, std::size_t capacity,
-               BufferPoolConfig config = {});
+               BufferPoolConfig config = {}, WriteAheadLog* wal = nullptr);
 
     BufferPool(const BufferPool&) = delete;
     BufferPool& operator=(const BufferPool&) = delete;
     ~BufferPool();
 
     /// RAII pin on a buffered page. The handle owns a snapshot of the
-    /// frame's data span and page id, taken under the pool latch at pin
+    /// frame's payload span and page id, taken under the pool latch at pin
     /// time — data()/page_id() are lock-free and safe to use concurrently
     /// with any pool operation (the pinned frame cannot be evicted).
     class PageRef {
@@ -96,11 +116,17 @@ public:
             if (pool_ != nullptr) pool_->unpin(frame_);
         }
 
+        /// The page *payload* (page size minus the durability header —
+        /// the header fields are the storage layer's, not the caller's).
         std::span<std::byte> data() { return data_; }
         std::span<const std::byte> data() const { return data_; }
         std::uint64_t page_id() const { return page_id_; }
         /// Marks the page for write-back (takes the pool latch).
         void mark_dirty();
+        /// Stamps the frame's page LSN — call after logging the page's
+        /// image so write-back ordering can hold it behind the WAL
+        /// (takes the pool latch).
+        void set_lsn(std::uint64_t lsn);
 
     private:
         friend class BufferPool;
@@ -131,7 +157,8 @@ public:
     /// page counts in both hits and prefetch_hits.
     void prefetch(std::span<const std::uint64_t> pages) PGF_EXCLUDES(latch_);
 
-    /// Writes back every dirty page and syncs the file. Pinned pages are
+    /// Writes back every dirty page and syncs the file, flushing the WAL
+    /// past the dirtiest LSN first (write-back ordering). Pinned pages are
     /// no obstacle: they are flushed like any other dirty page and stay
     /// resident with their pins intact. With writers concurrently mutating
     /// a pinned page the flushed image is an unspecified interleaving —
@@ -205,7 +232,7 @@ public:
 private:
     struct Frame {
         std::uint64_t page_id = 0;
-        std::vector<std::byte> data;
+        std::vector<std::byte> data;  // full page: header + payload
         std::uint32_t pin_count = 0;
         bool dirty = false;
         bool in_use = false;
@@ -216,9 +243,16 @@ private:
         std::uint64_t prefetch_stamp = 0;
     };
 
+    /// EvictableView probes: lazy pin-state checks handed to the policy,
+    /// called only from inside victim() (which requires the latch), so
+    /// the frames vector access is latch-protected by construction.
+    static bool demand_evictable(const void* frames, std::size_t i);
+    static bool prefetch_evictable(const void* frames, std::size_t i);
+
     /// Returns a frame ready for reuse for a *demand* fill: a never-used
-    /// frame if one exists, then the oldest prefetched-but-unused frame
-    /// (first-eviction class, FIFO), then the policy's victim among
+    /// frame off the free stack if one exists, then the oldest
+    /// prefetched-but-unused frame (first-eviction class, FIFO; skipped
+    /// entirely when staged_count_ == 0), then the policy's victim among
     /// unpinned frames (written back first when dirty). Throws CheckError
     /// when every frame is pinned.
     std::size_t grab_frame() PGF_REQUIRES(latch_);
@@ -226,21 +260,34 @@ private:
     /// but never another prefetched-unused frame, and never throws;
     /// returns frames_.size() when staging must stop.
     std::size_t grab_frame_for_prefetch() PGF_REQUIRES(latch_);
-    /// Evicts the page held by `frame` (writeback if dirty, table erase,
-    /// policy notification, counters).
+    /// Evicts the page held by `frame` (WAL flush per write-back ordering,
+    /// writeback if dirty, table erase, policy notification, counters).
     void evict_frame(std::size_t frame) PGF_REQUIRES(latch_);
+    /// Returns a grabbed-but-unfilled frame to the free stack — the
+    /// exception path when the file read of a miss fill fails (e.g. a
+    /// checksum mismatch): the frame must not leak out of circulation.
+    void release_frame(std::size_t frame) PGF_REQUIRES(latch_);
     void unpin(std::size_t frame) PGF_EXCLUDES(latch_);
     void mark_dirty_frame(std::size_t frame) PGF_EXCLUDES(latch_);
+    void set_frame_lsn(std::size_t frame, std::uint64_t lsn)
+        PGF_EXCLUDES(latch_);
+    std::span<std::byte> payload_of(Frame& f) PGF_REQUIRES(latch_) {
+        return std::span<std::byte>(f.data).subspan(kPageHeaderBytes);
+    }
 
     PageFile& file_ PGF_PT_GUARDED_BY(latch_);
     const std::size_t capacity_;
     const BufferPoolConfig config_;
+    /// Write-back ordering gate; nullptr = durability off. The pointer is
+    /// immutable after construction; the WAL has its own latch.
+    WriteAheadLog* const wal_;
     mutable Mutex latch_;
     std::vector<Frame> frames_ PGF_GUARDED_BY(latch_);
     std::unordered_map<std::uint64_t, std::size_t> table_
         PGF_GUARDED_BY(latch_);  // page -> frame
     std::unique_ptr<Replacer> policy_ PGF_GUARDED_BY(latch_);
-    std::vector<bool> evictable_ PGF_GUARDED_BY(latch_);  // victim() scratch
+    std::vector<std::size_t> free_ PGF_GUARDED_BY(latch_);  // never-used frames
+    std::size_t staged_count_ PGF_GUARDED_BY(latch_) = 0;  // prefetched-unused
     std::uint64_t prefetch_clock_ PGF_GUARDED_BY(latch_) = 0;
     std::atomic<std::uint64_t> hits_{0};
     std::atomic<std::uint64_t> misses_{0};

@@ -1,0 +1,112 @@
+// Crash injection for the durability tests.
+//
+// A FaultInjector carries a write-op budget shared by the data PageFile
+// and the WriteAheadLog of one store. Every injectable write (a data page
+// write, a WAL group flush) spends one unit; the op that exhausts the
+// budget is *torn* — only a prefix of its bytes reaches "disk" — the file
+// object is poisoned so nothing later (destructor flushes, superblock
+// updates) can repair the damage, and CrashError unwinds the workload,
+// exactly as if the process had been killed mid-write. Recovery then gets
+// the frozen on-disk state.
+//
+// With the default unlimited budget the injector just counts ops — the
+// tests run a workload once uninjured to learn how many injection points
+// it has, then sweep budgets across them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <utility>
+
+#include "pgf/storage/page_file.hpp"
+
+namespace pgf {
+
+/// Thrown by an injected fault at the moment the simulated process dies.
+/// Deliberately not a CheckError: a crash is not an invariant violation.
+class CrashError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+class FaultInjector {
+public:
+    static constexpr std::uint64_t kUnlimited =
+        std::numeric_limits<std::uint64_t>::max();
+
+    /// Crash on the (budget+1)-th injectable write op; kUnlimited = never
+    /// (count only).
+    explicit FaultInjector(std::uint64_t budget = kUnlimited)
+        : budget_(budget) {}
+
+    /// Re-arms the injector to crash on the (budget+1)-th injectable op
+    /// from *now* — tests use this to exclude file creation from the
+    /// sweep (initialization is not crash-protected, just like a real
+    /// system's mkfs).
+    void arm(std::uint64_t budget) {
+        budget_.store(ops_seen_.load(std::memory_order_relaxed) + budget,
+                      std::memory_order_relaxed);
+    }
+
+    /// Spends one op. True exactly once: on the op that must crash.
+    bool should_crash() {
+        const std::uint64_t seen =
+            ops_seen_.fetch_add(1, std::memory_order_relaxed);
+        if (seen == budget_.load(std::memory_order_relaxed)) {
+            crashed_.store(true, std::memory_order_release);
+            return true;
+        }
+        return false;
+    }
+
+    bool crashed() const { return crashed_.load(std::memory_order_acquire); }
+    std::uint64_t ops_seen() const {
+        return ops_seen_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> budget_;
+    std::atomic<std::uint64_t> ops_seen_{0};
+    std::atomic<bool> crashed_{false};
+};
+
+/// A PageFile whose page writes die on cue. Superblock writes and reads
+/// are never injected (the superblock is rewritten by sync/destruction —
+/// injecting there would just re-crash the already-crashed file).
+class FaultInjectingPageFile final : public PageFile {
+public:
+    FaultInjectingPageFile(PageFile&& base, FaultInjector* injector)
+        : PageFile(std::move(base)), injector_(injector) {}
+
+    void write(std::uint64_t id, std::span<const std::byte> data) override {
+        if (injector_->crashed()) {
+            // The process is already "dead": drop the write (and poison so
+            // the base destructor cannot flush a fresh superblock either).
+            poison();
+            return;
+        }
+        if (injector_->should_crash()) {
+            // Half a page reaches disk, then the process dies.
+            write_torn(id, data, page_size() / 2);
+            poison();
+            throw CrashError("injected crash during page write");
+        }
+        PageFile::write(id, data);
+    }
+
+    void sync() override {
+        if (injector_->crashed()) {
+            poison();
+            return;
+        }
+        PageFile::sync();
+    }
+
+private:
+    FaultInjector* injector_;
+};
+
+}  // namespace pgf

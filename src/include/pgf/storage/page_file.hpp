@@ -4,6 +4,17 @@
 // by fixed-size pages. Page ids are 0-based over the data pages; the
 // superblock is not addressable. All I/O is synchronous and unbuffered at
 // this layer — caching is the BufferPool's job.
+//
+// Every page carries the 16-byte durability header of pgf/storage/page.hpp:
+// write() stamps the format version and CRC32C checksum (whatever the
+// caller's buffer held in those fields is ignored), read() verifies the
+// checksum and reports a torn or corrupt page as a typed CheckError. The
+// LSN field is passed through verbatim — the layers above own it.
+//
+// The page-facing entry points (allocate/read/write/sync) are virtual so
+// the crash-injection test double (pgf/storage/fault_injection.hpp) can
+// interpose: it kills a write mid-page and then poison()s the file so the
+// destructor's superblock flush cannot "heal" the simulated crash.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +22,7 @@
 #include <fstream>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace pgf {
 
@@ -30,32 +42,73 @@ public:
     PageFile& operator=(PageFile&&) = default;
     PageFile(const PageFile&) = delete;
     PageFile& operator=(const PageFile&) = delete;
-    ~PageFile();
+    virtual ~PageFile();
 
     std::size_t page_size() const { return page_size_; }
     std::uint64_t page_count() const { return page_count_; }
     const std::string& path() const { return path_; }
 
+    /// Payload bytes per page (page_size() minus the durability header).
+    std::size_t payload_size() const;
+
     /// Appends a zeroed page; returns its id.
-    std::uint64_t allocate();
+    virtual std::uint64_t allocate();
 
-    /// Reads page `id` into `out` (out.size() must equal page_size()).
-    void read(std::uint64_t id, std::span<std::byte> out);
+    /// Reads page `id` into `out` (out.size() must equal page_size()) and
+    /// verifies its checksum; a mismatch (torn or corrupt page) throws a
+    /// CheckError.
+    virtual void read(std::uint64_t id, std::span<std::byte> out);
 
-    /// Writes `data` (page_size() bytes) to page `id`.
-    void write(std::uint64_t id, std::span<const std::byte> data);
+    /// Writes `data` (page_size() bytes) to page `id`, stamping the format
+    /// version and checksum into the header on the way out. `data` is not
+    /// modified; its crc/version fields are ignored.
+    virtual void write(std::uint64_t id, std::span<const std::byte> data);
 
     /// Flushes the stream and persists the superblock.
-    void sync();
+    virtual void sync();
+
+    /// No-throw probe for audits and recovery: reads the raw page bytes
+    /// into `out` and returns whether the checksum verifies. A short read
+    /// (file truncated mid-page) zero-fills the tail and returns false
+    /// unless the zero page happens to verify.
+    bool try_read(std::uint64_t id, std::span<std::byte> out);
+
+    /// Assembles header (LSN) + payload (payload_size() bytes) into a full
+    /// page image and writes it — the recovery path's page applicator.
+    void write_payload(std::uint64_t id, std::span<const std::byte> payload,
+                       std::uint64_t lsn);
+
+    /// Grows the file with zeroed pages until page_count() >= n (recovery
+    /// after a crash that left the superblock's count stale).
+    void ensure_page_count(std::uint64_t n);
+
+protected:
+    PageFile() = default;
+
+    /// After poison() every write/sync (including the destructor's
+    /// superblock flush) is silently dropped — the crash-injection double
+    /// uses it to freeze the on-disk bytes at the instant of the simulated
+    /// kill.
+    void poison() { dead_ = true; }
+    bool poisoned() const { return dead_; }
+
+    /// Writes only the first `keep_bytes` of the stamped image of `data` —
+    /// a torn page, exactly what a real crash mid-write leaves behind.
+    void write_torn(std::uint64_t id, std::span<const std::byte> data,
+                    std::size_t keep_bytes);
 
 private:
-    PageFile() = default;
     void write_superblock();
+    /// Stamps version + checksum over `data` into scratch_; returns it.
+    std::span<const std::byte> stamp_image(std::span<const std::byte> data);
+    void write_image(std::uint64_t id, std::span<const std::byte> image);
 
     std::string path_;
     std::size_t page_size_ = 0;
     std::uint64_t page_count_ = 0;
+    bool dead_ = false;
     mutable std::fstream stream_;
+    std::vector<std::byte> scratch_;
 };
 
 }  // namespace pgf

@@ -2,9 +2,25 @@
 // and written through the LRU BufferPool. Only bucket metadata (cell box,
 // page id, record count) stays in memory.
 //
-// Page layout (little-endian): u64 record count, then `count` records of
-// (D+1) u64 words — D coordinate doubles (bit-cast) plus the record id.
-// The capacity follows from the page size: (page_size - 8) / ((D+1)*8).
+// Page layout (little-endian): the PageFile's 16-byte durability header
+// (checksum, format version, LSN — see pgf/storage/page.hpp), then a u64
+// record count, then `count` records of (D+1) u64 words — D coordinate
+// doubles (bit-cast) plus the record id. The capacity follows from the
+// page size: (page_size - 16 - 8) / ((D+1)*8). The BufferPool hands this
+// layer payload-only views, so everything below the durability header is
+// encoded/decoded exactly as before the header existed.
+//
+// Durability (optional): constructed with a WalSetup naming a log path,
+// the store journals physical redo into a WriteAheadLog — a genesis
+// record with the grid parameters, a page image for every page encode, a
+// metadata record for every bucket create / split / refinement, and a
+// commit marker at each operation boundary. The BufferPool enforces
+// WAL-before-data ordering on eviction (a dirty page's log records are
+// flushed before its image may overwrite the on-disk pre-image), so after
+// a crash anywhere, pgf/storage/recovery.hpp replays the committed log
+// prefix into a state that passes the deep audit. Without a WalSetup the
+// store behaves exactly as before — no log, no extra writes, and on-disk
+// bytes identical to the pre-durability format apart from the page header.
 //
 // Edit protocol (see bucket_store.hpp): edit(b) decodes b's page into one
 // in-memory buffer; the engine mutates it (an overflowing buffer may
@@ -17,17 +33,38 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "pgf/geom/point.hpp"
 #include "pgf/gridfile/bucket_store.hpp"
 #include "pgf/gridfile/directory.hpp"
 #include "pgf/storage/buffer_pool.hpp"
+#include "pgf/storage/fault_injection.hpp"
+#include "pgf/storage/page.hpp"
 #include "pgf/storage/page_file.hpp"
+#include "pgf/storage/wal.hpp"
 #include "pgf/util/check.hpp"
 
 namespace pgf {
+
+/// Durability knobs of a PagedBucketStore. Default-constructed == no WAL:
+/// the historical store, byte-identical behavior and on-disk format.
+template <std::size_t D>
+struct WalSetup {
+    /// Path of the write-ahead log; empty disables durability entirely.
+    std::string path;
+    /// Crash-injection hook: wired into both the data file's page writes
+    /// and the log's group flushes (tests arm it after construction).
+    FaultInjector* injector = nullptr;
+    // Genesis payload — the grid parameters recovery needs to rebuild the
+    // file without any snapshot:
+    Rect<D> domain{};
+    std::uint8_t split_policy = 0;
+};
 
 template <std::size_t D>
 class PagedBucketStore {
@@ -37,30 +74,58 @@ public:
     static constexpr std::size_t kRecordBytes = (D + 1) * 8;
     static constexpr std::size_t kCountBytes = 8;
 
-    /// Records per page for a given page size (0 when the header alone
-    /// doesn't fit — callers must check the result is usable).
+    /// In-memory bucket metadata — public because recovery rebuilds the
+    /// vector from the log and hands it to the OpenTag constructor.
+    struct Meta {
+        CellBox<D> cells;
+        std::uint64_t page = 0;
+        std::size_t count = 0;  ///< mirrored from the page header
+    };
+
+    /// Records per page for a given page size, net of the PageFile's
+    /// durability header (0 when the headers alone don't fit — callers
+    /// must check the result is usable).
     static std::size_t capacity_for(std::size_t page_size) {
-        if (page_size <= kCountBytes) return 0;
-        return (page_size - kCountBytes) / kRecordBytes;
+        if (page_size <= kPageHeaderBytes + kCountBytes) return 0;
+        return (page_size - kPageHeaderBytes - kCountBytes) / kRecordBytes;
     }
 
     /// Smallest page size holding exactly `capacity` records — the inverse
     /// of capacity_for, used to build a paged file cell-for-cell comparable
     /// to an in-memory one with that bucket capacity.
     static std::size_t page_size_for(std::size_t capacity) {
-        return kCountBytes + capacity * kRecordBytes;
+        return kPageHeaderBytes + kCountBytes + capacity * kRecordBytes;
     }
 
     /// Creates (truncating) the backing file at `path`. `pool_config`
     /// selects the builder pool's replacement policy (default LRU — the
     /// historical behavior; serving-side node pools pick their own policy
-    /// via NodeBacking).
+    /// via NodeBacking). A non-empty `wal.path` turns on write-ahead
+    /// logging (and truncates any log already there).
     PagedBucketStore(const std::string& path, std::size_t page_size,
                      std::size_t pool_pages,
-                     BufferPoolConfig pool_config = {})
-        : file_(PageFile::create(path, page_size)),
-          pool_(file_, pool_pages, pool_config),
-          capacity_(capacity_for(page_size)) {}
+                     BufferPoolConfig pool_config = {},
+                     WalSetup<D> wal_setup = {})
+        : file_(make_file(path, page_size, wal_setup.injector)),
+          wal_(make_wal(wal_setup)),
+          pool_(*file_, pool_pages, pool_config, wal_.get()),
+          capacity_(capacity_for(page_size)) {
+        if (wal_ != nullptr) log_genesis(page_size, wal_setup);
+    }
+
+    /// Recovery tag: adopt an already-replayed data file, the metadata
+    /// reconstructed from the log, and the reopened (tail-truncated) log
+    /// itself. Used by pgf/storage/recovery.hpp only.
+    struct OpenTag {};
+    PagedBucketStore(OpenTag, std::unique_ptr<PageFile> file,
+                     std::vector<Meta> metas,
+                     std::unique_ptr<WriteAheadLog> wal,
+                     std::size_t pool_pages, BufferPoolConfig pool_config = {})
+        : file_(std::move(file)),
+          wal_(std::move(wal)),
+          pool_(*file_, pool_pages, pool_config, wal_.get()),
+          capacity_(capacity_for(file_->page_size())),
+          metas_(std::move(metas)) {}
 
     std::size_t bucket_count() const { return metas_.size(); }
     void reserve(std::size_t buckets) { metas_.reserve(buckets); }
@@ -72,6 +137,21 @@ public:
         meta.cells = cells;
         meta.page = pool_.allocate().page_id();
         metas_.push_back(meta);
+        if (wal_ != nullptr) {
+            std::vector<std::byte> body;
+            wal_put_u32(body, id);
+            wal_put_u64(body, meta.page);
+            for (std::size_t i = 0; i < D; ++i) {
+                wal_put_u32(body, cells.lo[i]);
+                wal_put_u32(body, cells.hi[i]);
+            }
+            wal_->append(WalRecordKind::kCreate, body);
+            // Also journal the page's empty image: every committed bucket
+            // then has a backing kPage record, so recovery can roll an
+            // uncommitted on-disk image back to the committed state even
+            // for buckets that never saw a record.
+            store(id, nullptr, 0);
+        }
         return id;
     }
 
@@ -112,6 +192,9 @@ public:
     // ~capacity encodes + decodes per bucket into one of each. Observable
     // behavior is unchanged: read()/size() serve the live buffer and
     // metadata, and every page is consistent again after end_batch().
+    //
+    // With a WAL, each session sync also logs the page image and a commit
+    // marker — a crash mid-batch recovers to the last synced boundary.
 
     /// Enters batch mode. Only one batch may be open at a time.
     void begin_batch() {
@@ -158,6 +241,44 @@ public:
         store(b, edit_buf_.data(), edit_buf_.size());
     }
 
+    // -- durability hooks (no-ops without a WAL) -----------------------------
+
+    /// Journals a grid refinement: the engine inserted a scale split at
+    /// `coord` on `axis` (creating grid interval `interval`) and shifted
+    /// every bucket's cell box. Replay repeats exactly that.
+    void note_refine(std::size_t axis, std::uint32_t interval, double coord) {
+        if (wal_ == nullptr) return;
+        std::vector<std::byte> body;
+        wal_put_u32(body, static_cast<std::uint32_t>(axis));
+        wal_put_u32(body, interval);
+        wal_put_f64(body, coord);
+        wal_->append(WalRecordKind::kRefine, body);
+    }
+
+    /// Journals a bucket split: `from` shrank along `axis` so that its
+    /// upper half became `to` (whose box the kCreate record carries).
+    void note_split(std::uint32_t from, std::uint32_t to, std::size_t axis) {
+        if (wal_ == nullptr) return;
+        std::vector<std::byte> body;
+        wal_put_u32(body, from);
+        wal_put_u32(body, to);
+        wal_put_u32(body, static_cast<std::uint32_t>(axis));
+        wal_->append(WalRecordKind::kSplit, body);
+    }
+
+    /// Journals a commit marker: the grid is consistent at this LSN. The
+    /// engine calls this after each completed insert/erase; inside a batch
+    /// session the marker is deferred to the next sync_session() (the
+    /// per-record granularity would defeat the batch).
+    void note_op_end() {
+        if (wal_ == nullptr || batch_) return;
+        wal_->append(WalRecordKind::kCommit, {});
+    }
+
+    /// The log (null when durability is off) — benches read its stats,
+    /// tests force flushes.
+    WriteAheadLog* wal() const { return wal_.get(); }
+
     // -- paged-only surface --------------------------------------------------
 
     /// Page id backing bucket `b` (for partitioned-storage experiments and
@@ -166,16 +287,18 @@ public:
 
     const BufferPool& pool() const { return pool_; }
     BufferPool& pool() { return pool_; }
-    const std::string& path() const { return file_.path(); }
+    const std::string& path() const { return file_->path(); }
 
-    /// Writes back every dirty page and syncs the file.
+    /// Writes back every dirty page and syncs the file (and the log).
     void flush() {
         sync_session();
         pool_.flush_all();
+        if (wal_ != nullptr) wal_->flush();
     }
 
-    /// Copies the raw bytes of bucket `b`'s page (through the pool) into
-    /// `out` — the audit layer's window for header/roundtrip checks.
+    /// Copies the raw payload bytes of bucket `b`'s page (through the
+    /// pool) into `out` — the audit layer's window for header/roundtrip
+    /// checks.
     void read_bucket_page(std::uint32_t b, std::vector<std::byte>& out) const {
         sync_session();  // an open batch session's page is stale until synced
         auto page = pool_.fetch(metas_[b].page);
@@ -183,16 +306,36 @@ public:
         out.assign(data.begin(), data.end());
     }
 
-    /// Record count claimed by a raw page image's header (no validation —
+    /// Durability-header probe straight from disk (bypassing the pool):
+    /// whether the page's checksum verifies, its format version, and its
+    /// stamped LSN. The audit layer's window for `paged.page.*` checks —
+    /// flush() first, or dirty pool pages make the on-disk image stale
+    /// (stale is fine for the checksum check: the previous image was
+    /// written with a valid checksum too).
+    struct PageProbe {
+        bool checksum_ok = false;
+        std::uint16_t version = 0;
+        std::uint64_t lsn = 0;
+    };
+    PageProbe probe_page(std::uint64_t page_id) const {
+        std::vector<std::byte> image(file_->page_size());
+        PageProbe probe;
+        probe.checksum_ok = file_->try_read(page_id, image);
+        probe.version = page_version(image);
+        probe.lsn = page_lsn(image);
+        return probe;
+    }
+
+    /// Record count claimed by a raw page payload's header (no validation —
     /// audits compare this against the in-memory metadata before trusting
     /// it for a decode).
     static std::uint64_t page_record_count(std::span<const std::byte> data) {
         return read_u64(data.data());
     }
 
-    /// Decodes a raw page image (header + records) into `out`. Usable on
-    /// any copy of a bucket page — the disk-backed server reads pages
-    /// through its own per-node pools and decodes with this.
+    /// Decodes a raw page payload (count header + records) into `out`.
+    /// Usable on any copy of a bucket page — the disk-backed server reads
+    /// pages through its own per-node pools and decodes with this.
     static void decode_page(std::span<const std::byte> data, Records& out) {
         const std::byte* p = data.data();
         const std::uint64_t count = read_u64(p);
@@ -206,7 +349,7 @@ public:
         }
     }
 
-    /// Encodes `count` records into a raw page image (the inverse of
+    /// Encodes `count` records into a raw page payload (the inverse of
     /// decode_page); bytes past the last record are left untouched.
     static void encode_page(std::span<std::byte> data,
                             const GridRecord<D>* records, std::size_t count) {
@@ -223,12 +366,6 @@ public:
     }
 
 private:
-    struct Meta {
-        CellBox<D> cells;
-        std::uint64_t page = 0;
-        std::size_t count = 0;  ///< mirrored from the page header
-    };
-
     static std::uint64_t read_u64(const std::byte* p) {
         std::uint64_t v = 0;
         for (int i = 0; i < 8; ++i) {
@@ -241,6 +378,46 @@ private:
         for (int i = 0; i < 8; ++i) {
             p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
         }
+    }
+
+    static std::unique_ptr<PageFile> make_file(const std::string& path,
+                                               std::size_t page_size,
+                                               FaultInjector* injector) {
+        if (injector != nullptr) {
+            return std::make_unique<FaultInjectingPageFile>(
+                PageFile::create(path, page_size), injector);
+        }
+        return std::make_unique<PageFile>(PageFile::create(path, page_size));
+    }
+
+    static std::unique_ptr<WriteAheadLog> make_wal(const WalSetup<D>& setup) {
+        if (setup.path.empty()) return nullptr;
+        auto wal = WriteAheadLog::create(setup.path);
+        if (setup.injector != nullptr) wal->set_fault_injector(setup.injector);
+        return wal;
+    }
+
+    void log_genesis(std::size_t page_size, const WalSetup<D>& setup) {
+        std::vector<std::byte> body;
+        wal_put_u32(body, static_cast<std::uint32_t>(D));
+        wal_put_u64(body, page_size);
+        wal_put_u64(body, capacity_);
+        body.push_back(static_cast<std::byte>(setup.split_policy));
+        for (std::size_t i = 0; i < D; ++i) {
+            wal_put_f64(body, setup.domain.lo[i]);
+            wal_put_f64(body, setup.domain.hi[i]);
+        }
+        wal_->append(WalRecordKind::kGenesis, body);
+    }
+
+    /// Journals bucket `b`'s freshly encoded payload and returns the
+    /// record's LSN (0 without a WAL) for the page's header stamp.
+    std::uint64_t log_page(std::uint64_t page_id,
+                           std::span<const std::byte> payload) const {
+        wal_body_.clear();
+        wal_put_u64(wal_body_, page_id);
+        wal_body_.insert(wal_body_.end(), payload.begin(), payload.end());
+        return wal_->append(WalRecordKind::kPage, wal_body_);
     }
 
     void load(std::uint32_t b, Records& out) const {
@@ -257,6 +434,9 @@ private:
         PGF_CHECK(count <= capacity_, "store: bucket exceeds its page");
         auto page = pool_.fetch(metas_[b].page);
         encode_page(page.data(), records, count);
+        if (wal_ != nullptr) {
+            page.set_lsn(log_page(metas_[b].page, page.data()));
+        }
         page.mark_dirty();
         metas_[b].count = count;
     }
@@ -264,24 +444,32 @@ private:
     /// Encodes the open batch session's buffer back to its page (no-op
     /// when nothing is pending). const because it only refreshes the page
     /// cache and the mirrored count — observable state doesn't change.
+    /// With a WAL this is also a commit point: the batch reaches a
+    /// consistent boundary exactly when a session syncs.
     void sync_session() const {
         if (!session_open_ || !session_dirty_) return;
         PGF_CHECK(edit_buf_.size() <= capacity_,
                   "store: bucket exceeds its page");
         auto page = pool_.fetch(metas_[active_].page);
         encode_page(page.data(), edit_buf_.data(), edit_buf_.size());
+        if (wal_ != nullptr) {
+            page.set_lsn(log_page(metas_[active_].page, page.data()));
+        }
         page.mark_dirty();
         metas_[active_].count = edit_buf_.size();
         session_dirty_ = false;
+        if (wal_ != nullptr) wal_->append(WalRecordKind::kCommit, {});
     }
 
-    PageFile file_;
+    std::unique_ptr<PageFile> file_;
+    mutable std::unique_ptr<WriteAheadLog> wal_;  // null = durability off
     mutable BufferPool pool_;
     std::size_t capacity_;
     mutable std::vector<Meta> metas_;
     std::uint32_t active_ = 0;
     Records edit_buf_;
     mutable Records read_buf_;
+    mutable std::vector<std::byte> wal_body_;  ///< kPage encode scratch
     bool batch_ = false;            ///< inside begin_batch()/end_batch()
     bool session_open_ = false;     ///< edit_buf_ holds active_'s records
     mutable bool session_dirty_ = false;  ///< edit_buf_ differs from page

@@ -4,14 +4,21 @@
 // a Replacer owns only the *recency metadata* and the victim choice. Five
 // policies (the classic caching-literature set) ship behind one interface:
 //
-//   - LRU    — least-recently-used. Stamp on every access; evict the
-//              smallest stamp. Eviction-sequence-identical to the pool's
-//              historical built-in LRU (golden-tested).
+//   - LRU    — least-recently-used, kept as an intrusive doubly-linked
+//              list in access order. Victim = first evictable frame from
+//              the cold end: O(1) bookkeeping per access, O(#pinned
+//              prefix + 1) per eviction instead of the historical
+//              O(frames) stamp scan. The list order coincides exactly
+//              with increasing access stamps, so the eviction sequence
+//              is identical to the pool's historical built-in LRU
+//              (golden-tested).
 //   - LRU-K  — evict the page whose K-th-most-recent access is oldest
 //              (O'Neil et al.). Pages with fewer than K recorded accesses
 //              have infinite backward-K distance and are evicted first,
 //              LRU among themselves — one touch is not evidence of reuse,
-//              which is what makes LRU-K scan-resistant.
+//              which is what makes LRU-K scan-resistant. Victims come off
+//              an ordered index (std::set keyed by backward-K distance):
+//              O(log frames) per access/eviction.
 //   - CLOCK  — second-chance ring: a reference bit per frame, a sweeping
 //              hand that clears set bits and evicts the first clear one.
 //   - 2Q     — Johnson & Shasha's two queues: first-touch pages enter a
@@ -21,8 +28,8 @@
 //              scan drains through A1in without ever displacing Am.
 //   - LFU    — least-frequently-used: a per-frame reference count (reset
 //              on eviction — "in-cache LFU"), LRU among ties so stale
-//              once-hot pages still age out of a small pool. The policy
-//              the Gaussdb-style buffer managers ship next to LRU.
+//              once-hot pages still age out of a small pool. Victims come
+//              off an ordered index keyed (count, stamp): O(log frames).
 //
 // Locking contract: a Replacer has no latch of its own — its state is an
 // extension of the pool's frame metadata and is guarded by the pool latch.
@@ -32,12 +39,15 @@
 // pointer cannot be touched latch-free). scripts/check_locks.sh asserts
 // these annotations stay present.
 //
-// Victim protocol: the pool passes `evictable`, one flag per frame (true
-// = in use, pin count zero, eligible). victim() returns an index with
-// evictable[i] == true, or evictable.size() when it declines every
-// candidate (the pool treats that as exhaustion). Prefetched-but-never-
-// pinned pages are *not* the policy's concern: the pool evicts those
-// first, FIFO, before consulting the policy (see buffer_pool.hpp).
+// Victim protocol: the pool passes an EvictableView — a lazy eligibility
+// probe over the frames (true = in use, pin count zero, eligible) instead
+// of a materialized bool vector, so building the candidate set costs
+// nothing and ordered policies only probe the frames they actually
+// inspect. victim() returns an index with view[i] == true, or view.size()
+// when it declines every candidate (the pool treats that as exhaustion).
+// Prefetched-but-never-pinned pages are *not* the policy's concern: the
+// pool evicts those first, FIFO, before consulting the policy (see
+// buffer_pool.hpp).
 #pragma once
 
 #include <cstddef>
@@ -45,9 +55,11 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "pgf/util/annotations.hpp"
@@ -81,6 +93,34 @@ struct BufferPoolConfig {
     std::size_t lru_k = 2;
 };
 
+/// Lazy victim-eligibility view the pool hands to victim(): size() frames,
+/// view[i] true when frame i may be evicted right now. A context + plain
+/// function pointer so the pool's pin-state probe needs no allocation and
+/// no virtual hop; the vector adapter exists for the policy unit tests.
+class EvictableView {
+public:
+    using Probe = bool (*)(const void* ctx, std::size_t frame);
+
+    EvictableView(const void* ctx, Probe probe, std::size_t size)
+        : ctx_(ctx), probe_(probe), size_(size) {}
+
+    /// Adapter over an explicit flag vector (test scripts).
+    explicit EvictableView(const std::vector<bool>& flags)
+        : ctx_(&flags), probe_(&vector_probe), size_(flags.size()) {}
+
+    bool operator[](std::size_t i) const { return probe_(ctx_, i); }
+    std::size_t size() const { return size_; }
+
+private:
+    static bool vector_probe(const void* ctx, std::size_t i) {
+        return (*static_cast<const std::vector<bool>*>(ctx))[i];
+    }
+
+    const void* ctx_;
+    Probe probe_;
+    std::size_t size_;
+};
+
 /// Replacement-policy interface (see file comment for the contract).
 /// Frames are dense indices [0, capacity); pages are PageFile ids.
 class Replacer {
@@ -96,43 +136,54 @@ public:
     virtual void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) = 0;
 
-    /// Picks the victim among frames with evictable[i] == true; returns
-    /// evictable.size() when no frame is eligible.
-    virtual std::size_t victim(const std::vector<bool>& evictable,
-                               Mutex& latch) PGF_REQUIRES(latch) = 0;
+    /// Picks the victim among frames with view[i] == true; returns
+    /// view.size() when no frame is eligible.
+    virtual std::size_t victim(const EvictableView& view, Mutex& latch)
+        PGF_REQUIRES(latch) = 0;
 
     /// `frame`'s page left the pool (evicted); `page` is the id it held.
     virtual void on_evict(std::size_t frame, std::uint64_t page,
                           Mutex& latch) PGF_REQUIRES(latch) = 0;
 };
 
-/// LRU with a monotone stamp per frame. Victim = smallest stamp among the
-/// evictable. The stamp sequence (one increment per access *or* insert)
-/// reproduces the pool's historical `last_use = ++clock_` behavior
-/// exactly, so the eviction/writeback order is unchanged for existing
-/// callers (golden-tested against a replay of the pre-policy logic).
+/// LRU as an intrusive doubly-linked list in access order (head = least
+/// recent). Every access unlinks and re-appends at the tail — O(1) — and
+/// victim() walks from the head past pinned frames only. Because each
+/// access gets a unique logical stamp, list order == increasing stamp
+/// order, and the victim choice is exactly the historical "first minimal
+/// stamp" linear scan's (golden-tested).
 class LruReplacer final : public Replacer {
 public:
-    explicit LruReplacer(std::size_t capacity) : stamp_(capacity, 0) {}
+    explicit LruReplacer(std::size_t capacity);
 
     void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) override;
-    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+    std::size_t victim(const EvictableView& view, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
 
 private:
-    std::vector<std::uint64_t> stamp_;
-    std::uint64_t clock_ = 0;
+    void unlink(std::size_t frame);
+    void push_back(std::size_t frame);
+
+    static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> prev_;
+    std::vector<std::size_t> next_;
+    std::vector<bool> linked_;
+    std::size_t head_ = kNil;  // least recently used
+    std::size_t tail_ = kNil;  // most recently used
 };
 
-/// LRU-K (default K = 2): per frame, the last K access stamps. Victim =
-/// the frame whose K-th-most-recent access is oldest; frames with fewer
-/// than K accesses beat every full-history frame (infinite backward-K
-/// distance), LRU among themselves by most-recent access.
+/// LRU-K (default K = 2): per frame, the last K access stamps, and an
+/// ordered index keyed by backward-K distance. Victim = the index's first
+/// eligible entry: frames with fewer than K accesses sort before every
+/// full-history frame (infinite distance), LRU among themselves by most
+/// recent access; full-history frames compete on their K-th-most-recent
+/// stamp. Keys are unique (stamps are), so the index order equals the
+/// historical linear argmin scan's choice exactly.
 class LruKReplacer final : public Replacer {
 public:
     LruKReplacer(std::size_t capacity, std::size_t k);
@@ -141,7 +192,7 @@ public:
         PGF_REQUIRES(latch) override;
     void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) override;
-    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+    std::size_t victim(const EvictableView& view, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
@@ -155,10 +206,17 @@ private:
         std::size_t count = 0;              // accesses recorded (capped at K)
     };
 
+    /// (0 = infinite backward-K distance first, then the distance stamp).
+    using Key = std::pair<std::uint64_t, std::uint64_t>;
+
+    Key key_of(std::size_t frame) const;
     void record(std::size_t frame);
+    void reindex(std::size_t frame);
 
     const std::size_t k_;
     std::vector<History> history_;
+    std::vector<bool> resident_;
+    std::set<std::pair<Key, std::size_t>> order_;  // (key, frame), ascending
     std::uint64_t clock_ = 0;
 };
 
@@ -174,7 +232,7 @@ public:
         PGF_REQUIRES(latch) override;
     void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) override;
-    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+    std::size_t victim(const EvictableView& view, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
@@ -189,7 +247,9 @@ private:
 /// recently evicted from A1in. A fetch of a ghost page re-enters at Am —
 /// reuse across a window wider than A1in is the promotion signal. Victim:
 /// A1in front while A1in exceeds its target share of the pool (capacity/4,
-/// the paper's tuning), else Am's LRU frame.
+/// the paper's tuning), else Am's LRU frame. (Victim selection stays a
+/// linear scan here — 2Q is not on the large-pool build path; see the
+/// LRU/LRU-K/LFU indices for the O(log) treatment.)
 class TwoQReplacer final : public Replacer {
 public:
     explicit TwoQReplacer(std::size_t capacity);
@@ -198,7 +258,7 @@ public:
         PGF_REQUIRES(latch) override;
     void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) override;
-    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+    std::size_t victim(const EvictableView& view, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
@@ -206,40 +266,45 @@ public:
 private:
     enum class Queue : std::uint8_t { kNone, kA1, kAm };
 
-    std::size_t resident_a1() const;
-
     const std::size_t a1_target_;    ///< max A1in frames before FIFO evict
     const std::size_t ghost_limit_;  ///< max remembered evicted page ids
     std::vector<Queue> queue_;       ///< per-frame membership
     std::vector<std::uint64_t> stamp_;  ///< A1: insert stamp; Am: access
+    std::size_t resident_a1_ = 0;       ///< live A1in frame count
     std::uint64_t clock_ = 0;
     std::deque<std::uint64_t> ghost_fifo_;       ///< A1out, oldest first
     std::unordered_set<std::uint64_t> ghost_;    ///< A1out membership
 };
 
 /// LFU with LRU tie-break: per frame, a reference count bumped on insert
-/// and every access, and an LRU stamp. Victim = smallest (count, stamp)
-/// lexicographically among the evictable. Counts are per-residency (reset
-/// when the page leaves the pool), so a page must re-earn its frequency
-/// after eviction — the classic guard against ancient popularity pinning
-/// dead pages forever.
+/// and every access, an LRU stamp, and an ordered index keyed (count,
+/// stamp). Victim = the index's first eligible entry — smallest (count,
+/// stamp) lexicographically, O(log frames) bookkeeping. Counts are
+/// per-residency (reset when the page leaves the pool), so a page must
+/// re-earn its frequency after eviction — the classic guard against
+/// ancient popularity pinning dead pages forever.
 class LfuReplacer final : public Replacer {
 public:
-    explicit LfuReplacer(std::size_t capacity)
-        : count_(capacity, 0), stamp_(capacity, 0) {}
+    explicit LfuReplacer(std::size_t capacity);
 
     void on_insert(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_access(std::size_t frame, Mutex& latch)
         PGF_REQUIRES(latch) override;
-    std::size_t victim(const std::vector<bool>& evictable, Mutex& latch)
+    std::size_t victim(const EvictableView& view, Mutex& latch)
         PGF_REQUIRES(latch) override;
     void on_evict(std::size_t frame, std::uint64_t page, Mutex& latch)
         PGF_REQUIRES(latch) override;
 
 private:
+    using Key = std::pair<std::uint64_t, std::uint64_t>;  // (count, stamp)
+
+    void reindex(std::size_t frame, Key key);
+
     std::vector<std::uint64_t> count_;
     std::vector<std::uint64_t> stamp_;
+    std::vector<bool> resident_;
+    std::set<std::pair<Key, std::size_t>> order_;  // (key, frame), ascending
     std::uint64_t clock_ = 0;
 };
 

@@ -5,12 +5,16 @@
 namespace pgf {
 
 BufferPool::BufferPool(PageFile& file, std::size_t capacity,
-                       BufferPoolConfig config)
-    : file_(file), capacity_(capacity), config_(config) {
+                       BufferPoolConfig config, WriteAheadLog* wal)
+    : file_(file), capacity_(capacity), config_(config), wal_(wal) {
     PGF_CHECK(capacity_ >= 1, "BufferPool needs at least one frame");
+    MutexLock lock(latch_);
     frames_.resize(capacity_);
-    evictable_.resize(capacity_);
     policy_ = make_replacer(config_, capacity_);
+    // Stack of never-used frames, popped back-to-front so frames fill in
+    // index order — the same order the historical linear free scan used.
+    free_.reserve(capacity_);
+    for (std::size_t i = capacity_; i > 0; --i) free_.push_back(i - 1);
 }
 
 BufferPool::~BufferPool() {
@@ -25,9 +29,28 @@ void BufferPool::PageRef::mark_dirty() {
     pool_->mark_dirty_frame(frame_);
 }
 
+void BufferPool::PageRef::set_lsn(std::uint64_t lsn) {
+    pool_->set_frame_lsn(frame_, lsn);
+}
+
 void BufferPool::mark_dirty_frame(std::size_t frame) {
     MutexLock lock(latch_);
     frames_[frame].dirty = true;
+}
+
+void BufferPool::set_frame_lsn(std::size_t frame, std::uint64_t lsn) {
+    MutexLock lock(latch_);
+    set_page_lsn(frames_[frame].data, lsn);
+}
+
+bool BufferPool::demand_evictable(const void* frames, std::size_t i) {
+    const auto& fs = *static_cast<const std::vector<Frame>*>(frames);
+    return fs[i].pin_count == 0;
+}
+
+bool BufferPool::prefetch_evictable(const void* frames, std::size_t i) {
+    const auto& fs = *static_cast<const std::vector<Frame>*>(frames);
+    return fs[i].pin_count == 0 && !fs[i].prefetched;
 }
 
 BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
@@ -41,25 +64,32 @@ BufferPool::PageRef BufferPool::fetch(std::uint64_t id) {
             // Graduate the frame out of the first-eviction class.
             prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
             f.prefetched = false;
+            --staged_count_;
         }
         ++f.pin_count;
         policy_->on_access(it->second, latch_);
-        return PageRef(this, it->second, std::span<std::byte>(f.data),
-                       f.page_id);
+        return PageRef(this, it->second, payload_of(f), f.page_id);
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     std::size_t frame = grab_frame();
     Frame& f = frames_[frame];
     f.page_id = id;
     f.data.assign(file_.page_size(), std::byte{0});
-    file_.read(id, f.data);
+    try {
+        file_.read(id, f.data);
+    } catch (...) {
+        // Checksum mismatch (or I/O failure) on the miss fill: hand the
+        // grabbed frame back before the typed error reaches the caller.
+        release_frame(frame);
+        throw;
+    }
     f.pin_count = 1;
     f.dirty = false;
     f.in_use = true;
     f.prefetched = false;
     table_[id] = frame;
     policy_->on_insert(frame, id, latch_);
-    return PageRef(this, frame, std::span<std::byte>(f.data), id);
+    return PageRef(this, frame, payload_of(f), id);
 }
 
 BufferPool::PageRef BufferPool::allocate() {
@@ -75,7 +105,7 @@ BufferPool::PageRef BufferPool::allocate() {
     f.prefetched = false;
     table_[id] = frame;
     policy_->on_insert(frame, id, latch_);
-    return PageRef(this, frame, std::span<std::byte>(f.data), id);
+    return PageRef(this, frame, payload_of(f), id);
 }
 
 void BufferPool::prefetch(std::span<const std::uint64_t> pages) {
@@ -87,12 +117,18 @@ void BufferPool::prefetch(std::span<const std::uint64_t> pages) {
         Frame& f = frames_[frame];
         f.page_id = id;
         f.data.assign(file_.page_size(), std::byte{0});
-        file_.read(id, f.data);
+        try {
+            file_.read(id, f.data);
+        } catch (...) {
+            release_frame(frame);
+            throw;
+        }
         f.pin_count = 0;
         f.dirty = false;
         f.in_use = true;
         f.prefetched = true;
         f.prefetch_stamp = ++prefetch_clock_;
+        ++staged_count_;
         table_[id] = frame;
         policy_->on_insert(frame, id, latch_);
         prefetch_issued_.fetch_add(1, std::memory_order_relaxed);
@@ -102,42 +138,56 @@ void BufferPool::prefetch(std::span<const std::uint64_t> pages) {
 void BufferPool::evict_frame(std::size_t frame) {
     Frame& f = frames_[frame];
     if (f.dirty) {
+        // WAL-before-data: the log must be durable past this page's LSN
+        // before its image may overwrite the on-disk pre-image. With no
+        // WAL (or an unlogged page, LSN 0) this is a no-op.
+        if (wal_ != nullptr) wal_->flush_up_to(page_lsn(f.data));
         file_.write(f.page_id, f.data);
         writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
     table_.erase(f.page_id);
     policy_->on_evict(frame, f.page_id, latch_);
     f.in_use = false;
+    if (f.prefetched) --staged_count_;
     f.prefetched = false;
     evictions_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void BufferPool::release_frame(std::size_t frame) {
+    frames_[frame].in_use = false;
+    frames_[frame].prefetched = false;
+    free_.push_back(frame);
+}
+
 std::size_t BufferPool::grab_frame() {
-    // Free frame first.
-    for (std::size_t i = 0; i < frames_.size(); ++i) {
+    // Free frame first (stack pop, not a scan).
+    while (!free_.empty()) {
+        const std::size_t i = free_.back();
+        free_.pop_back();
         if (!frames_[i].in_use) return i;
     }
     // First-eviction class: prefetched pages nobody pinned are the
     // speculation that did not pay off yet — reclaim them FIFO before
-    // disturbing the policy's demand-driven order. (Inert unless
-    // prefetch() is in use, so the default path is untouched.)
-    std::size_t staged = frames_.size();
-    for (std::size_t i = 0; i < frames_.size(); ++i) {
-        const Frame& f = frames_[i];
-        if (f.prefetched && f.pin_count == 0 &&
-            (staged == frames_.size() ||
-             f.prefetch_stamp < frames_[staged].prefetch_stamp)) {
-            staged = i;
+    // disturbing the policy's demand-driven order. staged_count_ keeps
+    // this scan off the demand path entirely unless prefetch() is in use.
+    std::size_t victim = frames_.size();
+    if (staged_count_ > 0) {
+        for (std::size_t i = 0; i < frames_.size(); ++i) {
+            const Frame& f = frames_[i];
+            if (f.prefetched && f.pin_count == 0 &&
+                (victim == frames_.size() ||
+                 f.prefetch_stamp < frames_[victim].prefetch_stamp)) {
+                victim = i;
+            }
         }
     }
-    std::size_t victim = staged;
     if (victim == frames_.size()) {
         // Policy victim among unpinned frames — a pinned frame is never a
         // victim, so its data span (captured by live PageRefs) stays valid.
-        for (std::size_t i = 0; i < frames_.size(); ++i) {
-            evictable_[i] = frames_[i].pin_count == 0;
-        }
-        victim = policy_->victim(evictable_, latch_);
+        // The view probes pin state lazily; ordered policies only test the
+        // few frames at the head of their structure.
+        EvictableView view(&frames_, &demand_evictable, frames_.size());
+        victim = policy_->victim(view, latch_);
     }
     PGF_CHECK(victim < frames_.size(),
               "BufferPool exhausted: every frame is pinned");
@@ -146,17 +196,16 @@ std::size_t BufferPool::grab_frame() {
 }
 
 std::size_t BufferPool::grab_frame_for_prefetch() {
-    for (std::size_t i = 0; i < frames_.size(); ++i) {
+    while (!free_.empty()) {
+        const std::size_t i = free_.back();
+        free_.pop_back();
         if (!frames_[i].in_use) return i;
     }
     // Read-ahead may displace cached demand pages (the policy decides
     // which) but never a pinned frame and never an earlier still-unused
     // prefetch — a long staging list cannot cannibalize its own head.
-    for (std::size_t i = 0; i < frames_.size(); ++i) {
-        const Frame& f = frames_[i];
-        evictable_[i] = f.pin_count == 0 && !f.prefetched;
-    }
-    std::size_t victim = policy_->victim(evictable_, latch_);
+    EvictableView view(&frames_, &prefetch_evictable, frames_.size());
+    std::size_t victim = policy_->victim(view, latch_);
     if (victim == frames_.size()) return victim;  // stop staging, no throw
     evict_frame(victim);
     return victim;
@@ -203,6 +252,16 @@ BufferPool::Stats BufferPool::reset() {
 
 void BufferPool::flush_all() {
     MutexLock lock(latch_);
+    if (wal_ != nullptr) {
+        // One group flush covering the dirtiest frame, instead of one
+        // per write-back.
+        std::uint64_t max_lsn = 0;
+        for (const Frame& f : frames_) {
+            if (f.in_use && f.dirty)
+                max_lsn = std::max(max_lsn, page_lsn(f.data));
+        }
+        wal_->flush_up_to(max_lsn);
+    }
     for (Frame& f : frames_) {
         if (f.in_use && f.dirty) {
             file_.write(f.page_id, f.data);

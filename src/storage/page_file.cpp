@@ -1,15 +1,16 @@
 #include "pgf/storage/page_file.hpp"
 
+#include <algorithm>
 #include <cstring>
-#include <vector>
 
+#include "pgf/storage/page.hpp"
 #include "pgf/util/check.hpp"
 
 namespace pgf {
 
 namespace {
 
-constexpr char kMagic[8] = {'P', 'G', 'F', 'P', 'A', 'G', 'E', '1'};
+constexpr char kMagic[8] = {'P', 'G', 'F', 'P', 'A', 'G', 'E', '2'};
 constexpr std::size_t kSuperblockSize = 24;  // magic + page_size + page_count
 
 void put_u64(std::byte* out, std::uint64_t v) {
@@ -30,6 +31,7 @@ std::uint64_t get_u64(const std::byte* in) {
 
 PageFile PageFile::create(const std::string& path, std::size_t page_size) {
     PGF_CHECK(page_size >= kMinPageSize, "page size too small");
+    PGF_CHECK(page_size > kPageHeaderBytes, "page size below header size");
     PageFile pf;
     pf.path_ = path;
     pf.page_size_ = page_size;
@@ -60,13 +62,18 @@ PageFile PageFile::open(const std::string& path) {
 }
 
 PageFile::~PageFile() {
-    if (stream_.is_open()) {
+    if (stream_.is_open() && !dead_) {
         write_superblock();
         stream_.flush();
     }
 }
 
+std::size_t PageFile::payload_size() const {
+    return page_size_ - kPageHeaderBytes;
+}
+
 void PageFile::write_superblock() {
+    if (dead_) return;
     std::byte header[kSuperblockSize] = {};
     std::memcpy(header, kMagic, sizeof(kMagic));
     put_u64(header + 8, page_size_);
@@ -93,21 +100,84 @@ void PageFile::read(std::uint64_t id, std::span<std::byte> out) {
     stream_.read(reinterpret_cast<char*>(out.data()),
                  static_cast<std::streamsize>(page_size_));
     PGF_CHECK(stream_.good(), "PageFile: read failed");
+    PGF_CHECK(page_checksum_ok(out),
+              "PageFile: checksum mismatch on page " + std::to_string(id) +
+                  " of " + path_ + " (torn or corrupt page)");
+}
+
+bool PageFile::try_read(std::uint64_t id, std::span<std::byte> out) {
+    if (id >= page_count_ || out.size() != page_size_) return false;
+    std::fill(out.begin(), out.end(), std::byte{0});
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(kSuperblockSize +
+                                              id * page_size_));
+    stream_.read(reinterpret_cast<char*>(out.data()),
+                 static_cast<std::streamsize>(page_size_));
+    // A short read at the tail of a crashed file leaves the zero fill in
+    // place; the checksum decides whether what we got is a whole page.
+    stream_.clear();
+    return page_checksum_ok(out);
+}
+
+std::span<const std::byte> PageFile::stamp_image(
+    std::span<const std::byte> data) {
+    scratch_.assign(data.begin(), data.end());
+    scratch_[4] = static_cast<std::byte>(kPageFormatVersion & 0xff);
+    scratch_[5] = static_cast<std::byte>(kPageFormatVersion >> 8);
+    scratch_[6] = std::byte{0};  // flags (reserved)
+    scratch_[7] = std::byte{0};
+    const std::uint32_t crc = page_compute_crc(scratch_);
+    for (int i = 0; i < 4; ++i)
+        scratch_[static_cast<std::size_t>(i)] =
+            static_cast<std::byte>((crc >> (8 * i)) & 0xff);
+    return scratch_;
+}
+
+void PageFile::write_image(std::uint64_t id,
+                           std::span<const std::byte> image) {
+    if (dead_) return;
+    stream_.clear();
+    stream_.seekp(static_cast<std::streamoff>(kSuperblockSize +
+                                              id * page_size_));
+    stream_.write(reinterpret_cast<const char*>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+    PGF_CHECK(stream_.good(), "PageFile: write failed");
 }
 
 void PageFile::write(std::uint64_t id, std::span<const std::byte> data) {
     PGF_CHECK(id < page_count_, "PageFile: write past end");
     PGF_CHECK(data.size() == page_size_,
               "PageFile: write buffer size mismatch");
-    stream_.clear();
-    stream_.seekp(static_cast<std::streamoff>(kSuperblockSize +
-                                              id * page_size_));
-    stream_.write(reinterpret_cast<const char*>(data.data()),
-                  static_cast<std::streamsize>(page_size_));
-    PGF_CHECK(stream_.good(), "PageFile: write failed");
+    write_image(id, stamp_image(data));
+}
+
+void PageFile::write_torn(std::uint64_t id, std::span<const std::byte> data,
+                          std::size_t keep_bytes) {
+    PGF_CHECK(id < page_count_, "PageFile: write past end");
+    PGF_CHECK(data.size() == page_size_,
+              "PageFile: write buffer size mismatch");
+    const auto image = stamp_image(data);
+    write_image(id, image.first(std::min(keep_bytes, image.size())));
+}
+
+void PageFile::write_payload(std::uint64_t id,
+                             std::span<const std::byte> payload,
+                             std::uint64_t lsn) {
+    PGF_CHECK(payload.size() == payload_size(),
+              "PageFile: payload size mismatch");
+    std::vector<std::byte> page(page_size_, std::byte{0});
+    set_page_lsn(page, lsn);
+    std::memcpy(page.data() + kPageHeaderBytes, payload.data(),
+                payload.size());
+    write(id, page);
+}
+
+void PageFile::ensure_page_count(std::uint64_t n) {
+    while (page_count_ < n) allocate();
 }
 
 void PageFile::sync() {
+    if (dead_) return;
     write_superblock();
     stream_.flush();
     PGF_CHECK(stream_.good(), "PageFile: sync failed");

@@ -31,40 +31,70 @@ std::optional<ReplacementPolicy> parse_policy(std::string_view text) {
 
 // ---------------------------------------------------------------- LRU --
 
+LruReplacer::LruReplacer(std::size_t capacity)
+    : prev_(capacity, kNil), next_(capacity, kNil), linked_(capacity, false) {}
+
+void LruReplacer::unlink(std::size_t frame) {
+    const std::size_t p = prev_[frame];
+    const std::size_t n = next_[frame];
+    if (p != kNil) next_[p] = n; else head_ = n;
+    if (n != kNil) prev_[n] = p; else tail_ = p;
+    prev_[frame] = kNil;
+    next_[frame] = kNil;
+    linked_[frame] = false;
+}
+
+void LruReplacer::push_back(std::size_t frame) {
+    prev_[frame] = tail_;
+    next_[frame] = kNil;
+    if (tail_ != kNil) next_[tail_] = frame; else head_ = frame;
+    tail_ = frame;
+    linked_[frame] = true;
+}
+
 void LruReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
                             Mutex& /*latch*/) {
-    stamp_[frame] = ++clock_;
+    if (linked_[frame]) unlink(frame);
+    push_back(frame);
 }
 
 void LruReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
-    stamp_[frame] = ++clock_;
+    if (linked_[frame]) unlink(frame);
+    push_back(frame);
 }
 
-std::size_t LruReplacer::victim(const std::vector<bool>& evictable,
-                                Mutex& /*latch*/) {
-    // First minimal stamp wins on ties — the order the historical pool's
-    // strict `<` scan produced.
-    std::size_t best = evictable.size();
-    for (std::size_t i = 0; i < evictable.size(); ++i) {
-        if (evictable[i] &&
-            (best == evictable.size() || stamp_[i] < stamp_[best])) {
-            best = i;
-        }
+std::size_t LruReplacer::victim(const EvictableView& view, Mutex& /*latch*/) {
+    // List order == increasing access stamps, so the first eligible frame
+    // from the cold end is exactly the historical argmin-stamp choice.
+    for (std::size_t i = head_; i != kNil; i = next_[i]) {
+        if (view[i]) return i;
     }
-    return best;
+    return view.size();
 }
 
 void LruReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
                            Mutex& /*latch*/) {
-    stamp_[frame] = 0;
+    if (linked_[frame]) unlink(frame);
 }
 
 // -------------------------------------------------------------- LRU-K --
 
 LruKReplacer::LruKReplacer(std::size_t capacity, std::size_t k)
-    : k_(k), history_(capacity) {
+    : k_(k), history_(capacity), resident_(capacity, false) {
     PGF_CHECK(k_ >= 1, "LRU-K needs k >= 1");
     for (History& h : history_) h.stamps.assign(k_, 0);
+}
+
+LruKReplacer::Key LruKReplacer::key_of(std::size_t frame) const {
+    const History& h = history_[frame];
+    if (h.count < k_) {
+        // Infinite backward-K distance: sorts before every full-history
+        // frame (flag 0); LRU among themselves by most recent stamp.
+        const std::size_t last = (h.next + k_ - 1) % k_;
+        return Key{0, h.count == 0 ? 0 : h.stamps[last]};
+    }
+    // Full history: compete on the oldest retained stamp (at the cursor).
+    return Key{1, h.stamps[h.next]};
 }
 
 void LruKReplacer::record(std::size_t frame) {
@@ -74,52 +104,42 @@ void LruKReplacer::record(std::size_t frame) {
     if (h.count < k_) ++h.count;
 }
 
+void LruKReplacer::reindex(std::size_t frame) {
+    record(frame);
+    order_.insert({key_of(frame), frame});
+}
+
 void LruKReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
                              Mutex& /*latch*/) {
+    if (resident_[frame]) order_.erase({key_of(frame), frame});
     History& h = history_[frame];
     h.next = 0;
     h.count = 0;
-    record(frame);
+    resident_[frame] = true;
+    reindex(frame);
 }
 
 void LruKReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
-    record(frame);
+    order_.erase({key_of(frame), frame});
+    reindex(frame);
 }
 
-std::size_t LruKReplacer::victim(const std::vector<bool>& evictable,
-                                 Mutex& /*latch*/) {
-    // Frames with fewer than K recorded accesses have infinite backward-K
-    // distance and beat every full-history frame; among them the one whose
-    // *most recent* access is oldest goes first. Full-history frames
-    // compete on their K-th-most-recent (i.e. oldest retained) stamp.
-    std::size_t best = evictable.size();
-    bool best_infinite = false;
-    std::uint64_t best_key = std::numeric_limits<std::uint64_t>::max();
-    for (std::size_t i = 0; i < evictable.size(); ++i) {
-        if (!evictable[i]) continue;
-        const History& h = history_[i];
-        const bool infinite = h.count < k_;
-        std::uint64_t key;
-        if (infinite) {
-            // Most recent stamp: the slot just before the write cursor.
-            const std::size_t last = (h.next + k_ - 1) % k_;
-            key = h.count == 0 ? 0 : h.stamps[last];
-        } else {
-            // Oldest retained stamp lives at the write cursor.
-            key = h.stamps[h.next];
-        }
-        if (best == evictable.size() || (infinite && !best_infinite) ||
-            (infinite == best_infinite && key < best_key)) {
-            best = i;
-            best_infinite = infinite;
-            best_key = key;
-        }
+std::size_t LruKReplacer::victim(const EvictableView& view, Mutex& /*latch*/) {
+    // Ascending (infinite-first, distance-stamp) order; keys are unique
+    // (stamps are), so the first eligible entry equals the historical
+    // linear argmin's choice.
+    for (const auto& [key, frame] : order_) {
+        if (view[frame]) return frame;
     }
-    return best;
+    return view.size();
 }
 
 void LruKReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
                             Mutex& /*latch*/) {
+    if (resident_[frame]) {
+        order_.erase({key_of(frame), frame});
+        resident_[frame] = false;
+    }
     History& h = history_[frame];
     h.next = 0;
     h.count = 0;
@@ -136,18 +156,18 @@ void ClockReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
     referenced_[frame] = true;
 }
 
-std::size_t ClockReplacer::victim(const std::vector<bool>& evictable,
+std::size_t ClockReplacer::victim(const EvictableView& view,
                                   Mutex& /*latch*/) {
-    const std::size_t n = evictable.size();
-    bool any = std::find(evictable.begin(), evictable.end(), true) !=
-               evictable.end();
+    const std::size_t n = view.size();
+    bool any = false;
+    for (std::size_t i = 0; i < n && !any; ++i) any = view[i];
     if (!any) return n;
     // At most two sweeps: the first clears every set bit among the
     // eligible frames, so the second must find a clear one.
     for (std::size_t step = 0; step < 2 * n; ++step) {
         const std::size_t i = hand_;
         hand_ = (hand_ + 1) % n;
-        if (!evictable[i]) continue;  // pinned/absent frames keep their bit
+        if (!view[i]) continue;  // pinned/absent frames keep their bit
         if (referenced_[i]) {
             referenced_[i] = false;
             continue;
@@ -170,11 +190,6 @@ TwoQReplacer::TwoQReplacer(std::size_t capacity)
       queue_(capacity, Queue::kNone),
       stamp_(capacity, 0) {}
 
-std::size_t TwoQReplacer::resident_a1() const {
-    return static_cast<std::size_t>(
-        std::count(queue_.begin(), queue_.end(), Queue::kA1));
-}
-
 void TwoQReplacer::on_insert(std::size_t frame, std::uint64_t page,
                              Mutex& /*latch*/) {
     auto ghost = ghost_.find(page);
@@ -184,6 +199,7 @@ void TwoQReplacer::on_insert(std::size_t frame, std::uint64_t page,
         queue_[frame] = Queue::kAm;
     } else {
         queue_[frame] = Queue::kA1;
+        ++resident_a1_;
     }
     stamp_[frame] = ++clock_;
 }
@@ -194,33 +210,33 @@ void TwoQReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
     if (queue_[frame] == Queue::kAm) stamp_[frame] = ++clock_;
 }
 
-std::size_t TwoQReplacer::victim(const std::vector<bool>& evictable,
+std::size_t TwoQReplacer::victim(const EvictableView& view,
                                  Mutex& /*latch*/) {
-    std::size_t a1_front = evictable.size();
-    std::size_t am_lru = evictable.size();
-    for (std::size_t i = 0; i < evictable.size(); ++i) {
-        if (!evictable[i]) continue;
+    std::size_t a1_front = view.size();
+    std::size_t am_lru = view.size();
+    for (std::size_t i = 0; i < view.size(); ++i) {
+        if (!view[i]) continue;
         if (queue_[i] == Queue::kA1) {
-            if (a1_front == evictable.size() ||
-                stamp_[i] < stamp_[a1_front]) {
+            if (a1_front == view.size() || stamp_[i] < stamp_[a1_front]) {
                 a1_front = i;
             }
         } else if (queue_[i] == Queue::kAm) {
-            if (am_lru == evictable.size() || stamp_[i] < stamp_[am_lru]) {
+            if (am_lru == view.size() || stamp_[i] < stamp_[am_lru]) {
                 am_lru = i;
             }
         }
     }
-    if (a1_front != evictable.size() && resident_a1() > a1_target_) {
+    if (a1_front != view.size() && resident_a1_ > a1_target_) {
         return a1_front;
     }
-    if (am_lru != evictable.size()) return am_lru;
+    if (am_lru != view.size()) return am_lru;
     return a1_front;
 }
 
 void TwoQReplacer::on_evict(std::size_t frame, std::uint64_t page,
                             Mutex& /*latch*/) {
     if (queue_[frame] == Queue::kA1) {
+        --resident_a1_;
         // Leaving A1in: remember the page id so a near-future re-fetch is
         // recognized as reuse and promoted to Am.
         if (ghost_.insert(page).second) ghost_fifo_.push_back(page);
@@ -236,35 +252,44 @@ void TwoQReplacer::on_evict(std::size_t frame, std::uint64_t page,
 
 // ---------------------------------------------------------------- LFU --
 
+LfuReplacer::LfuReplacer(std::size_t capacity)
+    : count_(capacity, 0), stamp_(capacity, 0), resident_(capacity, false) {}
+
+void LfuReplacer::reindex(std::size_t frame, Key key) {
+    if (resident_[frame]) {
+        order_.erase({Key{count_[frame], stamp_[frame]}, frame});
+    }
+    count_[frame] = key.first;
+    stamp_[frame] = key.second;
+    resident_[frame] = true;
+    order_.insert({key, frame});
+}
+
 void LfuReplacer::on_insert(std::size_t frame, std::uint64_t /*page*/,
                             Mutex& /*latch*/) {
-    count_[frame] = 1;  // install counts as the first reference
-    stamp_[frame] = ++clock_;
+    reindex(frame, Key{1, ++clock_});  // install counts as first reference
 }
 
 void LfuReplacer::on_access(std::size_t frame, Mutex& /*latch*/) {
-    ++count_[frame];
-    stamp_[frame] = ++clock_;
+    reindex(frame, Key{count_[frame] + 1, ++clock_});
 }
 
-std::size_t LfuReplacer::victim(const std::vector<bool>& evictable,
-                                Mutex& /*latch*/) {
-    // Smallest (count, stamp): least frequent first, least recent among
-    // equally frequent frames (first index wins exact ties, matching the
-    // other policies' strict `<` scan order).
-    std::size_t best = evictable.size();
-    for (std::size_t i = 0; i < evictable.size(); ++i) {
-        if (!evictable[i]) continue;
-        if (best == evictable.size() || count_[i] < count_[best] ||
-            (count_[i] == count_[best] && stamp_[i] < stamp_[best])) {
-            best = i;
-        }
+std::size_t LfuReplacer::victim(const EvictableView& view, Mutex& /*latch*/) {
+    // Smallest (count, stamp) lexicographically: least frequent first,
+    // least recent among equally frequent frames. Stamps are unique, so
+    // the set order matches the historical strict `<` linear scan.
+    for (const auto& [key, frame] : order_) {
+        if (view[frame]) return frame;
     }
-    return best;
+    return view.size();
 }
 
 void LfuReplacer::on_evict(std::size_t frame, std::uint64_t /*page*/,
                            Mutex& /*latch*/) {
+    if (resident_[frame]) {
+        order_.erase({Key{count_[frame], stamp_[frame]}, frame});
+        resident_[frame] = false;
+    }
     count_[frame] = 0;
     stamp_[frame] = 0;
 }

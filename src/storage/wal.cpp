@@ -1,0 +1,268 @@
+#include "pgf/storage/wal.hpp"
+
+#include <cstring>
+#include <filesystem>
+
+#include "pgf/storage/fault_injection.hpp"
+#include "pgf/storage/page.hpp"
+#include "pgf/util/check.hpp"
+
+namespace pgf {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'P', 'G', 'F', 'W', 'A', 'L', '1', '\0'};
+constexpr std::size_t kFileHeaderBytes = 16;  // magic + u64 reserved
+constexpr std::size_t kEnvelopeBytes = 17;    // crc + len + lsn + kind
+// Body-length sanity bound for the tail scan: far above any real record
+// (the largest is a page image), far below anything that could make the
+// scan read garbage as a length and allocate wild.
+constexpr std::uint32_t kMaxBodyBytes = 1u << 24;
+
+void encode_record(std::vector<std::byte>& out, std::uint64_t lsn,
+                   WalRecordKind kind, std::span<const std::byte> body) {
+    const std::size_t start = out.size();
+    out.resize(start + kEnvelopeBytes);
+    auto* p = out.data() + start;
+    const auto len = static_cast<std::uint32_t>(body.size());
+    for (int i = 0; i < 4; ++i)
+        p[4 + i] = static_cast<std::byte>((len >> (8 * i)) & 0xff);
+    for (int i = 0; i < 8; ++i)
+        p[8 + i] = static_cast<std::byte>((lsn >> (8 * i)) & 0xff);
+    p[16] = static_cast<std::byte>(kind);
+    out.insert(out.end(), body.begin(), body.end());
+    // Checksum over everything after the crc field (len, lsn, kind, body).
+    const std::uint32_t crc = crc32c(
+        std::span<const std::byte>(out).subspan(start + 4));
+    p = out.data() + start;  // insert() may have reallocated
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::byte>((crc >> (8 * i)) & 0xff);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- WAL writer
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::create(const std::string& path) {
+    auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog());
+    wal->path_ = path;
+    MutexLock lock(wal->latch_);
+    wal->stream_.open(path, std::ios::binary | std::ios::in | std::ios::out |
+                                std::ios::trunc);
+    PGF_CHECK(wal->stream_.is_open(), "WAL: cannot create " + path);
+    std::byte header[kFileHeaderBytes] = {};
+    std::memcpy(header, kWalMagic, sizeof(kWalMagic));
+    wal->stream_.write(reinterpret_cast<const char*>(header),
+                       kFileHeaderBytes);
+    wal->stream_.flush();
+    PGF_CHECK(wal->stream_.good(), "WAL: header write failed for " + path);
+    return wal;
+}
+
+std::unique_ptr<WriteAheadLog> WriteAheadLog::open(const std::string& path) {
+    WalReader reader(path);
+    const auto scan = reader.scan();
+    // Drop the torn tail so the resumed LSN sequence stays dense.
+    std::filesystem::resize_file(path, scan.valid_bytes);
+
+    auto wal = std::unique_ptr<WriteAheadLog>(new WriteAheadLog());
+    wal->path_ = path;
+    MutexLock lock(wal->latch_);
+    wal->stream_.open(path, std::ios::binary | std::ios::in | std::ios::out);
+    PGF_CHECK(wal->stream_.is_open(), "WAL: cannot open " + path);
+    wal->stream_.seekp(0, std::ios::end);
+    wal->last_lsn_ = scan.last_lsn;
+    wal->durable_lsn_.store(scan.last_lsn, std::memory_order_release);
+    return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+    // Destructor flush: a triggered crash fault must not escape — the
+    // poisoned state *is* the simulated crash.
+    try {
+        MutexLock lock(latch_);
+        flush_locked();
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+}
+
+std::uint64_t WriteAheadLog::append(WalRecordKind kind,
+                                    std::span<const std::byte> body) {
+    MutexLock lock(latch_);
+    const std::uint64_t lsn = ++last_lsn_;
+    if (dead_) return lsn;  // post-crash: everything is silently dropped
+    encode_record(buf_, lsn, kind, body);
+    ++stats_.records;
+    stats_.bytes += kEnvelopeBytes + body.size();
+    if (buf_.size() >= kAutoFlushBytes) flush_locked();
+    return lsn;
+}
+
+std::uint64_t WriteAheadLog::last_lsn() const {
+    MutexLock lock(latch_);
+    return last_lsn_;
+}
+
+void WriteAheadLog::flush() {
+    MutexLock lock(latch_);
+    flush_locked();
+}
+
+void WriteAheadLog::flush_up_to(std::uint64_t lsn) {
+    if (lsn == 0 || lsn <= durable_lsn()) return;
+    flush();
+}
+
+void WriteAheadLog::set_fault_injector(FaultInjector* injector) {
+    MutexLock lock(latch_);
+    injector_ = injector;
+}
+
+WriteAheadLog::Stats WriteAheadLog::stats() const {
+    MutexLock lock(latch_);
+    return stats_;
+}
+
+void WriteAheadLog::flush_locked() {
+    if (dead_) {
+        buf_.clear();
+        return;
+    }
+    if (buf_.empty()) return;
+    if (injector_ != nullptr) {
+        if (injector_->crashed()) {  // crash already happened elsewhere
+            dead_ = true;
+            buf_.clear();
+            return;
+        }
+        if (injector_->should_crash()) {
+            // Torn group write: half the buffer reaches disk, then the
+            // "process" dies. The tail scan on reopen must cut this off.
+            const std::size_t keep = buf_.size() / 2;
+            stream_.write(reinterpret_cast<const char*>(buf_.data()),
+                          static_cast<std::streamsize>(keep));
+            stream_.flush();
+            dead_ = true;
+            buf_.clear();
+            throw CrashError("injected crash during WAL flush");
+        }
+    }
+    stream_.write(reinterpret_cast<const char*>(buf_.data()),
+                  static_cast<std::streamsize>(buf_.size()));
+    stream_.flush();
+    PGF_CHECK(stream_.good(), "WAL: flush failed for " + path_);
+    buf_.clear();
+    ++stats_.flushes;
+    durable_lsn_.store(last_lsn_, std::memory_order_release);
+}
+
+// ---------------------------------------------------------------- WAL reader
+
+WalReader::WalReader(const std::string& path) : path_(path) {
+    stream_.open(path, std::ios::binary);
+    PGF_CHECK(stream_.is_open(), "WAL: cannot open " + path);
+}
+
+WalReader::ScanResult WalReader::scan() {
+    std::byte header[kFileHeaderBytes];
+    stream_.clear();
+    stream_.seekg(0);
+    stream_.read(reinterpret_cast<char*>(header), kFileHeaderBytes);
+    PGF_CHECK(stream_.good() &&
+                  std::memcmp(header, kWalMagic, sizeof(kWalMagic)) == 0,
+              "WAL: bad magic in " + path_ + " (not a write-ahead log)");
+    pos_ = kFileHeaderBytes;
+    prev_lsn_ = 0;
+
+    ScanResult result;
+    result.valid_bytes = kFileHeaderBytes;
+    result.commit_bytes = kFileHeaderBytes;
+    Record rec;
+    std::uint64_t consumed = 0;
+    while (read_record(rec, consumed)) {
+        pos_ += consumed;
+        prev_lsn_ = rec.lsn;
+        result.valid_bytes = pos_;
+        ++result.records;
+        result.last_lsn = rec.lsn;
+        if (rec.kind == WalRecordKind::kCommit) {
+            result.last_commit_lsn = rec.lsn;
+            result.commit_bytes = pos_;
+        }
+        if (rec.kind == WalRecordKind::kGenesis) result.has_genesis = true;
+    }
+    valid_bytes_ = result.valid_bytes;
+    scanned_ = true;
+    rewind();
+    return result;
+}
+
+void WalReader::rewind() {
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(kFileHeaderBytes));
+    pos_ = kFileHeaderBytes;
+    prev_lsn_ = 0;
+}
+
+bool WalReader::next(Record& out) {
+    PGF_CHECK(scanned_, "WAL: next() before scan()");
+    if (pos_ >= valid_bytes_) return false;
+    std::uint64_t consumed = 0;
+    const bool ok = read_record(out, consumed);
+    PGF_CHECK(ok, "WAL: record inside the valid prefix failed to re-read");
+    pos_ += consumed;
+    prev_lsn_ = out.lsn;
+    return true;
+}
+
+bool WalReader::read_record(Record& out, std::uint64_t& consumed) {
+    std::byte env[kEnvelopeBytes];
+    stream_.clear();
+    stream_.seekg(static_cast<std::streamoff>(pos_));
+    stream_.read(reinterpret_cast<char*>(env), kEnvelopeBytes);
+    if (stream_.gcount() != static_cast<std::streamsize>(kEnvelopeBytes))
+        return false;
+
+    std::uint32_t stored_crc = 0;
+    std::uint32_t len = 0;
+    std::uint64_t lsn = 0;
+    for (int i = 0; i < 4; ++i) {
+        stored_crc |= static_cast<std::uint32_t>(
+                          std::to_integer<std::uint8_t>(env[i]))
+                      << (8 * i);
+        len |= static_cast<std::uint32_t>(
+                   std::to_integer<std::uint8_t>(env[4 + i]))
+               << (8 * i);
+    }
+    for (int i = 0; i < 8; ++i)
+        lsn |= static_cast<std::uint64_t>(
+                   std::to_integer<std::uint8_t>(env[8 + i]))
+               << (8 * i);
+    const auto kind = std::to_integer<std::uint8_t>(env[16]);
+
+    if (len > kMaxBodyBytes) return false;
+    if (kind < static_cast<std::uint8_t>(WalRecordKind::kGenesis) ||
+        kind > static_cast<std::uint8_t>(WalRecordKind::kCommit))
+        return false;
+    if (lsn != prev_lsn_ + 1) return false;  // LSNs are dense and increasing
+
+    out.body.resize(len);
+    if (len > 0) {
+        stream_.read(reinterpret_cast<char*>(out.body.data()),
+                     static_cast<std::streamsize>(len));
+        if (stream_.gcount() != static_cast<std::streamsize>(len))
+            return false;
+    }
+
+    std::uint32_t crc = crc32c(
+        std::span<const std::byte>(env).subspan(4));
+    crc = crc32c(out.body, crc);
+    if (crc != stored_crc) return false;
+
+    out.lsn = lsn;
+    out.kind = static_cast<WalRecordKind>(kind);
+    consumed = kEnvelopeBytes + len;
+    return true;
+}
+
+}  // namespace pgf

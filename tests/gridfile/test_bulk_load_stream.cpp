@@ -125,7 +125,7 @@ void run_paged_case(std::size_t n, std::uint64_t seed,
     const auto pts = random_points<D>(n, seed);
 
     typename PagedGridFile<D>::Config pcfg;
-    pcfg.page_size = 32 * (D + 1) * 8 + 8;  // 32 records per page
+    pcfg.page_size = PagedBucketStore<D>::page_size_for(32);
     pcfg.pool_pages = pool_pages;
     PagedGridFile<D> pf(dir.file("paged.db").string(), unit_domain<D>(),
                         pcfg);
@@ -196,7 +196,7 @@ TEST(BulkLoadStream, PagedQueriesSeeAllRecordsAfterStreamBuild) {
     util::TempDir dir("pgf-blstream-q");
     const auto pts = random_points<2>(3000, 58);
     typename PagedGridFile<2>::Config pcfg;
-    pcfg.page_size = 32 * 3 * 8 + 8;
+    pcfg.page_size = PagedBucketStore<2>::page_size_for(32);
     pcfg.pool_pages = 8;
     PagedGridFile<2> pf(dir.file("q.db").string(), unit_domain<2>(), pcfg);
     VectorPointSource<2> source(pts);

@@ -254,10 +254,14 @@ struct DiskBackedFixture : Fixture {
         test::unique_temp_path("pgf_server_backing");
     PagedGridFile<2> pf;
 
+    static PagedGridFile<2>::Config small_pages() {
+        PagedGridFile<2>::Config cfg;
+        cfg.page_size = PagedBucketStore<2>::page_size_for(8);
+        return cfg;
+    }
+
     explicit DiskBackedFixture(std::size_t n_points = 2000)
-        : Fixture(n_points),
-          pf(path.string(), domain,
-             {.page_size = PagedBucketStore<2>::page_size_for(8)}) {
+        : Fixture(n_points), pf(path.string(), domain, small_pages()) {
         Rng rng(3);  // replay the Fixture's exact insertion sequence
         for (std::uint64_t i = 0; i < n_points; ++i) {
             pf.insert({{rng.uniform(), rng.uniform()}}, i);

@@ -41,9 +41,14 @@ struct Fixture {
     PagedGridFile<2> pf;
     GridStructure gs;
 
+    static PagedGridFile<2>::Config small_pages() {
+        PagedGridFile<2>::Config cfg;
+        cfg.page_size = PagedBucketStore<2>::page_size_for(8);
+        return cfg;
+    }
+
     explicit Fixture(std::size_t n_points = 2500)
-        : pf(path.string(), domain,
-             {.page_size = PagedBucketStore<2>::page_size_for(8)}) {
+        : pf(path.string(), domain, small_pages()) {
         Rng rng(3);
         for (std::uint64_t i = 0; i < n_points; ++i) {
             pf.insert({{rng.uniform(), rng.uniform()}}, i);

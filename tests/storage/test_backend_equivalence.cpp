@@ -72,7 +72,7 @@ void run_case(SplitPolicy policy, bool bulk, std::size_t n,
     }
 
     typename PagedGridFile<D>::Config pcfg;
-    pcfg.page_size = 32 * (D + 1) * 8 + 8;  // 32 records per page
+    pcfg.page_size = PagedBucketStore<D>::page_size_for(32);
     pcfg.pool_pages = 8;                    // small pool: loads thrash it
     pcfg.split_policy = policy;
     PagedGridFile<D> pf(path.string(), domain, pcfg);

@@ -4,6 +4,7 @@
 
 #include <filesystem>
 
+#include "pgf/storage/page.hpp"
 #include "pgf/util/check.hpp"
 #include "temp_path.hpp"
 
@@ -86,7 +87,8 @@ TEST_F(BufferPoolTest, FlushAllWritesDirtyResidentPages) {
     }
     std::vector<std::byte> out(128);
     pf.read(0, out);
-    EXPECT_EQ(out[5], std::byte{0x77});
+    // PageRef::data() is the payload view past the durability header.
+    EXPECT_EQ(out[kPageHeaderBytes + 5], std::byte{0x77});
 }
 
 TEST_F(BufferPoolTest, DestructorFlushes) {
@@ -99,7 +101,7 @@ TEST_F(BufferPoolTest, DestructorFlushes) {
     }
     std::vector<std::byte> out(128);
     pf.read(0, out);
-    EXPECT_EQ(out[9], std::byte{0x3C});
+    EXPECT_EQ(out[kPageHeaderBytes + 9], std::byte{0x3C});
 }
 
 TEST_F(BufferPoolTest, StatsStartAtZero) {

@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "pgf/storage/page.hpp"
 #include "pgf/util/check.hpp"
 #include "temp_path.hpp"
 
@@ -103,7 +104,9 @@ TEST_P(BufferPoolConcurrentTest, TinyPoolEvictionStressKeepsEveryUpdate) {
         pf.read(t, raw);
         std::uint64_t v = 0;
         for (std::size_t i = 0; i < 8; ++i) {
-            v |= static_cast<std::uint64_t>(raw[i]) << (8 * i);
+            // PageRef::data() is the payload view past the page header.
+            v |= static_cast<std::uint64_t>(raw[kPageHeaderBytes + i])
+                 << (8 * i);
         }
         EXPECT_EQ(v, static_cast<std::uint64_t>(kIters)) << "page " << t;
     }
@@ -182,7 +185,8 @@ TEST_P(BufferPoolConcurrentTest, ConcurrentAllocationsAreDistinct) {
     std::vector<std::byte> raw(128);
     for (std::uint64_t id : all) {
         pf.read(id, raw);
-        EXPECT_EQ(raw[0], static_cast<std::byte>(id & 0xff)) << "page " << id;
+        EXPECT_EQ(raw[kPageHeaderBytes], static_cast<std::byte>(id & 0xff))
+            << "page " << id;
     }
 }
 

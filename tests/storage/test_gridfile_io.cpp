@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 
 #include "pgf/util/rng.hpp"
 #include "pgf/workload/datasets.hpp"
@@ -103,6 +105,42 @@ TEST_F(GridFileIoTest, CorruptMagicRejected) {
         w.put_string("NOTAGRID");
         w.finish();
         pf.sync();
+    }
+    EXPECT_THROW(load_grid_file<2>(path_.string()), CheckError);
+}
+
+TEST_F(GridFileIoTest, TruncatedSnapshotRejected) {
+    Rng rng(7);
+    auto ds = make_uniform2d(rng, 800);
+    save_grid_file(ds.build(), path_.string());
+    const std::uint64_t full = std::filesystem::file_size(path_);
+
+    // Inside the superblock: not even a page file any more.
+    std::filesystem::resize_file(path_, 10);
+    EXPECT_THROW(load_grid_file<2>(path_.string()), CheckError);
+
+    // Mid-snapshot: the torn page fails its checksum during the load.
+    save_grid_file(ds.build(), path_.string());
+    std::filesystem::resize_file(path_, full / 2 + 17);
+    EXPECT_THROW(load_grid_file<2>(path_.string()), CheckError);
+}
+
+TEST_F(GridFileIoTest, FlippedByteFailsPageChecksumOnLoad) {
+    Rng rng(9);
+    auto ds = make_uniform2d(rng, 800);
+    save_grid_file(ds.build(), path_.string());
+
+    // One flipped bit in the middle of the snapshot body — past the page
+    // header of whatever page it lands in, so only the checksum can tell.
+    const std::uint64_t off = std::filesystem::file_size(path_) / 2 + 3;
+    {
+        std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+        f.seekg(static_cast<std::streamoff>(off));
+        char b = 0;
+        f.read(&b, 1);
+        b = static_cast<char>(b ^ 0x20);
+        f.seekp(static_cast<std::streamoff>(off));
+        f.write(&b, 1);
     }
     EXPECT_THROW(load_grid_file<2>(path_.string()), CheckError);
 }

@@ -31,21 +31,21 @@ protected:
 
 TEST_F(PagedGridFileTest, CapacityFollowsPageSize) {
     auto pf = make(256);
-    // (256 - 8) / 24 = 10 records per 2-d bucket page.
-    EXPECT_EQ(pf.bucket_capacity(), 10u);
+    // (256 - 16 header - 8 count) / 24 = 9 records per 2-d bucket page.
+    EXPECT_EQ(pf.bucket_capacity(), 9u);
     EXPECT_EQ(pf.bucket_count(), 1u);
 }
 
 TEST_F(PagedGridFileTest, CapacityAccessorRoundTripsThroughPageSize) {
     auto pf = make(256);
-    EXPECT_EQ(pf.capacity(), 10u);
+    EXPECT_EQ(pf.capacity(), 9u);
     EXPECT_EQ(pf.capacity(), pf.bucket_capacity());
     // page_size_for is the least page size yielding this capacity, so a
     // memory-backend twin built with capacity() is cell-for-cell
     // comparable to this file.
-    EXPECT_EQ(PagedBucketStore<2>::page_size_for(pf.capacity()), 248u);
-    EXPECT_EQ(PagedBucketStore<2>::capacity_for(248), 10u);
-    EXPECT_EQ(PagedBucketStore<2>::capacity_for(247), 9u);
+    EXPECT_EQ(PagedBucketStore<2>::page_size_for(pf.capacity()), 240u);
+    EXPECT_EQ(PagedBucketStore<2>::capacity_for(240), 9u);
+    EXPECT_EQ(PagedBucketStore<2>::capacity_for(239), 8u);
 }
 
 TEST_F(PagedGridFileTest, InsertAndExactQueries) {
@@ -148,7 +148,7 @@ TEST_F(PagedGridFileTest, DuplicateOverflowRejectedExplicitly) {
     auto pf = make(256);
     Point<2> p{{0.5, 0.5}};
     bool threw = false;
-    // Capacity is 10; somewhere past that the duplicates must be rejected
+    // Capacity is 9; somewhere past that the duplicates must be rejected
     // with a CheckError rather than corrupting a page.
     for (std::uint64_t i = 0; i < 64 && !threw; ++i) {
         try {
@@ -232,10 +232,10 @@ TEST_F(PagedGridFileTest, PartialMatchAgreesWithInMemoryGridFile) {
 
 TEST_F(PagedGridFileTest, RejectsTinyPages) {
     PagedGridFile<2>::Config cfg;
-    cfg.page_size = 64;  // (64-8)/24 = 2 records: allowed
+    cfg.page_size = 72;  // (72-16-8)/24 = 2 records: allowed
     EXPECT_NO_THROW(PagedGridFile<2>(path_.string(), domain_, cfg));
     PagedGridFile<4>::Config cfg4;
-    cfg4.page_size = 64;  // (64-8)/40 = 1 record: too small for 4-d
+    cfg4.page_size = 72;  // (72-16-8)/40 = 1 record: too small for 4-d
     Rect<4> domain4{{{0, 0, 0, 0}}, {{1, 1, 1, 1}}};
     EXPECT_THROW(PagedGridFile<4>(path_.string(), domain4, cfg4), CheckError);
 }

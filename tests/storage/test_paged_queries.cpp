@@ -38,7 +38,7 @@ Twins<D> make_twins(const std::filesystem::path& path, SplitPolicy policy,
         domain.hi[d] = 1.0;
     }
     typename PagedGridFile<D>::Config pcfg;
-    pcfg.page_size = 24 * (D + 1) * 8 + 8;  // 24 records per page
+    pcfg.page_size = PagedBucketStore<D>::page_size_for(24);
     pcfg.pool_pages = pool_pages;
     pcfg.split_policy = policy;
     typename GridFile<D>::Config mcfg;

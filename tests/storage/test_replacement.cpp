@@ -174,12 +174,12 @@ public:
     }
     std::size_t victim() {
         MutexLock lock(latch_);
-        return policy_->victim(evictable_, latch_);
+        return policy_->victim(EvictableView(evictable_), latch_);
     }
     /// victim() with only `allowed` eligible.
     std::size_t victim_among(const std::vector<bool>& allowed) {
         MutexLock lock(latch_);
-        return policy_->victim(allowed, latch_);
+        return policy_->victim(EvictableView(allowed), latch_);
     }
     void evict(std::size_t frame, std::uint64_t page) {
         MutexLock lock(latch_);
